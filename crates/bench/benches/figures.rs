@@ -1,0 +1,31 @@
+//! `cargo bench --bench figures` — regenerate every table and figure of the
+//! paper's evaluation and print them (this harness does not use Criterion:
+//! each experiment is a full workload run whose output *is* the result).
+
+use atrapos_bench::figures::{run_all, run_all_ablations};
+use atrapos_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("ATraPos evaluation — regenerating every table and figure");
+    println!(
+        "scale: {} (set ATRAPOS_PAPER=1 for the paper-sized datasets)\n",
+        if std::env::var("ATRAPOS_PAPER").map(|v| v == "1").unwrap_or(false) {
+            "paper"
+        } else {
+            "quick"
+        }
+    );
+    let start = std::time::Instant::now();
+    for fig in run_all(&scale) {
+        fig.print();
+    }
+    println!("-- ablations (not figures of the paper; see DESIGN.md §5a) --\n");
+    for fig in run_all_ablations(&scale) {
+        fig.print();
+    }
+    println!(
+        "regenerated all experiments in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,31 @@
+//! Command-line entry point: regenerate one or all of the paper's tables and
+//! figures.
+//!
+//! ```text
+//! cargo run --release -p atrapos-bench --bin figures            # everything
+//! cargo run --release -p atrapos-bench --bin figures -- fig02   # one figure
+//! ATRAPOS_PAPER=1 cargo run --release -p atrapos-bench --bin figures
+//! ```
+
+use atrapos_bench::figures::{run_all, run_by_id, ALL_IDS};
+use atrapos_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    if args.is_empty() {
+        for fig in run_all(&scale) {
+            fig.print();
+        }
+        return;
+    }
+    for id in &args {
+        match run_by_id(id, &scale) {
+            Some(fig) => fig.print(),
+            None => {
+                eprintln!("unknown experiment id '{id}'; known ids: {}", ALL_IDS.join(", "));
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Ablation experiments.
+//!
+//! These are not figures of the paper; they isolate the design choices that
+//! DESIGN.md calls out and exercise the §VII future-work extension:
+//!
+//! * `abl01` — what if the hardware were uniform?  The ATraPos advantage
+//!   over PLP comes entirely from the non-uniform interconnect, so it must
+//!   vanish under the uniform cost model.
+//! * `abl02` — oversaturation: the penalty of hosting several partitions of
+//!   different tables on the same core (the effect that motivates the
+//!   workload-aware partition counts of Figure 6).
+//! * `abl03` — sub-partitions per partition: the monitoring granule trades
+//!   adaptation quality against monitoring state (the paper settles on 10).
+//! * `abl04` — the shared-nothing sharding advisor of §VII: on a workload
+//!   with shifted cross-table correlation, the advisor's plan turns almost
+//!   every distributed transaction into a single-instance transaction.
+
+use crate::harness::{executor, DesignKind, Scale};
+use crate::report::{fmt, FigureResult};
+use atrapos_core::{
+    advise_sharding, evaluate_sharding, KeyDomain, ShardingConfig, ShardingPlan, SubPartitionId,
+    WorkloadStats,
+};
+use atrapos_engine::workload::ensure_tables;
+use atrapos_engine::{
+    Action, ActionOp, AtraposConfig, ExecutorConfig, Phase, SharedNothingDesign,
+    SharedNothingGranularity, SystemDesign, TableSpec, TransactionSpec, VirtualExecutor, Workload,
+};
+use atrapos_numa::{CoreId, CostModel, Machine, Topology};
+use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
+use atrapos_workloads::{SimpleAb, Tatp, TatpConfig, TatpTxn};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Identifiers of the ablation experiments.
+pub const ABLATION_IDS: &[&str] = &["abl01", "abl02", "abl03", "abl04"];
+
+/// abl01: ATraPos vs PLP under the calibrated Westmere cost model and under
+/// a hypothetical uniform interconnect.  The speedup of ATraPos over PLP
+/// should collapse to ~1x when remote accesses cost the same as local ones,
+/// confirming that the gains come from NUMA-awareness and not from an
+/// unrelated implementation difference.
+pub fn abl01_uniform_interconnect(scale: &Scale) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "abl01",
+        "ATraPos/PLP speedup under Westmere vs. uniform interconnect costs",
+        vec!["cost model", "PLP (KTPS)", "ATraPos (KTPS)", "speedup"],
+    );
+    let sockets = scale.max_sockets;
+    let cores = scale.cores_per_socket.min(4);
+    for (label, cost) in [("westmere", CostModel::westmere()), ("uniform", CostModel::uniform())] {
+        let mut throughputs = Vec::new();
+        for kind in [DesignKind::Plp, DesignKind::Atrapos] {
+            let machine = Machine::new(Topology::multisocket(sockets, cores), cost.clone());
+            let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 4));
+            workload.set_single(TatpTxn::GetSubscriberData);
+            let mut ex = executor(machine, kind, Box::new(workload), scale.measure_secs);
+            throughputs.push(ex.run_for(scale.measure_secs).throughput_tps);
+        }
+        fig.push_row(vec![
+            label.to_string(),
+            fmt(throughputs[0] / 1e3),
+            fmt(throughputs[1] / 1e3),
+            fmt(throughputs[1] / throughputs[0]),
+        ]);
+    }
+    fig.note("expected shape: a clear ATraPos speedup on the Westmere model, ~1x on the uniform model");
+    fig
+}
+
+/// abl02: the oversubscription penalty.  The Figure 6 workload is run on
+/// the naive one-partition-per-table-per-core scheme while sweeping the
+/// per-extra-partition scheduling penalty; with the penalty disabled the
+/// naive scheme looks artificially good, with the calibrated penalty the
+/// ATraPos scheme (one partition per core in total) wins as in the paper.
+pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "abl02",
+        "Throughput (KTPS) of the naive scheme vs. oversubscription penalty",
+        vec!["penalty", "naive scheme", "ATraPos scheme", "ATraPos/naive"],
+    );
+    let sockets = scale.max_sockets.min(4);
+    let cores = scale.cores_per_socket.min(4);
+    for penalty in [0.0f64, 0.2, 0.35, 0.5] {
+        let run = |adaptive: bool| {
+            let machine = Machine::new(
+                Topology::multisocket(sockets, cores),
+                CostModel::westmere(),
+            );
+            let workload = SimpleAb::new(scale.micro_rows / 8);
+            let config = AtraposConfig {
+                oversubscription_penalty: penalty,
+                monitoring: adaptive,
+                adaptive,
+                ..AtraposConfig::default()
+            };
+            let design: Box<dyn SystemDesign> = Box::new(
+                atrapos_engine::AtraposDesign::new(&machine, &workload, config),
+            );
+            let mut ex = VirtualExecutor::new(
+                machine,
+                design,
+                Box::new(workload),
+                ExecutorConfig {
+                    seed: 42,
+                    default_interval_secs: scale.interval_min_secs,
+                    time_series_bucket_secs: scale.measure_secs,
+                },
+            );
+            ex.run_for(scale.measure_secs).throughput_tps
+        };
+        let naive = run(false);
+        let adaptive = run(true);
+        fig.push_row(vec![
+            fmt(penalty),
+            fmt(naive / 1e3),
+            fmt(adaptive / 1e3),
+            fmt(adaptive / naive),
+        ]);
+    }
+    fig.note("expected shape: the adaptive scheme's advantage grows with the oversubscription penalty");
+    fig
+}
+
+/// abl03: sub-partitions per partition (the monitoring granule).  ATraPos
+/// adapts to a sudden hotspot (Figure 11's skew) with 2, 10, and 40
+/// sub-partitions per partition: too few sub-partitions cannot isolate the
+/// hot range, more sub-partitions cost more monitoring state for little
+/// additional benefit.
+pub fn abl03_sub_partition_granularity(scale: &Scale) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "abl03",
+        "Throughput (KTPS) after adapting to a hotspot vs. sub-partitions per partition",
+        vec!["sub-partitions", "before skew", "after adaptation", "repartitions"],
+    );
+    for sub_per in [2usize, 10, 40] {
+        let machine = Machine::new(
+            Topology::multisocket(scale.max_sockets.min(4), scale.cores_per_socket.min(4)),
+            CostModel::westmere(),
+        );
+        let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 4));
+        workload.set_single(TatpTxn::GetSubscriberData);
+        let config = AtraposConfig {
+            sub_per_partition: sub_per,
+            ..AtraposConfig::default()
+        };
+        let design: Box<dyn SystemDesign> =
+            Box::new(atrapos_engine::AtraposDesign::new(&machine, &workload, config));
+        let mut ex = VirtualExecutor::new(
+            machine,
+            design,
+            Box::new(workload),
+            ExecutorConfig {
+                seed: 42,
+                default_interval_secs: scale.interval_min_secs,
+                time_series_bucket_secs: scale.interval_min_secs,
+            },
+        );
+        let before = ex.run_for(scale.phase_secs).throughput_tps;
+        // Introduce the Figure 11 hotspot: 50% of the requests on 20% of the
+        // data.
+        if let Some(any) = ex.workload_mut().as_any_mut() {
+            if let Some(tatp) = any.downcast_mut::<Tatp>() {
+                tatp.set_distribution(atrapos_workloads::KeyDistribution::Hotspot {
+                    data_fraction: 0.2,
+                    access_fraction: 0.5,
+                });
+            }
+        }
+        let mut repartitions = 0;
+        let mut after = 0.0;
+        for _ in 0..3 {
+            let seg = ex.run_for(scale.phase_secs);
+            repartitions += seg.repartitions;
+            after = seg.throughput_tps;
+        }
+        fig.push_row(vec![
+            sub_per.to_string(),
+            fmt(before / 1e3),
+            fmt(after / 1e3),
+            repartitions.to_string(),
+        ]);
+    }
+    fig.note("expected shape: the coarsest granule adapts worst; 10 sub-partitions (the paper's choice) captures most of the benefit");
+    fig
+}
+
+// ----------------------------------------------------------------------
+// abl04: the shared-nothing sharding advisor (§VII)
+// ----------------------------------------------------------------------
+
+/// A two-table workload whose cross-table correlation is *shifted*: the
+/// transaction reads `A[k]` and updates `B[(k + rows/2) % rows]`.  Classic
+/// range sharding therefore turns almost every transaction into a
+/// distributed transaction, while a workload-aware sharding can co-locate
+/// the correlated halves.
+#[derive(Debug, Clone)]
+struct ShiftedAb {
+    rows: i64,
+}
+
+impl ShiftedAb {
+    fn partner(&self, k: i64) -> i64 {
+        (k + self.rows / 2) % self.rows
+    }
+
+    fn schema(name: &str) -> Schema {
+        Schema::new(
+            name,
+            vec![
+                Column::new("pk", ColumnType::Int),
+                Column::new("val", ColumnType::Int),
+            ],
+            vec![0],
+        )
+    }
+}
+
+impl Workload for ShiftedAb {
+    fn name(&self) -> &str {
+        "shifted-ab"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        (0..2)
+            .map(|t| TableSpec {
+                id: TableId(t),
+                schema: Self::schema(if t == 0 { "A" } else { "B" }),
+                domain: KeyDomain::new(0, self.rows),
+                rows: self.rows as u64,
+            })
+            .collect()
+    }
+
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        ensure_tables(self, db);
+        for t in 0..2u32 {
+            let table = db.table_mut(TableId(t)).expect("table exists");
+            for i in 0..self.rows {
+                let key = Key::int(i);
+                if filter(TableId(t), &key) {
+                    table
+                        .load(Record::new(vec![Value::Int(i), Value::Int(0)]))
+                        .expect("unique keys");
+                }
+            }
+        }
+    }
+
+    fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
+        let k = rng.gen_range(0..self.rows);
+        TransactionSpec::new(
+            "shifted-ab",
+            vec![Phase::new(vec![
+                Action::new(ActionOp::Read {
+                    table: TableId(0),
+                    key: Key::int(k),
+                }),
+                Action::new(ActionOp::Increment {
+                    table: TableId(1),
+                    key: Key::int(self.partner(k)),
+                    column: 1,
+                    delta: 1,
+                }),
+            ])],
+        )
+    }
+}
+
+/// Build the workload trace the advisor consumes by sampling the workload's
+/// transaction generator — the shared-nothing engine has no built-in
+/// monitoring, so the trace is collected offline, exactly as trace-driven
+/// partitioning tools do (Schism, Horticulture).
+pub fn sample_shifted_trace(rows: i64, n_sub: usize, samples: usize) -> WorkloadStats {
+    let mut workload = ShiftedAb { rows };
+    let domain = KeyDomain::new(0, rows);
+    let mut stats = WorkloadStats::new();
+    stats.declare_table(TableId(0), n_sub);
+    stats.declare_table(TableId(1), n_sub);
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..samples {
+        let spec = workload.next_transaction(&mut rng, CoreId(0));
+        let mut subs = Vec::new();
+        for action in spec.phases.iter().flat_map(|p| &p.actions) {
+            let sub = SubPartitionId::new(
+                action.op.table(),
+                domain.sub_partition_of(action.op.routing_key_head(), n_sub),
+            );
+            stats.record_action(sub, 100.0);
+            subs.push(sub);
+        }
+        if subs.len() == 2 {
+            stats.record_sync(subs[0], subs[1], 64);
+        }
+        stats.record_transaction();
+    }
+    stats
+}
+
+/// abl04: measured throughput and distributed-transaction count of the
+/// coarse shared-nothing deployment under (a) classic range sharding and
+/// (b) the sharding plan produced by the §VII advisor, on the shifted
+/// correlated workload.
+pub fn abl04_sharding_advisor(scale: &Scale) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "abl04",
+        "Shared-nothing sharding: range vs. advisor (distributed txns and KTPS)",
+        vec![
+            "sharding",
+            "est. distributed co-accesses",
+            "measured distributed txns",
+            "throughput (KTPS)",
+        ],
+    );
+    let rows = (scale.micro_rows / 8).max(2_000);
+    let sockets = scale.max_sockets.min(4);
+    let cores = scale.cores_per_socket.min(4);
+    let n_sub = sockets * 8;
+    let trace = sample_shifted_trace(rows, n_sub, 2_000);
+    let domains = vec![
+        (TableId(0), KeyDomain::new(0, rows)),
+        (TableId(1), KeyDomain::new(0, rows)),
+    ];
+    let range_plan = ShardingPlan::range(&domains, n_sub, sockets, sockets);
+    let advised_plan = advise_sharding(
+        &domains,
+        n_sub,
+        sockets,
+        sockets,
+        &trace,
+        &ShardingConfig::default(),
+    );
+    for (label, plan) in [("range", range_plan), ("advisor", advised_plan)] {
+        let estimated = evaluate_sharding(&plan, &trace).total_distributed();
+        let machine = Machine::new(Topology::multisocket(sockets, cores), CostModel::westmere());
+        let workload = ShiftedAb { rows };
+        let design = SharedNothingDesign::with_sharding_plan(
+            &machine,
+            &workload,
+            SharedNothingGranularity::PerSocket,
+            plan,
+        );
+        let mut ex = VirtualExecutor::new(
+            machine,
+            Box::new(design),
+            Box::new(workload),
+            ExecutorConfig {
+                seed: 42,
+                default_interval_secs: scale.measure_secs,
+                time_series_bucket_secs: scale.measure_secs,
+            },
+        );
+        let stats = ex.run_for(scale.measure_secs);
+        let distributed = ex
+            .design()
+            .as_any()
+            .and_then(|d| d.downcast_ref::<SharedNothingDesign>())
+            .map(|d| d.distributed_txns)
+            .unwrap_or(0);
+        fig.push_row(vec![
+            label.to_string(),
+            fmt(estimated),
+            distributed.to_string(),
+            fmt(stats.throughput_tps / 1e3),
+        ]);
+    }
+    fig.note("expected shape: the advisor removes nearly all distributed transactions and raises throughput");
+    fig
+}
+
+/// Run one ablation by id.
+pub fn run_ablation(id: &str, scale: &Scale) -> Option<FigureResult> {
+    match id {
+        "abl01" => Some(abl01_uniform_interconnect(scale)),
+        "abl02" => Some(abl02_oversubscription(scale)),
+        "abl03" => Some(abl03_sub_partition_granularity(scale)),
+        "abl04" => Some(abl04_sharding_advisor(scale)),
+        _ => None,
+    }
+}
+
+/// Run every ablation.
+pub fn run_all_ablations(scale: &Scale) -> Vec<FigureResult> {
+    ABLATION_IDS
+        .iter()
+        .filter_map(|id| run_ablation(id, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            micro_rows: 8_000,
+            memory_rows: 8_000,
+            tatp_subscribers: 4_000,
+            tpcc_warehouses: 2,
+            measure_secs: 0.002,
+            phase_secs: 0.004,
+            interval_min_secs: 0.002,
+            interval_max_secs: 0.008,
+            max_sockets: 2,
+            cores_per_socket: 2,
+        }
+    }
+
+    #[test]
+    fn shifted_trace_has_cross_sub_partition_pairs() {
+        let stats = sample_shifted_trace(4_000, 16, 500);
+        assert!(stats.num_sync_pairs() > 0);
+        assert_eq!(stats.transactions, 500);
+    }
+
+    #[test]
+    fn advisor_ablation_reports_both_plans() {
+        let fig = abl04_sharding_advisor(&tiny_scale());
+        assert_eq!(fig.rows.len(), 2);
+        // The advisor row should not estimate more distributed co-accesses
+        // than the range row.
+        let range: f64 = fig.rows[0][1].parse().unwrap();
+        let advised: f64 = fig.rows[1][1].parse().unwrap();
+        assert!(advised <= range);
+    }
+
+    #[test]
+    fn uniform_interconnect_ablation_runs() {
+        let fig = abl01_uniform_interconnect(&tiny_scale());
+        assert_eq!(fig.rows.len(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! One function per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod adaptive;
+pub mod motivation;
+pub mod partitioning;
+pub mod standard;
+
+use crate::harness::Scale;
+use crate::report::FigureResult;
+
+pub use ablation::{
+    abl01_uniform_interconnect, abl02_oversubscription, abl03_sub_partition_granularity,
+    abl04_sharding_advisor, run_ablation, run_all_ablations, ABLATION_IDS,
+};
+pub use adaptive::{
+    fig09_repartitioning, fig10_adapt_workload, fig11_adapt_skew, fig12_adapt_hardware,
+    fig13_adapt_frequency,
+};
+pub use motivation::{
+    fig01_ipc, fig02_scaleup, fig03_multisite, fig04_breakdown, fig05_atrapos_scaleup,
+    tab01_memory_policy,
+};
+pub use partitioning::{fig06_placement, fig07_neworder_flowgraph};
+pub use standard::{fig08_standard_benchmarks, tab02_monitoring_overhead};
+
+/// All experiment identifiers in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig01", "fig02", "fig03", "fig04", "tab01", "fig05", "fig06", "fig07", "fig08", "tab02",
+    "fig09", "fig10", "fig11", "fig12", "fig13",
+];
+
+/// Run one experiment by id.
+pub fn run_by_id(id: &str, scale: &Scale) -> Option<FigureResult> {
+    match id {
+        "fig01" => Some(fig01_ipc(scale)),
+        "fig02" => Some(fig02_scaleup(scale)),
+        "fig03" => Some(fig03_multisite(scale)),
+        "fig04" => Some(fig04_breakdown(scale)),
+        "tab01" => Some(tab01_memory_policy(scale)),
+        "fig05" => Some(fig05_atrapos_scaleup(scale)),
+        "fig06" => Some(fig06_placement(scale)),
+        "fig07" => Some(fig07_neworder_flowgraph()),
+        "fig08" => Some(fig08_standard_benchmarks(scale)),
+        "tab02" => Some(tab02_monitoring_overhead(scale)),
+        "fig09" => Some(fig09_repartitioning(scale)),
+        "fig10" => Some(fig10_adapt_workload(scale)),
+        "fig11" => Some(fig11_adapt_skew(scale)),
+        "fig12" => Some(fig12_adapt_hardware(scale)),
+        "fig13" => Some(fig13_adapt_frequency(scale)),
+        // Ablations (not figures of the paper; see `ablation`).
+        other => run_ablation(other, scale),
+    }
+}
+
+/// Run every experiment in paper order.
+pub fn run_all(scale: &Scale) -> Vec<FigureResult> {
+    ALL_IDS
+        .iter()
+        .filter_map(|id| run_by_id(id, scale))
+        .collect()
+}

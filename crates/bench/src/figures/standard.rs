@@ -1,0 +1,150 @@
+//! The standard-benchmark experiments: Figure 8 (TATP and TPC-C throughput
+//! normalized to PLP) and Table II (monitoring overhead).
+
+use crate::harness::{measure, DesignKind, Scale};
+use crate::report::{fmt, FigureResult};
+use atrapos_engine::{AtraposConfig, Workload};
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig, TpccTxn};
+
+fn tatp_workload(scale: &Scale, txn: Option<TatpTxn>) -> Box<dyn Workload> {
+    let mut w = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers));
+    if let Some(t) = txn {
+        w.set_single(t);
+    }
+    Box::new(w)
+}
+
+fn tpcc_workload(scale: &Scale, txn: Option<TpccTxn>) -> Box<dyn Workload> {
+    let mut w = Tpcc::new(TpccConfig::scaled(scale.tpcc_warehouses));
+    if let Some(t) = txn {
+        w.set_single(t);
+    }
+    Box::new(w)
+}
+
+/// Figure 8: throughput of ATraPos normalized over PLP for TATP transaction
+/// types / mix and for the TPC-C read-only transactions / mix.
+pub fn fig08_standard_benchmarks(scale: &Scale) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "fig08",
+        "Standard benchmarks: ATraPos throughput normalized over PLP",
+        vec![
+            "workload",
+            "PLP (KTPS)",
+            "ATraPos (KTPS)",
+            "ATraPos / PLP",
+        ],
+    );
+    let sockets = scale.max_sockets;
+    let cores = scale.cores_per_socket;
+    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload> + '_>)> = vec![
+        (
+            "TATP GetSubData",
+            Box::new(|| tatp_workload(scale, Some(TatpTxn::GetSubscriberData))),
+        ),
+        (
+            "TATP GetNewDest",
+            Box::new(|| tatp_workload(scale, Some(TatpTxn::GetNewDestination))),
+        ),
+        (
+            "TATP UpdSubData",
+            Box::new(|| tatp_workload(scale, Some(TatpTxn::UpdateSubscriberData))),
+        ),
+        ("TATP-Mix", Box::new(|| tatp_workload(scale, None))),
+        (
+            "TPCC StockLevel",
+            Box::new(|| tpcc_workload(scale, Some(TpccTxn::StockLevel))),
+        ),
+        (
+            "TPCC OrderStatus",
+            Box::new(|| tpcc_workload(scale, Some(TpccTxn::OrderStatus))),
+        ),
+        ("TPCC-Mix", Box::new(|| tpcc_workload(scale, None))),
+    ];
+    for (label, make) in cases {
+        let plp = measure(sockets, cores, DesignKind::Plp, make(), scale.measure_secs);
+        let atrapos = measure(
+            sockets,
+            cores,
+            DesignKind::Atrapos,
+            make(),
+            scale.measure_secs,
+        );
+        let ratio = if plp.throughput_tps > 0.0 {
+            atrapos.throughput_tps / plp.throughput_tps
+        } else {
+            0.0
+        };
+        fig.push_row(vec![
+            label.to_string(),
+            fmt(plp.throughput_tps / 1e3),
+            fmt(atrapos.throughput_tps / 1e3),
+            fmt(ratio),
+        ]);
+    }
+    fig.note("paper reports 6.7x (GetSubData), 3.2x (GetNewDest), 5.4x (UpdSubData), 4.4x (TATP-Mix), 2.7x (StockLevel), 1.4x (OrderStatus), 1.5x (TPCC-Mix)");
+    fig
+}
+
+fn monitoring_on() -> AtraposConfig {
+    AtraposConfig {
+        monitoring: true,
+        adaptive: false,
+        ..AtraposConfig::default()
+    }
+}
+
+fn monitoring_off() -> AtraposConfig {
+    AtraposConfig {
+        monitoring: false,
+        adaptive: false,
+        ..AtraposConfig::default()
+    }
+}
+
+/// Table II: throughput of ATraPos with and without monitoring and the
+/// resulting overhead.
+pub fn tab02_monitoring_overhead(scale: &Scale) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "tab02",
+        "Monitoring overhead on TATP (TPS)",
+        vec!["workload", "no monitoring", "monitoring", "overhead (%)"],
+    );
+    let sockets = scale.max_sockets;
+    let cores = scale.cores_per_socket;
+    let cases: Vec<(&str, Option<TatpTxn>)> = vec![
+        ("GetSubData", Some(TatpTxn::GetSubscriberData)),
+        ("GetNewDest", Some(TatpTxn::GetNewDestination)),
+        ("UpdSubData", Some(TatpTxn::UpdateSubscriberData)),
+        ("TATP-Mix", None),
+    ];
+    for (label, txn) in cases {
+        let off = measure(
+            sockets,
+            cores,
+            DesignKind::AtraposWith(monitoring_off),
+            tatp_workload(scale, txn),
+            scale.measure_secs,
+        );
+        let on = measure(
+            sockets,
+            cores,
+            DesignKind::AtraposWith(monitoring_on),
+            tatp_workload(scale, txn),
+            scale.measure_secs,
+        );
+        let overhead = if off.throughput_tps > 0.0 {
+            (1.0 - on.throughput_tps / off.throughput_tps) * 100.0
+        } else {
+            0.0
+        };
+        fig.push_row(vec![
+            label.to_string(),
+            fmt(off.throughput_tps),
+            fmt(on.throughput_tps),
+            fmt(overhead),
+        ]);
+    }
+    fig.note("paper reports at most 3.32% (GetSubData) and ~1% elsewhere");
+    fig
+}

@@ -1,0 +1,254 @@
+//! Shared helpers for building machines, designs, and executors.
+
+use atrapos_engine::{
+    AtraposConfig, AtraposDesign, CentralizedDesign, ExecutorConfig, PlpDesign, RunStats,
+    SharedNothingDesign, SharedNothingGranularity, SystemDesign, VirtualExecutor, Workload,
+};
+use atrapos_numa::{CostModel, Machine, Topology};
+use atrapos_storage::MemoryPolicy;
+
+/// Which system design to instantiate.
+#[derive(Debug, Clone, Copy)]
+pub enum DesignKind {
+    /// Centralized shared-everything (stock Shore-MT).
+    Centralized,
+    /// Extreme shared-nothing: one instance per core, locking disabled for
+    /// read-only workloads.
+    ExtremeSharedNothing {
+        /// Whether locking/latching is enabled.
+        locking: bool,
+    },
+    /// Coarse shared-nothing: one instance per socket.
+    CoarseSharedNothing,
+    /// PLP (physiological partitioning).
+    Plp,
+    /// ATraPos with its default configuration.
+    Atrapos,
+    /// ATraPos with a custom configuration.
+    AtraposWith(fn() -> AtraposConfig),
+}
+
+impl DesignKind {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignKind::Centralized => "Centralized",
+            DesignKind::ExtremeSharedNothing { .. } => "Extreme shared-nothing",
+            DesignKind::CoarseSharedNothing => "Coarse shared-nothing",
+            DesignKind::Plp => "PLP",
+            DesignKind::Atrapos => "ATraPos",
+            DesignKind::AtraposWith(_) => "ATraPos (custom)",
+        }
+    }
+
+    /// Instantiate the design for `machine` and `workload`.
+    pub fn build(&self, machine: &Machine, workload: &dyn Workload) -> Box<dyn SystemDesign> {
+        match self {
+            DesignKind::Centralized => Box::new(CentralizedDesign::new(machine, workload)),
+            DesignKind::ExtremeSharedNothing { locking } => Box::new(
+                SharedNothingDesign::new(machine, workload, SharedNothingGranularity::PerCore)
+                    .with_locking(*locking),
+            ),
+            DesignKind::CoarseSharedNothing => Box::new(SharedNothingDesign::new(
+                machine,
+                workload,
+                SharedNothingGranularity::PerSocket,
+            )),
+            DesignKind::Plp => Box::new(PlpDesign::new(machine, workload)),
+            DesignKind::Atrapos => Box::new(AtraposDesign::new(
+                machine,
+                workload,
+                AtraposConfig::default(),
+            )),
+            DesignKind::AtraposWith(make) => {
+                Box::new(AtraposDesign::new(machine, workload, make()))
+            }
+        }
+    }
+}
+
+/// Experiment scale: reduced by default so the whole suite runs in minutes;
+/// `ATRAPOS_PAPER=1` switches to the paper's dataset sizes (slow).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Rows of the microbenchmark table (paper: 800 000).
+    pub micro_rows: i64,
+    /// Rows of the remote-memory microbenchmark table (paper: 1 000 000).
+    pub memory_rows: i64,
+    /// TATP subscribers (paper: 800 000).
+    pub tatp_subscribers: i64,
+    /// TPC-C warehouses (paper: 80).
+    pub tpcc_warehouses: i64,
+    /// Virtual seconds simulated per throughput measurement.
+    pub measure_secs: f64,
+    /// Virtual seconds per phase of the adaptive time-series experiments
+    /// (paper: 30 s / 20 s phases).
+    pub phase_secs: f64,
+    /// Minimum monitoring interval in virtual seconds (paper: 1 s).
+    pub interval_min_secs: f64,
+    /// Maximum monitoring interval in virtual seconds (paper: 8 s).
+    pub interval_max_secs: f64,
+    /// Sockets × cores of the simulated machine for the heavyweight
+    /// scale-up figures (paper: 8 × 10).
+    pub max_sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+}
+
+impl Scale {
+    /// The reduced default scale.
+    pub fn quick() -> Self {
+        Self {
+            micro_rows: 160_000,
+            memory_rows: 200_000,
+            tatp_subscribers: 40_000,
+            tpcc_warehouses: 40,
+            measure_secs: 0.03,
+            phase_secs: 0.25,
+            interval_min_secs: 0.05,
+            interval_max_secs: 0.4,
+            max_sockets: 8,
+            cores_per_socket: 10,
+        }
+    }
+
+    /// The paper's scale (slow: hours).
+    pub fn paper() -> Self {
+        Self {
+            micro_rows: 800_000,
+            memory_rows: 1_000_000,
+            tatp_subscribers: 800_000,
+            tpcc_warehouses: 80,
+            measure_secs: 1.0,
+            phase_secs: 30.0,
+            interval_min_secs: 1.0,
+            interval_max_secs: 8.0,
+            max_sockets: 8,
+            cores_per_socket: 10,
+        }
+    }
+
+    /// Pick the scale from the `ATRAPOS_PAPER` environment variable.
+    pub fn from_env() -> Self {
+        if std::env::var("ATRAPOS_PAPER").map(|v| v == "1").unwrap_or(false) {
+            Self::paper()
+        } else {
+            Self::quick()
+        }
+    }
+
+    /// Time-axis compression factor relative to the paper (for the adaptive
+    /// experiments' captions).
+    pub fn time_compression(&self) -> f64 {
+        30.0 / self.phase_secs
+    }
+}
+
+/// Build the simulated machine.
+pub fn machine(sockets: usize, cores_per_socket: usize) -> Machine {
+    Machine::new(
+        Topology::multisocket(sockets, cores_per_socket),
+        CostModel::westmere(),
+    )
+}
+
+/// Build an executor for (design, workload, machine).
+pub fn executor(
+    machine: Machine,
+    kind: DesignKind,
+    workload: Box<dyn Workload>,
+    interval_secs: f64,
+) -> VirtualExecutor {
+    let design = kind.build(&machine, workload.as_ref());
+    VirtualExecutor::new(
+        machine,
+        design,
+        workload,
+        ExecutorConfig {
+            seed: 42,
+            default_interval_secs: interval_secs,
+            time_series_bucket_secs: interval_secs,
+        },
+    )
+}
+
+/// Build, run for `secs` virtual seconds, and return the stats — the basic
+/// single-point measurement most figures are made of.
+pub fn measure(
+    sockets: usize,
+    cores_per_socket: usize,
+    kind: DesignKind,
+    workload: Box<dyn Workload>,
+    secs: f64,
+) -> RunStats {
+    let m = machine(sockets, cores_per_socket);
+    let mut ex = executor(m, kind, workload, secs.max(0.01));
+    ex.run_for(secs)
+}
+
+/// Build a shared-nothing (per socket) executor with an explicit memory
+/// policy (Table I).
+pub fn measure_with_memory_policy(
+    sockets: usize,
+    cores_per_socket: usize,
+    policy: MemoryPolicy,
+    workload: Box<dyn Workload>,
+    secs: f64,
+) -> RunStats {
+    let m = machine(sockets, cores_per_socket);
+    let design = Box::new(
+        SharedNothingDesign::with_memory_policy(
+            &m,
+            workload.as_ref(),
+            SharedNothingGranularity::PerSocket,
+            policy,
+        )
+        .with_locking(false),
+    );
+    let mut ex = VirtualExecutor::new(
+        m,
+        design,
+        workload,
+        ExecutorConfig {
+            seed: 42,
+            default_interval_secs: secs.max(0.01),
+            time_series_bucket_secs: secs.max(0.01),
+        },
+    );
+    ex.run_for(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atrapos_workloads::ReadOneRow;
+
+    #[test]
+    fn scale_presets_differ() {
+        let q = Scale::quick();
+        let p = Scale::paper();
+        assert!(p.micro_rows > q.micro_rows);
+        assert!(p.phase_secs > q.phase_secs);
+        assert!(q.time_compression() > 1.0);
+    }
+
+    #[test]
+    fn measure_runs_every_design_kind() {
+        for kind in [
+            DesignKind::Centralized,
+            DesignKind::ExtremeSharedNothing { locking: false },
+            DesignKind::CoarseSharedNothing,
+            DesignKind::Plp,
+            DesignKind::Atrapos,
+        ] {
+            let stats = measure(
+                1,
+                2,
+                kind,
+                Box::new(ReadOneRow::with_rows(2_000)),
+                0.002,
+            );
+            assert!(stats.committed > 0, "{} committed nothing", kind.label());
+        }
+    }
+}

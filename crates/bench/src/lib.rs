@@ -1,0 +1,25 @@
+//! # atrapos-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ATraPos (ICDE 2014) evaluation on the simulated hardware-Island machine.
+//!
+//! * [`figures`] — one function per experiment (`fig01` … `fig13`, `tab01`,
+//!   `tab02`), each returning a [`report::FigureResult`] with the same rows
+//!   or series the paper reports.
+//! * [`harness`] — shared helpers for building machines, designs, and
+//!   executors.
+//! * [`report`] — plain-text rendering of the results.
+//!
+//! Run everything with `cargo bench -p atrapos-bench --bench figures`, or a
+//! single experiment with
+//! `cargo run --release -p atrapos-bench --bin figures -- fig02`.
+//! Set `ATRAPOS_PAPER=1` to use the paper-sized datasets and durations
+//! (slower); the default scale is reduced so the whole suite completes in
+//! a few minutes (the scaling factors are listed in `EXPERIMENTS.md`).
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use harness::{DesignKind, Scale};
+pub use report::FigureResult;

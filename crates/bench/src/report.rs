@@ -1,0 +1,115 @@
+//! Plain-text rendering of experiment results.
+
+/// The outcome of regenerating one table or figure.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Experiment identifier ("fig02", "tab01", ...).
+    pub id: &'static str,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (scaling factors, expected shape).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Create a result with the given id/title/header.
+    pub fn new(id: &'static str, title: impl Into<String>, header: Vec<&str>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_notes() {
+        let mut f = FigureResult::new("figXX", "test figure", vec!["a", "bbbb"]);
+        f.push_row(vec!["1".into(), "2".into()]);
+        f.push_row(vec!["100".into(), "2000".into()]);
+        f.note("scaled");
+        let s = f.render();
+        assert!(s.contains("figXX"));
+        assert!(s.contains("note: scaled"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fmt_uses_sensible_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(1.2345), "1.234");
+    }
+}

@@ -1,0 +1,616 @@
+//! The ATraPos design (and, with its features turned off, the PLP baseline).
+//!
+//! ATraPos is a physiologically partitioned shared-everything system built on
+//! the data-oriented execution model: every table partition is owned by one
+//! worker thread bound to one core, transactions are decomposed into actions
+//! routed to the owning workers, and phases of actions meet at
+//! synchronization points.  On top of that execution model ATraPos adds
+//! (paper §IV–V):
+//!
+//! 1. **NUMA-aware internal structures** — per-socket transaction lists,
+//!    per-socket state read/write locks, per-socket log buffers (the
+//!    `numa_aware_internals` switch; turning it off yields the PLP baseline
+//!    with its centralized structures).
+//! 2. **Workload- and hardware-aware partitioning and placement** — the
+//!    partitioning scheme comes from the `atrapos-core` cost model and
+//!    search instead of the naive one-partition-per-core rule.
+//! 3. **Lightweight monitoring and adaptive repartitioning** — per
+//!    sub-partition counters feed the adaptive controller, which may decide
+//!    to repartition at a monitoring-interval boundary; repartitioning
+//!    pauses regular execution while the splits/merges run.
+
+use crate::action::{TransactionSpec, TxnOutcome};
+use crate::designs::common::{
+    acquire_action_locks, log_action, storage_op, sync_point, BEGIN_INSTRUCTIONS,
+    COMMIT_INSTRUCTIONS,
+};
+use crate::designs::{IntervalOutcome, SystemDesign};
+use crate::workers::WorkerPool;
+use crate::workload::{populate_all, Workload};
+use atrapos_core::{
+    apply_plan, AdaptationOutcome, AdaptiveController, ControllerConfig, Monitor,
+    PartitioningScheme, SubPartitionId,
+};
+use atrapos_numa::{
+    micros_to_cycles, Component, CoreId, Cycles, Machine, SocketId, Tally, Topology,
+};
+use atrapos_storage::{
+    Database, LockManager, LogManager, LogRecordKind, StateRwLock, Table, TableId, Txn, TxnId,
+    TxnList,
+};
+use std::collections::HashMap;
+
+/// Configuration of the partitioned shared-everything engine.
+#[derive(Debug, Clone)]
+pub struct AtraposConfig {
+    /// Partition the transaction list, state locks, and log per socket
+    /// (true for ATraPos, false for the PLP baseline).
+    pub numa_aware_internals: bool,
+    /// Enable the lightweight workload monitoring.
+    pub monitoring: bool,
+    /// Enable adaptive repartitioning (requires monitoring).
+    pub adaptive: bool,
+    /// Sub-partitions per partition used when building the naive scheme
+    /// (10 in the paper).
+    pub sub_per_partition: usize,
+    /// Extra scheduling overhead per action, as a fraction of the action's
+    /// cost, for every additional partition hosted on the same core
+    /// (models the oversaturation of one-partition-per-table-per-core
+    /// schemes, paper Figure 6).
+    pub oversubscription_penalty: f64,
+    /// Start from this scheme instead of the naive one.
+    pub initial_scheme: Option<PartitioningScheme>,
+    /// Adaptive-controller parameters.
+    pub controller: ControllerConfig,
+    /// Virtual pause charged per repartitioning action, in microseconds
+    /// (Figure 9 measures ~1–2 ms per action).
+    pub repartition_pause_per_action_us: f64,
+}
+
+impl Default for AtraposConfig {
+    fn default() -> Self {
+        Self {
+            numa_aware_internals: true,
+            monitoring: true,
+            adaptive: true,
+            sub_per_partition: 10,
+            oversubscription_penalty: 0.35,
+            initial_scheme: None,
+            controller: ControllerConfig::default(),
+            repartition_pause_per_action_us: 1_500.0,
+        }
+    }
+}
+
+impl AtraposConfig {
+    /// The configuration corresponding to the PLP baseline: naive
+    /// partitioning, centralized internal structures, no monitoring, no
+    /// adaptation.
+    pub fn plp_baseline() -> Self {
+        Self {
+            numa_aware_internals: false,
+            monitoring: false,
+            adaptive: false,
+            ..Self::default()
+        }
+    }
+
+    /// A static ATraPos (NUMA-aware structures, but no monitoring or
+    /// adaptation) — the "Static" baseline of Figures 10–13.
+    pub fn static_atrapos() -> Self {
+        Self {
+            monitoring: false,
+            adaptive: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The partitioned shared-everything engine (ATraPos, and PLP when its
+/// features are disabled).
+pub struct AtraposDesign {
+    name: String,
+    config: AtraposConfig,
+    db: Database,
+    scheme: PartitioningScheme,
+    controller: AdaptiveController,
+    monitor: Monitor,
+    partition_locks: HashMap<(TableId, usize), LockManager>,
+    log: LogManager,
+    txn_list: TxnList,
+    state_lock: StateRwLock,
+    workers: WorkerPool,
+    partitions_per_core: Vec<usize>,
+    next_txn: u64,
+    aborted: u64,
+    /// Number of repartitionings performed so far.
+    pub repartitions: u64,
+    /// Pending monitoring sync observations waiting for a context to be
+    /// charged to.
+    pending_syncs: Vec<(SubPartitionId, SubPartitionId, u64)>,
+}
+
+impl AtraposDesign {
+    /// Build the design for `machine`, physically partitioning and
+    /// populating the workload's tables according to the initial scheme.
+    pub fn new(machine: &Machine, workload: &dyn Workload, config: AtraposConfig) -> Self {
+        Self::with_name("atrapos", machine, workload, config)
+    }
+
+    /// Like [`AtraposDesign::new`] with an explicit display name (used by
+    /// the PLP wrapper and the Figure 6 placement variants).
+    pub fn with_name(
+        name: &str,
+        machine: &Machine,
+        workload: &dyn Workload,
+        config: AtraposConfig,
+    ) -> Self {
+        let topo = &machine.topology;
+        let scheme = config.initial_scheme.clone().unwrap_or_else(|| {
+            PartitioningScheme::naive(&workload.table_domains(), topo, config.sub_per_partition)
+        });
+        let db = Self::build_database(topo, workload, &scheme);
+        let partition_locks = Self::build_partition_locks(topo, &scheme);
+        let partitions_per_core = scheme.partitions_per_core(topo);
+        let n_sockets = topo.num_sockets();
+        let (log, txn_list, state_lock) = if config.numa_aware_internals {
+            (
+                LogManager::per_socket(n_sockets),
+                TxnList::per_socket(n_sockets),
+                StateRwLock::per_socket("volume", n_sockets),
+            )
+        } else {
+            (
+                LogManager::centralized(n_sockets),
+                TxnList::centralized(n_sockets),
+                StateRwLock::centralized("volume", n_sockets),
+            )
+        };
+        let controller = AdaptiveController::new(scheme.clone(), config.controller.clone());
+        let monitor = Monitor::new(config.monitoring);
+        Self {
+            name: name.to_string(),
+            config,
+            db,
+            scheme,
+            controller,
+            monitor,
+            partition_locks,
+            log,
+            txn_list,
+            state_lock,
+            workers: WorkerPool::new(topo),
+            partitions_per_core,
+            next_txn: 1,
+            aborted: 0,
+            repartitions: 0,
+            pending_syncs: Vec::new(),
+        }
+    }
+
+    fn build_database(
+        topo: &Topology,
+        workload: &dyn Workload,
+        scheme: &PartitioningScheme,
+    ) -> Database {
+        let mut db = Database::new();
+        for spec in workload.tables() {
+            let t = scheme.table(spec.id);
+            // Narrow key domains (e.g. TPC-C warehouse ids) can yield fewer
+            // distinct boundary keys than logical partitions; the physical
+            // multi-rooted B-tree only keeps the distinct ones (several
+            // logical partitions then share a physical subtree, which is
+            // harmless because routing goes through the scheme).
+            let mut boundaries: Vec<atrapos_storage::Key> = Vec::new();
+            let mut nodes: Vec<SocketId> = vec![topo.socket_of(t.partitions[0].core)];
+            for (i, b) in t.boundary_keys().into_iter().enumerate() {
+                if boundaries.last().map_or(true, |last| *last < b) {
+                    boundaries.push(b);
+                    nodes.push(topo.socket_of(t.partitions[i + 1].core));
+                }
+            }
+            db.add_table(Table::range_partitioned(
+                spec.id,
+                spec.schema.clone(),
+                boundaries,
+                nodes,
+            ));
+        }
+        populate_all(workload, &mut db);
+        db
+    }
+
+    fn build_partition_locks(
+        topo: &Topology,
+        scheme: &PartitioningScheme,
+    ) -> HashMap<(TableId, usize), LockManager> {
+        let mut locks = HashMap::new();
+        for t in scheme.tables() {
+            for (idx, p) in t.partitions.iter().enumerate() {
+                locks.insert(
+                    (t.table, idx),
+                    LockManager::partition_local(topo.socket_of(p.core)),
+                );
+            }
+        }
+        locks
+    }
+
+    /// The partitioning scheme currently in force.
+    pub fn scheme(&self) -> &PartitioningScheme {
+        &self.scheme
+    }
+
+    /// The database (for consistency checks in tests and benches).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Transactions aborted because of storage errors.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// If `core`'s socket failed, reroute its work to the corresponding core
+    /// of the first active socket (the paper's static baseline overloads one
+    /// remaining processor after a failure, Figure 12).
+    fn effective_core(topo: &Topology, core: CoreId) -> CoreId {
+        let socket = topo.socket_of(core);
+        if topo.is_active(socket) {
+            return core;
+        }
+        let fallback_socket = topo.active_sockets()[0];
+        let within = topo
+            .cores_of(socket)
+            .iter()
+            .position(|c| *c == core)
+            .unwrap_or(0);
+        let fallback_cores = topo.cores_of(fallback_socket);
+        fallback_cores[within % fallback_cores.len()]
+    }
+
+    fn flush_pending_syncs(&mut self, ctx: &mut atrapos_numa::SimCtx<'_>) {
+        for (a, b, bytes) in std::mem::take(&mut self.pending_syncs) {
+            self.monitor.record_sync(ctx, a, b, bytes);
+        }
+    }
+}
+
+impl SystemDesign for AtraposDesign {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(
+        &mut self,
+        machine: &mut Machine,
+        spec: &TransactionSpec,
+        _client: CoreId,
+        start: Cycles,
+    ) -> TxnOutcome {
+        let txn_id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let txn = Txn::begin(txn_id);
+        let mut tallies: Vec<(CoreId, Tally)> = Vec::with_capacity(spec.num_actions() + 1);
+        let mut failed = false;
+        let mut phase_start = start;
+        let mut prev_sockets: Vec<SocketId> = Vec::new();
+        let mut prev_sync_bytes = 0u64;
+        let mut first_action_of_txn = true;
+        let mut last_core = None;
+
+        for phase in &spec.phases {
+            if failed {
+                break;
+            }
+            let mut completions: Vec<(CoreId, Cycles)> = Vec::with_capacity(phase.actions.len());
+            let mut sockets: Vec<SocketId> = Vec::with_capacity(phase.actions.len());
+            let mut first_sub: Option<SubPartitionId> = None;
+            for (ai, action) in phase.actions.iter().enumerate() {
+                let table = action.op.table();
+                let head = action.op.routing_key_head();
+                let tpart = self.scheme.table(table);
+                let pidx = tpart.partition_of_key(head);
+                let core = Self::effective_core(&machine.topology, tpart.partitions[pidx].core);
+                let sub = SubPartitionId::new(
+                    table,
+                    tpart.domain.sub_partition_of(head, tpart.num_sub_partitions),
+                );
+                let avail = self.workers.available_at(core, phase_start);
+                let mut actx = machine.ctx(core, avail);
+                // The first action of the transaction performs the begin
+                // work and registers the transaction.
+                if first_action_of_txn && ai == 0 {
+                    actx.work(Component::XctManagement, BEGIN_INSTRUCTIONS);
+                    self.state_lock.read_acquire(&mut actx);
+                    self.txn_list.add(&mut actx, txn_id);
+                    first_action_of_txn = false;
+                }
+                // The first action of a later phase receives the data from
+                // the previous phase's synchronization point.
+                if ai == 0 && !prev_sockets.is_empty() {
+                    sync_point(&mut actx, &prev_sockets, prev_sync_bytes);
+                }
+                // Partition-local locking: owned by this worker only, so the
+                // acquisition is local and conflict-free; conflicts on hot
+                // keys surface as worker-queue serialization instead.
+                let mut local_txn = Txn::begin(txn_id);
+                let lm = self
+                    .partition_locks
+                    .get_mut(&(table, pidx))
+                    .expect("partition lock table exists");
+                acquire_action_locks(&mut actx, lm, &mut local_txn, action);
+                let work_begin = actx.now();
+                match storage_op(&mut actx, &mut self.db, action) {
+                    Ok(bytes) => {
+                        if action.op.is_write() {
+                            log_action(&mut actx, &mut self.log, &txn, action, bytes);
+                        }
+                    }
+                    Err(_) => failed = true,
+                }
+                let lm = self
+                    .partition_locks
+                    .get_mut(&(table, pidx))
+                    .expect("partition lock table exists");
+                lm.release_all(&mut actx, &mut local_txn);
+                let action_cost = actx.now() - work_begin;
+                // Oversubscription: a core hosting several partitions (and
+                // thus several worker threads) pays scheduling and cache
+                // interference overhead per action.
+                let extra_partitions = self.partitions_per_core[core.index()].saturating_sub(1);
+                if extra_partitions > 0 && self.config.oversubscription_penalty > 0.0 {
+                    let penalty = (action_cost as f64
+                        * self.config.oversubscription_penalty
+                        * extra_partitions as f64) as Cycles;
+                    actx.stall(Component::XctManagement, penalty);
+                }
+                // Monitoring.
+                if self.monitor.is_enabled() {
+                    let observed = (actx.now() - avail) as f64;
+                    self.monitor.record_action(&mut actx, sub, observed);
+                }
+                match first_sub {
+                    None => first_sub = Some(sub),
+                    Some(f) if self.monitor.is_enabled() => {
+                        self.pending_syncs.push((f, sub, phase.sync_bytes));
+                    }
+                    _ => {}
+                }
+                self.workers.occupy(core, avail, actx.now());
+                completions.push((core, actx.now()));
+                sockets.push(machine.topology.socket_of(core));
+                last_core = Some(core);
+                tallies.push((core, actx.finish()));
+                if failed {
+                    break;
+                }
+            }
+            // The phase's synchronization point: everyone waits for the
+            // slowest participant.
+            phase_start = completions
+                .iter()
+                .map(|&(_, t)| t)
+                .max()
+                .unwrap_or(phase_start);
+            prev_sockets = sockets;
+            prev_sync_bytes = phase.sync_bytes;
+        }
+
+        // Commit (or abort) on the worker that executed the last action.
+        let commit_core = Self::effective_core(
+            &machine.topology,
+            last_core.unwrap_or_else(|| machine.topology.active_cores()[0]),
+        );
+        let mut cctx = machine.ctx(commit_core, phase_start);
+        // The commit joins the final phase's participants.
+        if prev_sockets.len() > 1 {
+            sync_point(&mut cctx, &prev_sockets, prev_sync_bytes);
+        }
+        cctx.work(Component::XctManagement, COMMIT_INSTRUCTIONS);
+        if failed {
+            self.aborted += 1;
+            self.log.insert(&mut cctx, txn_id, LogRecordKind::Abort, 32);
+        } else if spec.is_update() {
+            self.log
+                .insert(&mut cctx, txn_id, LogRecordKind::Commit, 48);
+            self.log.commit_flush(&mut cctx);
+        }
+        self.txn_list.remove(&mut cctx, txn_id);
+        self.state_lock.read_release(&mut cctx);
+        self.flush_pending_syncs(&mut cctx);
+        self.monitor.record_transaction();
+        let end = cctx.now();
+        self.workers.occupy(commit_core, phase_start, end);
+        tallies.push((commit_core, cctx.finish()));
+        for (core, tally) in tallies {
+            machine.commit(core, &tally);
+        }
+        TxnOutcome {
+            committed: !failed,
+            start,
+            end,
+        }
+    }
+
+    fn on_interval(
+        &mut self,
+        machine: &mut Machine,
+        now: Cycles,
+        interval_throughput: f64,
+    ) -> IntervalOutcome {
+        if !self.config.adaptive {
+            // Keep memory bounded even when only monitoring is on.
+            if self.monitor.is_enabled() {
+                let _ = self.monitor.take_stats();
+            }
+            return IntervalOutcome::default();
+        }
+        let stats = self.monitor.take_stats();
+        let outcome = self
+            .controller
+            .on_interval(interval_throughput, &stats, &machine.topology);
+        match outcome {
+            AdaptationOutcome::NoChange => IntervalOutcome {
+                pause_cycles: 0,
+                repartitioned: false,
+                next_interval_secs: Some(self.controller.interval_secs()),
+            },
+            AdaptationOutcome::Repartition {
+                new_scheme, plan, ..
+            } => {
+                let applied = apply_plan(&mut self.db, &plan, &new_scheme, &machine.topology);
+                if applied.is_err() {
+                    return IntervalOutcome {
+                        pause_cycles: 0,
+                        repartitioned: false,
+                        next_interval_secs: Some(self.controller.interval_secs()),
+                    };
+                }
+                self.scheme = new_scheme;
+                self.partition_locks =
+                    Self::build_partition_locks(&machine.topology, &self.scheme);
+                self.partitions_per_core = self.scheme.partitions_per_core(&machine.topology);
+                self.repartitions += 1;
+                let pause = micros_to_cycles(
+                    self.config.repartition_pause_per_action_us * plan.actions.len().max(1) as f64,
+                    machine.topology.frequency_ghz(),
+                );
+                self.workers.pause_all_until(now + pause);
+                IntervalOutcome {
+                    pause_cycles: pause,
+                    repartitioned: true,
+                    next_interval_secs: Some(self.controller.interval_secs()),
+                }
+            }
+        }
+    }
+
+    fn on_topology_change(&mut self, _machine: &Machine) {
+        // Nothing to do eagerly: the controller notices the failed socket at
+        // the next interval because the current scheme stops satisfying its
+        // placement invariants.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::testing::{TinyUpdateWorkload, TinyWorkload};
+    use atrapos_numa::CostModel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn machine() -> Machine {
+        Machine::new(Topology::multisocket(2, 2), CostModel::westmere())
+    }
+
+    #[test]
+    fn executes_read_transactions_on_partition_workers() {
+        let mut m = machine();
+        let mut w = TinyWorkload { rows: 1000 };
+        let mut d = AtraposDesign::new(&m, &w, AtraposConfig::default());
+        // Naive scheme: one partition per core.
+        assert_eq!(d.scheme().table(TableId(0)).partitions.len(), 4);
+        assert_eq!(d.database().table(TableId(0)).unwrap().num_partitions(), 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut now = 0;
+        for _ in 0..100 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            let out = d.execute(&mut m, &spec, CoreId(0), now);
+            assert!(out.committed);
+            now = out.end;
+        }
+        assert_eq!(d.aborted(), 0);
+        // Work is spread over the partition workers, not only core 0.
+        let busy: Vec<u64> = m
+            .topology
+            .active_cores()
+            .iter()
+            .map(|c| d.workers.busy_cycles(*c))
+            .collect();
+        assert!(busy.iter().filter(|&&b| b > 0).count() >= 3, "busy: {busy:?}");
+    }
+
+    #[test]
+    fn update_transactions_log_and_apply() {
+        let mut m = machine();
+        let mut w = TinyUpdateWorkload { rows: 200 };
+        let mut d = AtraposDesign::new(&m, &w, AtraposConfig::default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut now = 0;
+        for _ in 0..40 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            let out = d.execute(&mut m, &spec, CoreId(0), now);
+            assert!(out.committed);
+            now = out.end;
+        }
+        assert_eq!(d.log.total_records(), 40 * 3);
+        let total: i64 = d
+            .database()
+            .table(TableId(0))
+            .unwrap()
+            .index()
+            .iter()
+            .map(|(_, r)| r.get(1).as_int())
+            .sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn plp_baseline_is_slower_than_atrapos_on_multisocket_reads() {
+        // Same workload, same machine: the only difference is the
+        // NUMA-awareness of the internal structures.
+        let run = |config: AtraposConfig| {
+            let mut m = Machine::new(Topology::multisocket(4, 2), CostModel::westmere());
+            let mut w = TinyWorkload { rows: 4000 };
+            let mut d = AtraposDesign::new(&m, &w, config);
+            let mut rng = SmallRng::seed_from_u64(3);
+            let cores = m.topology.active_cores();
+            let mut next: Vec<Cycles> = vec![0; cores.len()];
+            let mut committed = 0u64;
+            for i in 0..400usize {
+                let c = i % cores.len();
+                let spec = w.next_transaction(&mut rng, CoreId(0));
+                let out = d.execute(&mut m, &spec, cores[c], next[c]);
+                next[c] = out.end;
+                committed += 1;
+            }
+            let makespan = next.iter().copied().max().unwrap() as f64;
+            committed as f64 / makespan
+        };
+        let plp = run(AtraposConfig::plp_baseline());
+        let atrapos = run(AtraposConfig::default());
+        assert!(
+            atrapos > plp * 1.2,
+            "ATraPos {atrapos:.6} should beat PLP {plp:.6} by >20%"
+        );
+    }
+
+    #[test]
+    fn socket_failure_reroutes_to_a_fallback_core() {
+        let mut topo = Topology::multisocket(2, 2);
+        topo.fail_socket(SocketId(1));
+        let core_on_failed = CoreId(3);
+        let fallback = AtraposDesign::effective_core(&topo, core_on_failed);
+        assert_eq!(topo.socket_of(fallback), SocketId(0));
+        let core_ok = CoreId(0);
+        assert_eq!(AtraposDesign::effective_core(&topo, core_ok), core_ok);
+    }
+
+    #[test]
+    fn adaptive_interval_reports_next_interval() {
+        let mut m = machine();
+        let mut w = TinyWorkload { rows: 1000 };
+        let mut d = AtraposDesign::new(&m, &w, AtraposConfig::default());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut now = 0;
+        for _ in 0..50 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            now = d.execute(&mut m, &spec, CoreId(0), now).end;
+        }
+        let out = d.on_interval(&mut m, now, 1000.0);
+        assert!(!out.repartitioned);
+        assert!(out.next_interval_secs.is_some());
+    }
+}

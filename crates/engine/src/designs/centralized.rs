@@ -1,0 +1,222 @@
+//! The centralized shared-everything design (stock Shore-MT).
+//!
+//! One database instance uses all cores; every internal structure touched in
+//! the critical path is centralized: the lock manager, the list of active
+//! transactions, the shared state read/write locks, and the log buffer.
+//! This is the baseline whose throughput collapses beyond a couple of
+//! sockets (paper Figures 1, 2, 3).
+
+use crate::action::{TransactionSpec, TxnOutcome};
+use crate::designs::common::{
+    acquire_action_locks, log_action, storage_op, BEGIN_INSTRUCTIONS, COMMIT_INSTRUCTIONS,
+};
+use crate::designs::SystemDesign;
+use crate::workload::{ensure_tables, populate_all, Workload};
+use atrapos_numa::{Component, CoreId, Cycles, Machine, SocketId};
+use atrapos_storage::{
+    Database, LockManager, LogManager, LogRecordKind, StateRwLock, Table, Txn, TxnId, TxnList,
+};
+
+/// Number of buckets in the centralized lock-manager hash table.
+const LOCK_MANAGER_BUCKETS: usize = 256;
+
+/// The centralized shared-everything design.
+pub struct CentralizedDesign {
+    db: Database,
+    lock_manager: LockManager,
+    log: LogManager,
+    txn_list: TxnList,
+    state_lock: StateRwLock,
+    next_txn: u64,
+    aborted: u64,
+}
+
+impl CentralizedDesign {
+    /// Build the design for `machine`, creating and populating the
+    /// workload's tables.  Tables are single-partition; their memory is
+    /// spread round-robin over the sockets (the buffer pool of a
+    /// shared-everything system is interleaved).
+    pub fn new(machine: &Machine, workload: &dyn Workload) -> Self {
+        let n_sockets = machine.topology.num_sockets();
+        let mut db = Database::new();
+        for (i, spec) in workload.tables().into_iter().enumerate() {
+            db.add_table(Table::new(
+                spec.id,
+                spec.schema,
+                SocketId((i % n_sockets) as u16),
+            ));
+        }
+        ensure_tables(workload, &mut db);
+        populate_all(workload, &mut db);
+        Self {
+            db,
+            lock_manager: LockManager::centralized(LOCK_MANAGER_BUCKETS, n_sockets),
+            log: LogManager::centralized(n_sockets),
+            txn_list: TxnList::centralized(n_sockets),
+            state_lock: StateRwLock::centralized("volume", n_sockets),
+            next_txn: 1,
+            aborted: 0,
+        }
+    }
+
+    /// The database (for consistency checks in tests).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Transactions aborted due to storage errors.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+}
+
+impl SystemDesign for CentralizedDesign {
+    fn name(&self) -> &str {
+        "centralized"
+    }
+
+    fn execute(
+        &mut self,
+        machine: &mut Machine,
+        spec: &TransactionSpec,
+        client: CoreId,
+        start: Cycles,
+    ) -> TxnOutcome {
+        let mut ctx = machine.ctx(client, start);
+        let mut txn = Txn::begin(TxnId(self.next_txn));
+        self.next_txn += 1;
+
+        // Begin: state read lock, register in the (centralized) list of
+        // active transactions.
+        ctx.work(Component::XctManagement, BEGIN_INSTRUCTIONS);
+        self.state_lock.read_acquire(&mut ctx);
+        self.txn_list.add(&mut ctx, txn.id);
+
+        let mut failed = false;
+        'phases: for phase in &spec.phases {
+            for action in &phase.actions {
+                acquire_action_locks(&mut ctx, &mut self.lock_manager, &mut txn, action);
+                match storage_op(&mut ctx, &mut self.db, action) {
+                    Ok(bytes) => {
+                        if action.op.is_write() {
+                            log_action(&mut ctx, &mut self.log, &txn, action, bytes);
+                        }
+                    }
+                    Err(_) => {
+                        failed = true;
+                        break 'phases;
+                    }
+                }
+            }
+            // All actions of a phase run on the same thread: the
+            // synchronization point is free in this design.
+        }
+
+        // Commit or abort.
+        ctx.work(Component::XctManagement, COMMIT_INSTRUCTIONS);
+        if failed {
+            txn.abort();
+            self.aborted += 1;
+            self.log
+                .insert(&mut ctx, txn.id, LogRecordKind::Abort, 32);
+        } else {
+            txn.commit();
+            if spec.is_update() {
+                self.log
+                    .insert(&mut ctx, txn.id, LogRecordKind::Commit, 48);
+                self.log.commit_flush(&mut ctx);
+            }
+        }
+        self.lock_manager.release_all(&mut ctx, &mut txn);
+        self.txn_list.remove(&mut ctx, txn.id);
+        self.state_lock.read_release(&mut ctx);
+
+        let end = ctx.now();
+        machine.commit(client, &ctx.finish());
+        TxnOutcome {
+            committed: !failed,
+            start,
+            end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::testing::{TinyUpdateWorkload, TinyWorkload};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn executes_read_transactions() {
+        let mut machine = Machine::new(
+            atrapos_numa::Topology::multisocket(2, 2),
+            atrapos_numa::CostModel::westmere(),
+        );
+        let mut w = TinyWorkload { rows: 1000 };
+        let mut design = CentralizedDesign::new(&machine, &w);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut now = 0;
+        for _ in 0..50 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            let out = design.execute(&mut machine, &spec, CoreId(0), now);
+            assert!(out.committed);
+            assert!(out.end > out.start);
+            now = out.end;
+        }
+        assert_eq!(design.aborted(), 0);
+        assert!(machine.total_instructions() > 0);
+        // Read-only workload never touches the log.
+        assert_eq!(design.log.total_records(), 0);
+    }
+
+    #[test]
+    fn update_transactions_write_log_records_and_apply_changes() {
+        let mut machine = Machine::new(
+            atrapos_numa::Topology::multisocket(2, 2),
+            atrapos_numa::CostModel::westmere(),
+        );
+        let mut w = TinyUpdateWorkload { rows: 100 };
+        let mut design = CentralizedDesign::new(&machine, &w);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut now = 0;
+        for _ in 0..30 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            let out = design.execute(&mut machine, &spec, CoreId(1), now);
+            assert!(out.committed);
+            now = out.end;
+        }
+        // Two update records plus one commit record per transaction.
+        assert_eq!(design.log.total_records(), 30 * 3);
+        // The sum of all increments equals the number of update actions.
+        let total: i64 = design
+            .database()
+            .table(atrapos_storage::TableId(0))
+            .unwrap()
+            .index()
+            .iter()
+            .map(|(_, r)| r.get(1).as_int())
+            .sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn remote_clients_pay_more_than_clients_near_the_structures() {
+        let mut machine = Machine::new(
+            atrapos_numa::Topology::multisocket(4, 2),
+            atrapos_numa::CostModel::westmere(),
+        );
+        let mut w = TinyWorkload { rows: 1000 };
+        let mut design = CentralizedDesign::new(&machine, &w);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = w.next_transaction(&mut rng, CoreId(0));
+        // Warm the centralized structures from socket 3.
+        let warm = design.execute(&mut machine, &spec, CoreId(7), 0);
+        // A client on socket 0 now has to pull every centralized line over.
+        let remote = design.execute(&mut machine, &spec, CoreId(0), warm.end);
+        // And one more from the same socket right after (lines now local).
+        let local = design.execute(&mut machine, &spec, CoreId(1), remote.end);
+        assert!(remote.latency() > local.latency());
+    }
+}

@@ -1,0 +1,62 @@
+//! The system designs compared in the paper's evaluation.
+
+pub mod atrapos;
+pub mod centralized;
+pub mod common;
+pub mod plp;
+pub mod shared_nothing;
+
+use crate::action::{TransactionSpec, TxnOutcome};
+use atrapos_numa::{CoreId, Cycles, Machine};
+
+/// What a design did at a monitoring-interval boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IntervalOutcome {
+    /// Cycles during which regular execution was paused (repartitioning).
+    pub pause_cycles: Cycles,
+    /// Whether the design repartitioned.
+    pub repartitioned: bool,
+    /// Length of the next monitoring interval in (virtual) seconds; `None`
+    /// keeps the executor's default.
+    pub next_interval_secs: Option<f64>,
+}
+
+/// A transaction-processing system design under evaluation.
+pub trait SystemDesign {
+    /// Human-readable name used in benchmark output.
+    fn name(&self) -> &str;
+
+    /// Execute one transaction submitted by the client bound to `client`,
+    /// starting at virtual time `start`.  The design charges all costs to
+    /// `machine` and returns when the transaction finished.
+    fn execute(
+        &mut self,
+        machine: &mut Machine,
+        spec: &TransactionSpec,
+        client: CoreId,
+        start: Cycles,
+    ) -> TxnOutcome;
+
+    /// Called by the executor at the end of every monitoring interval with
+    /// the throughput observed during that interval (committed transactions
+    /// per virtual second).  Adaptive designs may repartition here.
+    fn on_interval(
+        &mut self,
+        _machine: &mut Machine,
+        _now: Cycles,
+        _interval_throughput: f64,
+    ) -> IntervalOutcome {
+        IntervalOutcome::default()
+    }
+
+    /// Called when the machine topology changed (socket failure/restore) so
+    /// the design can react on the next interval.
+    fn on_topology_change(&mut self, _machine: &Machine) {}
+
+    /// Downcasting hook so harnesses can read design-specific statistics
+    /// (e.g. the shared-nothing distributed-transaction count) after a run.
+    /// Designs that expose such statistics return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}

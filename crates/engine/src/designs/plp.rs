@@ -1,0 +1,93 @@
+//! The PLP (physiological partitioning) baseline.
+//!
+//! PLP is the state of the art the paper compares against: it partitions the
+//! data and the lock tables per core (eliminating the centralized lock
+//! manager and page latches) but keeps the remaining internal structures —
+//! the list of active transactions, the state read/write locks, and the log
+//! buffer — centralized, and it always uses the naive
+//! one-partition-per-table-per-core scheme.  It is therefore exactly the
+//! partitioned shared-everything engine of [`crate::designs::atrapos`] with
+//! the ATraPos features switched off.
+
+use crate::action::{TransactionSpec, TxnOutcome};
+use crate::designs::atrapos::{AtraposConfig, AtraposDesign};
+use crate::designs::{IntervalOutcome, SystemDesign};
+use crate::workload::Workload;
+use atrapos_numa::{CoreId, Cycles, Machine};
+
+/// The PLP baseline design.
+pub struct PlpDesign {
+    inner: AtraposDesign,
+}
+
+impl PlpDesign {
+    /// Build the PLP baseline for `machine` and `workload`.
+    pub fn new(machine: &Machine, workload: &dyn Workload) -> Self {
+        Self {
+            inner: AtraposDesign::with_name("plp", machine, workload, AtraposConfig::plp_baseline()),
+        }
+    }
+
+    /// The underlying engine (tests, consistency checks).
+    pub fn inner(&self) -> &AtraposDesign {
+        &self.inner
+    }
+}
+
+impl SystemDesign for PlpDesign {
+    fn name(&self) -> &str {
+        "plp"
+    }
+
+    fn execute(
+        &mut self,
+        machine: &mut Machine,
+        spec: &TransactionSpec,
+        client: CoreId,
+        start: Cycles,
+    ) -> TxnOutcome {
+        self.inner.execute(machine, spec, client, start)
+    }
+
+    fn on_interval(
+        &mut self,
+        machine: &mut Machine,
+        now: Cycles,
+        interval_throughput: f64,
+    ) -> IntervalOutcome {
+        self.inner.on_interval(machine, now, interval_throughput)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::testing::TinyWorkload;
+    use atrapos_numa::{CostModel, Topology};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plp_executes_transactions_with_naive_partitioning() {
+        let mut m = Machine::new(Topology::multisocket(2, 2), CostModel::westmere());
+        let mut w = TinyWorkload { rows: 400 };
+        let mut d = PlpDesign::new(&m, &w);
+        assert_eq!(d.name(), "plp");
+        assert_eq!(
+            d.inner().scheme().table(atrapos_storage::TableId(0)).partitions.len(),
+            4
+        );
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut now = 0;
+        for _ in 0..30 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            let out = d.execute(&mut m, &spec, CoreId(1), now);
+            assert!(out.committed);
+            now = out.end;
+        }
+        // PLP never repartitions.
+        let out = d.on_interval(&mut m, now, 500.0);
+        assert!(!out.repartitioned);
+        assert_eq!(d.inner().repartitions, 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! The deterministic virtual-time executor.
+//!
+//! The executor runs a closed-loop benchmark: one client per active core
+//! submits transactions back-to-back against a [`SystemDesign`], all in
+//! virtual time.  It tracks throughput, latency, hardware-counter-derived
+//! metrics (IPC, interconnect traffic), per-component time breakdowns, and a
+//! per-second throughput time series (for the adaptive experiments of the
+//! paper's Figures 10–13).  At monitoring-interval boundaries it hands
+//! control to the design, which may repartition and pause execution.
+
+use crate::action::TxnOutcome;
+use crate::designs::SystemDesign;
+use crate::workload::Workload;
+use atrapos_numa::{cycles_to_micros, secs_to_cycles, Breakdown, CoreId, Cycles, Machine, SocketId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Executor parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Random seed for the workload generator.
+    pub seed: u64,
+    /// Default monitoring-interval length, in virtual seconds.
+    pub default_interval_secs: f64,
+    /// Width of the throughput time-series buckets, in virtual seconds.
+    pub time_series_bucket_secs: f64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            default_interval_secs: 1.0,
+            time_series_bucket_secs: 1.0,
+        }
+    }
+}
+
+/// One point of the throughput time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// End of the bucket, in virtual seconds from the executor's origin.
+    pub secs: f64,
+    /// Committed transactions per second during the bucket.
+    pub tps: f64,
+}
+
+/// Statistics of one `run_for` segment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Segment length in virtual seconds.
+    pub virtual_secs: f64,
+    /// Committed transactions per virtual second.
+    pub throughput_tps: f64,
+    /// Mean transaction latency in microseconds.
+    pub avg_latency_us: f64,
+    /// Machine-wide instructions per cycle over the segment.
+    pub ipc: f64,
+    /// Per-component cycle breakdown accumulated during the segment.
+    pub breakdown: Breakdown,
+    /// Ratio of interconnect to memory-controller traffic (cumulative).
+    pub qpi_imc_ratio: f64,
+    /// Aggregate interconnect bandwidth in Gbit/s over the segment.
+    pub interconnect_gbps: f64,
+    /// Throughput time series.
+    pub time_series: Vec<TimePoint>,
+    /// Repartitionings performed during the segment.
+    pub repartitions: u64,
+    /// Committed transactions per socket of the submitting client (the
+    /// per-instance throughput of Table I).
+    pub committed_by_socket: Vec<u64>,
+}
+
+impl RunStats {
+    /// Mean time per transaction in microseconds, derived from the
+    /// per-component breakdown (used for the paper's Figure 4).
+    pub fn time_per_txn_us(&self, ghz: f64) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        cycles_to_micros(self.breakdown.total(), ghz) / self.committed as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Client {
+    core: CoreId,
+    next_free: Cycles,
+    active: bool,
+}
+
+/// The closed-loop virtual-time executor.
+pub struct VirtualExecutor {
+    machine: Machine,
+    design: Box<dyn SystemDesign>,
+    workload: Box<dyn Workload>,
+    config: ExecutorConfig,
+    rng: SmallRng,
+    clients: Vec<Client>,
+    clock: Cycles,
+    next_interval_at: Cycles,
+    interval_len: Cycles,
+    interval_committed: u64,
+    total_committed: u64,
+}
+
+impl VirtualExecutor {
+    /// Build an executor: one client per active core of the machine.
+    pub fn new(
+        machine: Machine,
+        design: Box<dyn SystemDesign>,
+        workload: Box<dyn Workload>,
+        config: ExecutorConfig,
+    ) -> Self {
+        let clients = machine
+            .topology
+            .active_cores()
+            .into_iter()
+            .map(|core| Client {
+                core,
+                next_free: 0,
+                active: true,
+            })
+            .collect();
+        let interval_len = secs_to_cycles(
+            config.default_interval_secs,
+            machine.topology.frequency_ghz(),
+        );
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Self {
+            machine,
+            design,
+            workload,
+            config,
+            rng,
+            clients,
+            clock: 0,
+            next_interval_at: interval_len,
+            interval_len,
+            interval_committed: 0,
+            total_committed: 0,
+        }
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The design under test.
+    pub fn design(&self) -> &dyn SystemDesign {
+        self.design.as_ref()
+    }
+
+    /// Mutable access to the workload (the adaptive experiments change the
+    /// transaction mix or skew between segments).
+    pub fn workload_mut(&mut self) -> &mut dyn Workload {
+        self.workload.as_mut()
+    }
+
+    /// Current virtual time in seconds since the executor started.
+    pub fn now_secs(&self) -> f64 {
+        self.machine.secs(self.clock)
+    }
+
+    /// Total committed transactions since the executor started.
+    pub fn total_committed(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// Fail a socket: its clients stop submitting and the design is
+    /// notified (paper Figure 12).
+    pub fn fail_socket(&mut self, socket: SocketId) {
+        self.machine.topology.fail_socket(socket);
+        for c in &mut self.clients {
+            if self.machine.topology.socket_of(c.core) == socket {
+                c.active = false;
+            }
+        }
+        self.design.on_topology_change(&self.machine);
+    }
+
+    /// Restore a previously failed socket.
+    pub fn restore_socket(&mut self, socket: SocketId) {
+        self.machine.topology.restore_socket(socket);
+        for c in &mut self.clients {
+            if self.machine.topology.socket_of(c.core) == socket {
+                c.active = true;
+                c.next_free = c.next_free.max(self.clock);
+            }
+        }
+        self.design.on_topology_change(&self.machine);
+    }
+
+    /// Run the closed loop for `virtual_secs` of virtual time and return the
+    /// segment's statistics.  Can be called repeatedly; state (virtual
+    /// clock, client queues, design, workload) carries over.
+    pub fn run_for(&mut self, virtual_secs: f64) -> RunStats {
+        let ghz = self.machine.topology.frequency_ghz();
+        let seg_start = self.clock;
+        let seg_len = secs_to_cycles(virtual_secs, ghz);
+        let end_at = seg_start + seg_len;
+        let bucket_len = secs_to_cycles(self.config.time_series_bucket_secs, ghz).max(1);
+        let n_buckets = seg_len.div_ceil(bucket_len) as usize;
+        let mut buckets = vec![0u64; n_buckets.max(1)];
+
+        let instr0 = self.machine.total_instructions();
+        let cycles0 = self.machine.total_occupied_cycles();
+        let breakdown0 = self.machine.breakdown();
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        let mut latency_sum: u128 = 0;
+        let mut repartitions = 0u64;
+        let mut committed_by_socket = vec![0u64; self.machine.topology.num_sockets()];
+
+        loop {
+            // The next client ready to submit.
+            let Some((ci, t)) = self
+                .clients
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.active)
+                .map(|(i, c)| (i, c.next_free))
+                .min_by_key(|&(_, t)| t)
+            else {
+                break;
+            };
+            let t = t.max(seg_start);
+            if t >= end_at {
+                break;
+            }
+            // Monitoring-interval boundaries that elapsed before `t`.
+            while self.next_interval_at <= t {
+                let interval_secs = self.machine.secs(self.interval_len).max(1e-9);
+                let tput = self.interval_committed as f64 / interval_secs;
+                let boundary = self.next_interval_at;
+                let out = self.design.on_interval(&mut self.machine, boundary, tput);
+                self.interval_committed = 0;
+                if out.pause_cycles > 0 {
+                    for c in &mut self.clients {
+                        c.next_free = c.next_free.max(boundary + out.pause_cycles);
+                    }
+                }
+                if out.repartitioned {
+                    repartitions += 1;
+                }
+                let next_secs = out
+                    .next_interval_secs
+                    .unwrap_or(self.config.default_interval_secs);
+                self.interval_len = secs_to_cycles(next_secs, ghz).max(1);
+                self.next_interval_at = boundary + self.interval_len;
+            }
+
+            let client_core = self.clients[ci].core;
+            let spec = self.workload.next_transaction(&mut self.rng, client_core);
+            let out: TxnOutcome = self
+                .design
+                .execute(&mut self.machine, &spec, client_core, t);
+            self.clients[ci].next_free = out.end;
+            self.clock = self.clock.max(out.end.min(end_at));
+            latency_sum += u128::from(out.latency());
+            if out.committed {
+                committed += 1;
+                committed_by_socket[self.machine.topology.socket_of(client_core).index()] += 1;
+                self.total_committed += 1;
+                self.interval_committed += 1;
+                if out.end < end_at {
+                    let b = ((out.end - seg_start) / bucket_len) as usize;
+                    buckets[b.min(n_buckets - 1)] += 1;
+                }
+            } else {
+                aborted += 1;
+            }
+        }
+
+        // Idle clients coast to the end of the segment.
+        for c in &mut self.clients {
+            if c.active {
+                c.next_free = c.next_free.max(end_at);
+            }
+        }
+        self.clock = end_at;
+
+        let executed = committed + aborted;
+        let d_instr = self.machine.total_instructions() - instr0;
+        let d_cycles = self.machine.total_occupied_cycles() - cycles0;
+        let breakdown = self.machine.breakdown().saturating_sub(&breakdown0);
+        let time_series = buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| TimePoint {
+                secs: self.machine.secs(seg_start + (i as u64 + 1) * bucket_len),
+                tps: n as f64 / self.config.time_series_bucket_secs,
+            })
+            .collect();
+        RunStats {
+            committed,
+            aborted,
+            virtual_secs,
+            throughput_tps: committed as f64 / virtual_secs,
+            avg_latency_us: if executed == 0 {
+                0.0
+            } else {
+                cycles_to_micros((latency_sum / u128::from(executed.max(1))) as u64, ghz)
+            },
+            ipc: if d_cycles == 0 {
+                0.0
+            } else {
+                d_instr as f64 / d_cycles as f64
+            },
+            breakdown,
+            qpi_imc_ratio: self.machine.interconnect.qpi_to_imc_ratio(),
+            interconnect_gbps: self
+                .machine
+                .interconnect
+                .total_bandwidth_gbps(self.clock.max(1), &self.machine.topology),
+            time_series,
+            repartitions,
+            committed_by_socket,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::atrapos::{AtraposConfig, AtraposDesign};
+    use crate::designs::centralized::CentralizedDesign;
+    use crate::workload::testing::TinyWorkload;
+    use atrapos_numa::{CostModel, Topology};
+
+    fn executor_with(design_kind: &str, sockets: usize, cores: usize) -> VirtualExecutor {
+        let machine = Machine::new(Topology::multisocket(sockets, cores), CostModel::westmere());
+        let workload = TinyWorkload { rows: 2000 };
+        let design: Box<dyn SystemDesign> = match design_kind {
+            "centralized" => Box::new(CentralizedDesign::new(&machine, &workload)),
+            _ => Box::new(AtraposDesign::new(&machine, &workload, AtraposConfig::default())),
+        };
+        VirtualExecutor::new(
+            machine,
+            design,
+            Box::new(workload),
+            ExecutorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn closed_loop_produces_throughput_and_time_series() {
+        let mut ex = executor_with("atrapos", 2, 2);
+        let stats = ex.run_for(0.02);
+        assert!(stats.committed > 0);
+        assert!(stats.throughput_tps > 0.0);
+        assert!(stats.avg_latency_us > 0.0);
+        assert!(stats.ipc > 0.0);
+        assert_eq!(stats.aborted, 0);
+        assert!(!stats.time_series.is_empty());
+        assert!((ex.now_secs() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_for_is_resumable_and_deterministic() {
+        let mut a = executor_with("centralized", 2, 2);
+        let mut b = executor_with("centralized", 2, 2);
+        let a1 = a.run_for(0.01);
+        let a2 = a.run_for(0.01);
+        let b_total = b.run_for(0.02);
+        // Same seed, same design: the two-segment run commits the same
+        // number of transactions as the single longer run.
+        assert_eq!(a1.committed + a2.committed, b_total.committed);
+        assert!(a.now_secs() > 0.0);
+        assert_eq!(a.total_committed(), b.total_committed());
+    }
+
+    #[test]
+    fn failing_a_socket_stops_its_clients() {
+        let mut ex = executor_with("atrapos", 2, 2);
+        ex.run_for(0.01);
+        let before = ex.machine().topology.num_active_cores();
+        ex.fail_socket(SocketId(1));
+        assert_eq!(ex.machine().topology.num_active_cores(), before - 2);
+        let stats = ex.run_for(0.01);
+        // The system keeps running on the remaining socket.
+        assert!(stats.committed > 0);
+        ex.restore_socket(SocketId(1));
+        assert_eq!(ex.machine().topology.num_active_cores(), before);
+    }
+
+    #[test]
+    fn more_cores_give_more_throughput_for_partitionable_work() {
+        let mut small = executor_with("atrapos", 1, 2);
+        let mut large = executor_with("atrapos", 4, 2);
+        let s = small.run_for(0.02);
+        let l = large.run_for(0.02);
+        assert!(
+            l.throughput_tps > 2.0 * s.throughput_tps,
+            "8 cores {} should well exceed 2 cores {}",
+            l.throughput_tps,
+            s.throughput_tps
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # atrapos-engine
+//!
+//! The transaction-execution engine of the ATraPos reproduction: transaction
+//! flow graphs, partition workers, a deterministic virtual-time executor,
+//! and the five system designs compared in the paper's evaluation:
+//!
+//! | Design | Paper §III | Module |
+//! |--------|-----------|--------|
+//! | Centralized shared-everything | stock Shore-MT | [`designs::centralized`] |
+//! | Extreme shared-nothing (one instance per core) | H-Store-style | [`designs::shared_nothing`] |
+//! | Coarse shared-nothing (one instance per socket) | | [`designs::shared_nothing`] |
+//! | PLP (physiological partitioning) | state of the art | [`designs::plp`] |
+//! | ATraPos | this paper | [`designs::atrapos`] |
+//!
+//! Every design executes the *same* [`TransactionSpec`]s produced by a
+//! [`Workload`] against real storage structures from `atrapos-storage`,
+//! charging costs through the `atrapos-numa` virtual-time machine, so the
+//! comparisons between designs come from their structure (what is
+//! centralized, what is partitioned, where data and threads are placed) and
+//! not from per-design tuning constants.
+
+pub mod action;
+pub mod designs;
+pub mod executor;
+pub mod workers;
+pub mod workload;
+
+pub use action::{Action, ActionOp, Phase, TransactionSpec, TxnOutcome};
+pub use designs::atrapos::{AtraposConfig, AtraposDesign};
+pub use designs::centralized::CentralizedDesign;
+pub use designs::plp::PlpDesign;
+pub use designs::shared_nothing::{SharedNothingDesign, SharedNothingGranularity};
+pub use designs::{IntervalOutcome, SystemDesign};
+pub use executor::{ExecutorConfig, RunStats, TimePoint, VirtualExecutor};
+pub use workers::WorkerPool;
+pub use workload::{TableSpec, Workload};

@@ -1,0 +1,249 @@
+//! The workload abstraction: schemas, population, and transaction
+//! generation.
+
+use crate::action::TransactionSpec;
+use atrapos_core::KeyDomain;
+use atrapos_numa::CoreId;
+use atrapos_storage::{Database, Key, Schema, TableId};
+use rand::rngs::SmallRng;
+
+/// Description of one table of a workload.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table identifier.
+    pub id: TableId,
+    /// Table schema.
+    pub schema: Schema,
+    /// Integer key domain (head column of the primary key).
+    pub domain: KeyDomain,
+    /// Approximate number of rows the populated table holds.
+    pub rows: u64,
+}
+
+/// A benchmark workload: its schema, how to populate it, and how to generate
+/// transactions.
+///
+/// Population contract: `populate` loads rows *into the tables already
+/// registered in the database* (designs pre-create them with their chosen
+/// physical partitioning); if a table is missing it is created as a
+/// single-partition table on socket 0.
+pub trait Workload {
+    /// Workload name (e.g. "TATP", "TPC-C", "read-one-row").
+    fn name(&self) -> &str;
+
+    /// Tables of the workload.
+    fn tables(&self) -> Vec<TableSpec>;
+
+    /// Load rows into `db`.  Only rows for which `filter` returns true are
+    /// loaded — shared-nothing designs use this to populate each instance
+    /// with its slice of the data.
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool);
+
+    /// Generate the next transaction, submitted by the client bound to
+    /// `client` (site-aware workloads use it to decide which rows are
+    /// "local" to the submitting site).
+    fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec;
+
+    /// Table ids and key domains (convenience for building partitioning
+    /// schemes).
+    fn table_domains(&self) -> Vec<(TableId, KeyDomain)> {
+        self.tables().iter().map(|t| (t.id, t.domain)).collect()
+    }
+
+    /// Downcasting hook for experiments that reconfigure the workload at
+    /// runtime (switching the transaction mix, introducing skew).  Workloads
+    /// that support runtime reconfiguration return `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Populate every row (no filtering): the shared-everything designs use
+/// this.
+pub fn populate_all(workload: &dyn Workload, db: &mut Database) {
+    workload.populate(db, &|_, _| true);
+}
+
+/// Ensure every table of the workload exists in `db` (as a single-partition
+/// table on socket 0 if the caller did not pre-create it).
+pub fn ensure_tables(workload: &dyn Workload, db: &mut Database) {
+    use atrapos_numa::SocketId;
+    for spec in workload.tables() {
+        if db.table(spec.id).is_err() {
+            db.add_table(atrapos_storage::Table::new(
+                spec.id,
+                spec.schema.clone(),
+                SocketId(0),
+            ));
+        }
+    }
+}
+
+/// Simple built-in workloads used by the engine's own tests and by the
+/// quickstart example.
+pub mod testing {
+    use super::*;
+    use crate::action::{Action, ActionOp};
+    use atrapos_storage::{Column, ColumnType, Record, Value};
+    use rand::Rng;
+
+    /// A minimal workload: one table of `rows` rows, each transaction reads
+    /// one uniformly random row.
+    #[derive(Debug, Clone)]
+    pub struct TinyWorkload {
+        /// Number of rows.
+        pub rows: i64,
+    }
+
+    impl Workload for TinyWorkload {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+
+        fn tables(&self) -> Vec<TableSpec> {
+            vec![TableSpec {
+                id: TableId(0),
+                schema: Schema::new(
+                    "tiny",
+                    vec![
+                        Column::new("id", ColumnType::Int),
+                        Column::new("v", ColumnType::Int),
+                    ],
+                    vec![0],
+                ),
+                domain: KeyDomain::new(0, self.rows),
+                rows: self.rows as u64,
+            }]
+        }
+
+        fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+            ensure_tables(self, db);
+            let table = db.table_mut(TableId(0)).expect("table created above");
+            for i in 0..self.rows {
+                let key = Key::int(i);
+                if filter(TableId(0), &key) {
+                    table
+                        .load(Record::new(vec![Value::Int(i), Value::Int(i * 2)]))
+                        .expect("unique keys");
+                }
+            }
+        }
+
+        fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
+            let k = rng.gen_range(0..self.rows);
+            TransactionSpec::single_phase(
+                "tiny-read",
+                vec![Action::new(ActionOp::Read {
+                    table: TableId(0),
+                    key: Key::int(k),
+                })],
+            )
+        }
+    }
+
+    /// A two-table workload whose transactions update one row in each table
+    /// (used to exercise logging, locking, and synchronization points in
+    /// tests).
+    #[derive(Debug, Clone)]
+    pub struct TinyUpdateWorkload {
+        /// Rows per table.
+        pub rows: i64,
+    }
+
+    impl Workload for TinyUpdateWorkload {
+        fn name(&self) -> &str {
+            "tiny-update"
+        }
+
+        fn tables(&self) -> Vec<TableSpec> {
+            (0..2)
+                .map(|t| TableSpec {
+                    id: TableId(t),
+                    schema: Schema::new(
+                        format!("tiny{t}"),
+                        vec![
+                            Column::new("id", ColumnType::Int),
+                            Column::new("v", ColumnType::Int),
+                        ],
+                        vec![0],
+                    ),
+                    domain: KeyDomain::new(0, self.rows),
+                    rows: self.rows as u64,
+                })
+                .collect()
+        }
+
+        fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+            ensure_tables(self, db);
+            for t in 0..2u32 {
+                let table = db.table_mut(TableId(t)).expect("table created above");
+                for i in 0..self.rows {
+                    let key = Key::int(i);
+                    if filter(TableId(t), &key) {
+                        table
+                            .load(Record::new(vec![Value::Int(i), Value::Int(0)]))
+                            .expect("unique keys");
+                    }
+                }
+            }
+        }
+
+        fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
+            let k = rng.gen_range(0..self.rows);
+            let mk = |t: u32| {
+                Action::new(ActionOp::Increment {
+                    table: TableId(t),
+                    key: Key::int(k),
+                    column: 1,
+                    delta: 1,
+                })
+            };
+            TransactionSpec::new(
+                "tiny-update",
+                vec![crate::action::Phase::new(vec![mk(0), mk(1)])],
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::{TinyUpdateWorkload, TinyWorkload};
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_workload_populates_with_filter() {
+        let w = TinyWorkload { rows: 100 };
+        let mut db = Database::new();
+        w.populate(&mut db, &|_, k| k.head_int() < 50);
+        assert_eq!(db.table(TableId(0)).unwrap().len(), 50);
+        let mut full = Database::new();
+        populate_all(&w, &mut full);
+        assert_eq!(full.table(TableId(0)).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn tiny_workload_generates_reads_in_domain() {
+        let mut w = TinyWorkload { rows: 100 };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            assert_eq!(spec.num_actions(), 1);
+            let head = spec.phases[0].actions[0].op.routing_key_head();
+            assert!((0..100).contains(&head));
+        }
+    }
+
+    #[test]
+    fn tiny_update_workload_touches_both_tables() {
+        let mut w = TinyUpdateWorkload { rows: 10 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = w.next_transaction(&mut rng, CoreId(0));
+        assert!(spec.is_update());
+        assert_eq!(spec.tables_touched().len(), 2);
+        let mut db = Database::new();
+        populate_all(&w, &mut db);
+        assert_eq!(db.total_records(), 20);
+    }
+}

@@ -1,0 +1,57 @@
+//! Virtual time: the simulation counts processor cycles; these helpers
+//! convert between cycles and wall-clock units given a core frequency.
+
+/// Virtual time, measured in processor cycles.
+pub type Cycles = u64;
+
+/// Convert seconds of wall-clock time to cycles at `ghz` GHz.
+#[inline]
+pub fn secs_to_cycles(secs: f64, ghz: f64) -> Cycles {
+    (secs * ghz * 1e9).round() as Cycles
+}
+
+/// Convert cycles to seconds at `ghz` GHz.
+#[inline]
+pub fn cycles_to_secs(cycles: Cycles, ghz: f64) -> f64 {
+    cycles as f64 / (ghz * 1e9)
+}
+
+/// Convert microseconds to cycles at `ghz` GHz.
+#[inline]
+pub fn micros_to_cycles(micros: f64, ghz: f64) -> Cycles {
+    (micros * ghz * 1e3).round() as Cycles
+}
+
+/// Convert cycles to microseconds at `ghz` GHz.
+#[inline]
+pub fn cycles_to_micros(cycles: Cycles, ghz: f64) -> f64 {
+    cycles as f64 / (ghz * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let ghz = 2.4;
+        let c = secs_to_cycles(1.0, ghz);
+        assert_eq!(c, 2_400_000_000);
+        let s = cycles_to_secs(c, ghz);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_micros() {
+        let ghz = 2.4;
+        let c = micros_to_cycles(10.0, ghz);
+        assert_eq!(c, 24_000);
+        assert!((cycles_to_micros(c, ghz) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert_eq!(secs_to_cycles(0.0, 2.4), 0);
+        assert_eq!(cycles_to_secs(0, 2.4), 0.0);
+    }
+}

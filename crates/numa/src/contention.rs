@@ -1,0 +1,382 @@
+//! Virtual-time models of contended cache lines and mutual-exclusion
+//! resources.
+//!
+//! These two primitives are what make the simulation reproduce the paper's
+//! central observation: *any* centralized data structure accessed in the
+//! critical path eventually becomes the bottleneck on a multisocket machine,
+//! because every access turns into a cache-line transfer over the
+//! interconnect and the transfers of different cores serialize.
+//!
+//! * [`ContendedLine`] models a single cache line that is read or atomically
+//!   updated (CAS) by many cores — e.g. the head of Shore-MT's lock-free
+//!   list of active transactions.  Atomic updates serialize in virtual time
+//!   and each one pays a transfer cost that depends on which socket last
+//!   owned the line.
+//! * [`SimResource`] models a lock/latch-protected resource that is held for
+//!   a longer, caller-controlled span (background operations, worker
+//!   queues): a requester waits until the previous holder releases.
+//!
+//! Because the execution engine simulates one transaction at a time, accesses
+//! to a line do not necessarily arrive in increasing virtual-time order: a
+//! transaction processed *earlier* may have touched the line at a *later*
+//! virtual time (e.g. at its commit).  [`Timeline`] therefore keeps a bounded
+//! window of busy intervals instead of a single "free at" timestamp, so a
+//! later-processed access can slot into a gap instead of spuriously queueing
+//! behind the whole earlier transaction.
+
+use crate::clock::Cycles;
+use crate::topology::SocketId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How a cache line is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Plain read: the line can stay shared; concurrent readers do not
+    /// serialize, but a reader still pays the transfer cost if the line is
+    /// dirty in a remote cache.
+    Read,
+    /// Atomic read-modify-write (CAS, fetch-and-add): the line is taken in
+    /// exclusive mode, so concurrent writers serialize.
+    Rmw,
+}
+
+/// What a core does while it waits for a line or resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitMode {
+    /// Spin-wait on a locally cached copy: instructions retire at the spin
+    /// IPC (this is what inflates the IPC of the centralized design in the
+    /// paper's Figure 1 while its throughput collapses).
+    Spin,
+    /// Stall: no instructions retire (typical for a CAS retry loop bouncing
+    /// a line between sockets — the PLP bars of Figure 1).
+    Stall,
+}
+
+/// Maximum number of busy intervals remembered per timeline.  Out-of-order
+/// bookings only span roughly one transaction length, so a small window is
+/// sufficient; older intervals are coalesced into the window start.
+const TIMELINE_CAPACITY: usize = 48;
+
+/// A bounded set of disjoint busy intervals on the virtual-time axis.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Disjoint `[start, end)` intervals sorted by start.
+    intervals: VecDeque<(Cycles, Cycles)>,
+}
+
+impl Timeline {
+    /// Earliest time `>= at` at which a busy span of `duration` cycles fits
+    /// without overlapping existing intervals.
+    pub fn earliest_fit(&self, at: Cycles, duration: Cycles) -> Cycles {
+        let mut start = at;
+        for &(s, e) in &self.intervals {
+            if e <= start {
+                continue;
+            }
+            if start + duration <= s {
+                break;
+            }
+            start = e;
+        }
+        start
+    }
+
+    /// Book a busy span of `duration` cycles at the earliest opportunity at
+    /// or after `at`.  Returns the granted start time.
+    pub fn book(&mut self, at: Cycles, duration: Cycles) -> Cycles {
+        let duration = duration.max(1);
+        let start = self.earliest_fit(at, duration);
+        let end = start + duration;
+        let pos = self
+            .intervals
+            .iter()
+            .position(|&(s, _)| s > start)
+            .unwrap_or(self.intervals.len());
+        self.intervals.insert(pos, (start, end));
+        self.coalesce();
+        start
+    }
+
+    /// Latest booked end time (0 if nothing is booked).
+    pub fn horizon(&self) -> Cycles {
+        self.intervals.back().map(|&(_, e)| e).unwrap_or(0)
+    }
+
+    /// Total booked (busy) cycles currently tracked in the window.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.intervals.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Clear all bookings.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
+    fn coalesce(&mut self) {
+        // Merge adjacent/overlapping intervals.
+        let mut merged: VecDeque<(Cycles, Cycles)> = VecDeque::with_capacity(self.intervals.len());
+        for &(s, e) in &self.intervals {
+            match merged.back_mut() {
+                Some((_, pe)) if s <= *pe => {
+                    *pe = (*pe).max(e);
+                }
+                _ => merged.push_back((s, e)),
+            }
+        }
+        // Bound the window: drop the oldest intervals once over capacity.
+        while merged.len() > TIMELINE_CAPACITY {
+            merged.pop_front();
+        }
+        self.intervals = merged;
+    }
+}
+
+/// A single contended cache line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContendedLine {
+    /// Memory node the line's backing memory lives on.
+    pub home: SocketId,
+    /// Socket whose cache currently holds the line (None = only in memory).
+    owner: Option<SocketId>,
+    /// Busy intervals of in-flight exclusive accesses.
+    timeline: Timeline,
+    /// Number of exclusive (RMW) accesses performed.
+    pub rmw_count: u64,
+    /// Number of read accesses performed.
+    pub read_count: u64,
+    /// Total cycles cores spent waiting for this line.
+    pub total_wait: Cycles,
+    /// Accesses that crossed a socket boundary.
+    pub remote_accesses: u64,
+}
+
+impl ContendedLine {
+    /// A new line homed on `home`, not yet cached anywhere.
+    pub fn new(home: SocketId) -> Self {
+        Self {
+            home,
+            owner: None,
+            timeline: Timeline::default(),
+            rmw_count: 0,
+            read_count: 0,
+            total_wait: 0,
+            remote_accesses: 0,
+        }
+    }
+
+    /// Socket whose cache currently owns the line, if any.
+    pub fn owner(&self) -> Option<SocketId> {
+        self.owner
+    }
+
+    /// Latest time at which a currently known exclusive access completes.
+    pub fn busy_horizon(&self) -> Cycles {
+        self.timeline.horizon()
+    }
+
+    /// Earliest time `>= at` at which an exclusive span of `duration` can be
+    /// granted.
+    pub fn earliest_grant(&self, at: Cycles, duration: Cycles) -> Cycles {
+        self.timeline.earliest_fit(at, duration)
+    }
+
+    /// Book an exclusive span (used by the simulation context).  Returns the
+    /// granted start time.
+    pub(crate) fn book_exclusive(&mut self, at: Cycles, duration: Cycles) -> Cycles {
+        self.timeline.book(at, duration)
+    }
+
+    /// Reset dynamic state (ownership and availability), keeping statistics.
+    pub fn reset(&mut self) {
+        self.owner = None;
+        self.timeline.clear();
+    }
+
+    /// Forget accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.rmw_count = 0;
+        self.read_count = 0;
+        self.total_wait = 0;
+        self.remote_accesses = 0;
+    }
+
+    /// Record the outcome of an access decided by the simulation context.
+    pub(crate) fn commit_access(
+        &mut self,
+        kind: AccessKind,
+        accessor: SocketId,
+        waited: Cycles,
+        crossed_socket: bool,
+    ) {
+        match kind {
+            AccessKind::Rmw => {
+                self.rmw_count += 1;
+                self.owner = Some(accessor);
+            }
+            AccessKind::Read => {
+                self.read_count += 1;
+                if self.owner.is_none() {
+                    self.owner = Some(accessor);
+                }
+            }
+        }
+        self.total_wait += waited;
+        if crossed_socket {
+            self.remote_accesses += 1;
+        }
+    }
+}
+
+/// A mutual-exclusion resource held for caller-controlled spans (background
+/// operations, long critical sections) living in virtual time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResource {
+    /// The cache line holding the lock word.
+    pub line: ContendedLine,
+    /// Virtual time until which the resource is held.
+    busy_until: Cycles,
+    /// Number of acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that had to wait.
+    pub contended: u64,
+    /// Total cycles spent waiting for the resource (excluding the line
+    /// transfer itself).
+    pub total_wait: Cycles,
+}
+
+impl SimResource {
+    /// A new, free resource homed on `home`.
+    pub fn new(home: SocketId) -> Self {
+        Self {
+            line: ContendedLine::new(home),
+            busy_until: 0,
+            acquisitions: 0,
+            contended: 0,
+            total_wait: 0,
+        }
+    }
+
+    /// Virtual time until which the resource is held.
+    pub fn busy_until(&self) -> Cycles {
+        self.busy_until
+    }
+
+    /// Whether the resource is free at `now`.
+    pub fn is_free_at(&self, now: Cycles) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Reset dynamic state, keeping statistics.
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.line.reset();
+    }
+
+    /// Extend (or set) the hold on this resource until virtual time `t`.
+    /// Used by [`crate::SimCtx::release_resource`] once the protected work
+    /// has been accounted.
+    pub fn hold_until(&mut self, t: Cycles) {
+        self.busy_until = self.busy_until.max(t);
+    }
+
+    pub(crate) fn commit_acquire(&mut self, grant: Cycles, release: Cycles, waited: Cycles) {
+        self.acquisitions += 1;
+        if waited > 0 {
+            self.contended += 1;
+            self.total_wait += waited;
+        }
+        debug_assert!(release >= grant);
+        self.busy_until = self.busy_until.max(release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_books_back_to_back_spans() {
+        let mut tl = Timeline::default();
+        assert_eq!(tl.book(100, 50), 100);
+        // Overlapping request queues behind the first.
+        assert_eq!(tl.book(120, 50), 150);
+        // A later request after the horizon is granted immediately.
+        assert_eq!(tl.book(500, 10), 500);
+        assert_eq!(tl.horizon(), 510);
+        assert_eq!(tl.busy_cycles(), 110);
+    }
+
+    #[test]
+    fn timeline_fills_gaps_for_out_of_order_requests() {
+        let mut tl = Timeline::default();
+        // A "future" booking (from a transaction processed first but
+        // touching the line at its commit).
+        assert_eq!(tl.book(10_000, 100), 10_000);
+        // An earlier access processed later slots in before it.
+        assert_eq!(tl.book(200, 100), 200);
+        // And one that does not fit in the gap goes after.
+        assert_eq!(tl.book(9_950, 200), 10_100);
+    }
+
+    #[test]
+    fn timeline_capacity_is_bounded() {
+        let mut tl = Timeline::default();
+        for i in 0..1000u64 {
+            tl.book(i * 1000, 10);
+        }
+        assert!(tl.busy_cycles() <= 48 * 10);
+    }
+
+    #[test]
+    fn new_line_is_unowned_and_free() {
+        let l = ContendedLine::new(SocketId(3));
+        assert_eq!(l.owner(), None);
+        assert_eq!(l.busy_horizon(), 0);
+        assert_eq!(l.home, SocketId(3));
+    }
+
+    #[test]
+    fn rmw_takes_ownership() {
+        let mut l = ContendedLine::new(SocketId(0));
+        l.book_exclusive(0, 300);
+        l.commit_access(AccessKind::Rmw, SocketId(2), 0, true);
+        assert_eq!(l.owner(), Some(SocketId(2)));
+        assert_eq!(l.busy_horizon(), 300);
+        assert_eq!(l.rmw_count, 1);
+        assert_eq!(l.remote_accesses, 1);
+    }
+
+    #[test]
+    fn read_does_not_steal_ownership() {
+        let mut l = ContendedLine::new(SocketId(0));
+        l.commit_access(AccessKind::Rmw, SocketId(1), 0, false);
+        l.commit_access(AccessKind::Read, SocketId(4), 10, true);
+        assert_eq!(l.owner(), Some(SocketId(1)));
+        assert_eq!(l.read_count, 1);
+        assert_eq!(l.total_wait, 10);
+    }
+
+    #[test]
+    fn resource_tracks_contention() {
+        let mut r = SimResource::new(SocketId(0));
+        r.commit_acquire(100, 200, 0);
+        assert_eq!(r.busy_until(), 200);
+        assert!(r.is_free_at(200));
+        assert!(!r.is_free_at(150));
+        r.commit_acquire(250, 400, 50);
+        assert_eq!(r.acquisitions, 2);
+        assert_eq!(r.contended, 1);
+        assert_eq!(r.total_wait, 50);
+    }
+
+    #[test]
+    fn reset_clears_dynamic_state_but_not_stats() {
+        let mut r = SimResource::new(SocketId(0));
+        r.commit_acquire(100, 200, 20);
+        r.reset();
+        assert_eq!(r.busy_until(), 0);
+        assert_eq!(r.acquisitions, 1);
+        assert_eq!(r.total_wait, 20);
+    }
+}

@@ -1,0 +1,462 @@
+//! The simulation context: the accounting object threaded through every
+//! storage-manager and execution-engine operation.
+//!
+//! A [`SimCtx`] represents one core executing one piece of work (an action,
+//! a whole transaction, or a background task) starting at some virtual time.
+//! Storage operations call its methods to charge useful work, cache-line
+//! accesses, resource acquisitions, memory reads, and messages; the context
+//! advances its virtual clock and records instructions, cycles (by
+//! [`Component`]), waits, and interconnect traffic.  When the step is done,
+//! [`SimCtx::finish`] yields a [`Tally`] that the caller merges into the
+//! machine-wide counters.
+
+use crate::clock::Cycles;
+use crate::contention::{AccessKind, ContendedLine, SimResource, WaitMode};
+use crate::cost::CostModel;
+use crate::counters::{Component, Tally};
+use crate::topology::{CoreId, SocketId, Topology};
+
+/// Per-step simulation context for one core.
+#[derive(Debug)]
+pub struct SimCtx<'a> {
+    topo: &'a Topology,
+    cost: &'a CostModel,
+    core: CoreId,
+    socket: SocketId,
+    now: Cycles,
+    tally: Tally,
+}
+
+impl<'a> SimCtx<'a> {
+    /// Start a step on `core` at virtual time `start`.
+    pub fn new(topo: &'a Topology, cost: &'a CostModel, core: CoreId, start: Cycles) -> Self {
+        let socket = topo.socket_of(core);
+        let mut tally = Tally::default();
+        tally.start = start;
+        tally.end = start;
+        Self {
+            topo,
+            cost,
+            core,
+            socket,
+            now: start,
+            tally,
+        }
+    }
+
+    /// Current virtual time on this core.
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// The core executing this step.
+    #[inline]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The socket of the executing core.
+    #[inline]
+    pub fn socket(&self) -> SocketId {
+        self.socket
+    }
+
+    /// The machine topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The cost model.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// Cycles elapsed since the step started.
+    #[inline]
+    pub fn elapsed(&self) -> Cycles {
+        self.now - self.tally.start
+    }
+
+    /// Cycles and instructions accrued so far, without ending the step.
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Execute `instructions` instructions of useful work attributed to
+    /// `component`.
+    pub fn work(&mut self, component: Component, instructions: u64) {
+        let cycles = self.cost.work_cycles(instructions);
+        self.tally.instructions += instructions;
+        self.tally.busy_cycles += cycles;
+        self.tally.breakdown.add(component, cycles);
+        self.now += cycles;
+    }
+
+    /// Stall for `cycles` cycles (no instructions retire).
+    pub fn stall(&mut self, component: Component, cycles: Cycles) {
+        self.tally.stall_cycles += cycles;
+        self.tally.breakdown.add(component, cycles);
+        self.now += cycles;
+    }
+
+    /// Spin-wait for `cycles` cycles (instructions retire at the spin IPC).
+    pub fn spin(&mut self, component: Component, cycles: Cycles) {
+        self.tally.spin_cycles += cycles;
+        self.tally.instructions += self.cost.spin_instructions(cycles);
+        self.tally.breakdown.add(component, cycles);
+        self.now += cycles;
+    }
+
+    /// Wait (in the given mode) until virtual time `t`, if `t` is in the
+    /// future.  Returns the number of cycles waited.
+    pub fn wait_until(&mut self, component: Component, t: Cycles, mode: WaitMode) -> Cycles {
+        let waited = t.saturating_sub(self.now);
+        if waited > 0 {
+            self.tally.waits += 1;
+            match mode {
+                WaitMode::Spin => self.spin(component, waited),
+                WaitMode::Stall => self.stall(component, waited),
+            }
+        }
+        waited
+    }
+
+    /// Access a contended cache line.
+    ///
+    /// For [`AccessKind::Rmw`] the access books an exclusive span on the
+    /// line's timeline (waiting for earlier exclusive accesses to drain),
+    /// transfers the line (paying a distance-dependent cost), and takes
+    /// ownership — concurrent RMWs therefore serialize, exactly like CAS
+    /// operations on the head of a shared list.  For [`AccessKind::Read`]
+    /// the access waits for any in-flight exclusive access but does not
+    /// itself occupy the line.
+    ///
+    /// Returns the total cycles consumed (wait + transfer).
+    pub fn access_line(
+        &mut self,
+        component: Component,
+        line: &mut ContendedLine,
+        kind: AccessKind,
+        wait: WaitMode,
+    ) -> Cycles {
+        let before = self.now;
+        let (transfer, crossed, from) = self.line_transfer_cost(line, kind);
+        let grant = match kind {
+            AccessKind::Rmw => line.book_exclusive(self.now, transfer),
+            AccessKind::Read => line.earliest_grant(self.now, 1),
+        };
+        let waited = grant.saturating_sub(self.now);
+        if waited > 0 {
+            self.tally.waits += 1;
+            match wait {
+                WaitMode::Spin => self.spin(component, waited),
+                WaitMode::Stall => self.stall(component, waited),
+            }
+        }
+        self.stall(component, transfer);
+        self.record_line_traffic(line, crossed, from);
+        line.commit_access(kind, self.socket, waited, crossed);
+        self.now - before
+    }
+
+    /// Cost of bringing `line` into this core's cache, given its current
+    /// owner: (cycles, crossed a socket boundary, source socket).
+    fn line_transfer_cost(
+        &self,
+        line: &ContendedLine,
+        kind: AccessKind,
+    ) -> (Cycles, bool, Option<SocketId>) {
+        let (cycles, crossed, from) = match line.owner() {
+            Some(owner) if owner == self.socket => (self.cost.cache_transfer(0), false, None),
+            Some(owner) => {
+                let hops = self.topo.distance(self.socket, owner);
+                (self.cost.cache_transfer(hops), hops > 0, Some(owner))
+            }
+            None => {
+                let hops = self.topo.distance(self.socket, line.home);
+                (self.cost.memory_access(hops), hops > 0, Some(line.home))
+            }
+        };
+        let cycles = if kind == AccessKind::Rmw {
+            cycles + self.cost.atomic_local
+        } else {
+            cycles
+        };
+        (cycles, crossed, from)
+    }
+
+    fn record_line_traffic(&mut self, line: &ContendedLine, crossed: bool, from: Option<SocketId>) {
+        if crossed {
+            if let Some(from) = from {
+                self.tally
+                    .traffic
+                    .push((from, self.socket, self.cost.cache_line_bytes));
+            }
+        } else if line.owner().is_none() {
+            self.tally.local_memory_bytes += self.cost.cache_line_bytes;
+        }
+    }
+
+    /// Execute a *short* critical section protected by a spinlock/latch whose
+    /// lock word is `line`: wait for any in-flight holder, transfer the line
+    /// exclusively, execute `instructions` of protected work, and keep the
+    /// line occupied until the work completes.
+    ///
+    /// Unlike [`SimCtx::acquire_resource`], the line is only occupied for the
+    /// actual duration of the critical section, which is the right model for
+    /// latches and lock-table buckets that are held for a few hundred cycles
+    /// at a time.
+    ///
+    /// Returns the total cycles consumed (wait + transfer + work).
+    pub fn critical_section(
+        &mut self,
+        component: Component,
+        line: &mut ContendedLine,
+        wait: WaitMode,
+        instructions: u64,
+    ) -> Cycles {
+        let before = self.now;
+        let (transfer, crossed, from) = self.line_transfer_cost(line, AccessKind::Rmw);
+        let work = self.cost.work_cycles(instructions);
+        let grant = line.book_exclusive(self.now, transfer + work);
+        let waited = grant.saturating_sub(self.now);
+        if waited > 0 {
+            self.tally.waits += 1;
+            match wait {
+                WaitMode::Spin => self.spin(component, waited),
+                WaitMode::Stall => self.stall(component, waited),
+            }
+        }
+        self.stall(component, transfer);
+        self.work(component, instructions);
+        self.record_line_traffic(line, crossed, from);
+        line.commit_access(AccessKind::Rmw, self.socket, waited, crossed);
+        self.now - before
+    }
+
+    /// Acquire a mutual-exclusion resource: transfer its lock word, wait for
+    /// the current holder (if any), and mark the resource acquired at the
+    /// current time.  The caller performs the protected work and then calls
+    /// [`SimCtx::release_resource`].
+    ///
+    /// Returns the cycles spent acquiring (transfer + wait).
+    pub fn acquire_resource(
+        &mut self,
+        component: Component,
+        res: &mut SimResource,
+        wait: WaitMode,
+    ) -> Cycles {
+        let before = self.now;
+        // Transfer the lock word (an RMW on its cache line).  The line's own
+        // occupancy is dominated by the resource hold time, so the
+        // resource-level wait below is what serializes holders.
+        let (transfer, crossed, from) = self.line_transfer_cost(&res.line, AccessKind::Rmw);
+        self.stall(component, transfer);
+        self.record_line_traffic(&res.line, crossed, from);
+        // Wait for the current holder.
+        let waited = self.wait_until(component, res.busy_until(), wait);
+        let grant = self.now;
+        res.commit_acquire(grant, grant, waited);
+        res.line
+            .commit_access(AccessKind::Rmw, self.socket, 0, crossed);
+        self.now - before
+    }
+
+    /// Acquire a resource and hold it for a fixed number of cycles of work
+    /// attributed to `component`.  Convenience wrapper for modelled critical
+    /// sections whose body is not simulated in detail.
+    pub fn acquire_resource_for(
+        &mut self,
+        component: Component,
+        res: &mut SimResource,
+        hold_instructions: u64,
+        wait: WaitMode,
+    ) -> Cycles {
+        let before = self.now;
+        self.acquire_resource(component, res, wait);
+        self.work(component, hold_instructions);
+        self.release_resource(res);
+        self.now - before
+    }
+
+    /// Release a previously acquired resource at the current virtual time.
+    pub fn release_resource(&mut self, res: &mut SimResource) {
+        res.hold_until(self.now);
+    }
+
+    /// Read `bytes` bytes from the memory node of socket `node`.  The first
+    /// cache line pays the full access latency; subsequent lines stream at a
+    /// quarter of it (hardware prefetching).
+    pub fn memory_read(&mut self, component: Component, node: SocketId, bytes: u64) -> Cycles {
+        let before = self.now;
+        let hops = self.topo.distance(self.socket, node);
+        let lines = bytes.div_ceil(self.cost.cache_line_bytes).max(1);
+        let first = self.cost.memory_access(hops);
+        let rest = (lines - 1) * (first / 4);
+        self.stall(component, first + rest);
+        if hops > 0 {
+            self.tally
+                .traffic
+                .push((node, self.socket, lines * self.cost.cache_line_bytes));
+        } else {
+            self.tally.local_memory_bytes += lines * self.cost.cache_line_bytes;
+        }
+        self.now - before
+    }
+
+    /// Exchange a `bytes`-sized message with a thread on `to` (cost depends
+    /// on the hop distance; same-socket messages are nearly free).
+    pub fn send_message(&mut self, component: Component, to: SocketId, bytes: u64) -> Cycles {
+        let hops = self.topo.distance(self.socket, to);
+        let cycles = self.cost.message(hops, bytes);
+        self.stall(component, cycles);
+        if hops > 0 {
+            self.tally.traffic.push((self.socket, to, bytes));
+        }
+        cycles
+    }
+
+    /// End the step and return its tally.
+    pub fn finish(mut self) -> Tally {
+        self.tally.end = self.now;
+        self.tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn setup() -> (Topology, CostModel) {
+        (Topology::multisocket(4, 4), CostModel::westmere())
+    }
+
+    #[test]
+    fn work_advances_time_and_counts_instructions() {
+        let (t, c) = setup();
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 100);
+        ctx.work(Component::XctExecution, 500);
+        assert_eq!(ctx.now(), 100 + 500); // base_ipc = 1.0
+        let tally = ctx.finish();
+        assert_eq!(tally.instructions, 500);
+        assert_eq!(tally.busy_cycles, 500);
+        assert_eq!(tally.start, 100);
+        assert_eq!(tally.end, 600);
+    }
+
+    #[test]
+    fn local_line_access_is_cheap_remote_is_expensive() {
+        let (t, c) = setup();
+        // Core 0 (socket 0) takes the line.
+        let mut line = ContendedLine::new(SocketId(0));
+        let mut ctx0 = SimCtx::new(&t, &c, CoreId(0), 0);
+        ctx0.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        let local_cost = {
+            let mut ctx = SimCtx::new(&t, &c, CoreId(1), ctx0.now());
+            ctx.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall)
+        };
+        // Core on socket 2 accesses the line now owned by socket 0.
+        let remote_cost = {
+            let mut ctx = SimCtx::new(&t, &c, CoreId(8), line.busy_horizon());
+            ctx.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall)
+        };
+        assert!(
+            remote_cost > 3 * local_cost,
+            "remote {remote_cost} vs local {local_cost}"
+        );
+        assert_eq!(line.owner(), Some(SocketId(2)));
+        assert_eq!(line.remote_accesses, 1);
+    }
+
+    #[test]
+    fn concurrent_rmw_accesses_serialize() {
+        let (t, c) = setup();
+        let mut line = ContendedLine::new(SocketId(0));
+        // First access at t=0 pins the line until its completion.
+        let mut ctx_a = SimCtx::new(&t, &c, CoreId(0), 0);
+        ctx_a.access_line(Component::Logging, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        let free = line.busy_horizon();
+        assert!(free > 0);
+        // Second access starting at the same time must wait until the first
+        // completes.
+        let mut ctx_b = SimCtx::new(&t, &c, CoreId(4), 0);
+        ctx_b.access_line(Component::Logging, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        assert!(ctx_b.now() > free);
+        let tally_b = ctx_b.finish();
+        assert_eq!(tally_b.waits, 1);
+        assert!(tally_b.stall_cycles >= free);
+    }
+
+    #[test]
+    fn reads_wait_but_do_not_pin() {
+        let (t, c) = setup();
+        let mut line = ContendedLine::new(SocketId(0));
+        let mut w = SimCtx::new(&t, &c, CoreId(0), 0);
+        w.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        let pinned_until = line.busy_horizon();
+        let mut r = SimCtx::new(&t, &c, CoreId(1), 0);
+        r.access_line(Component::XctManagement, &mut line, AccessKind::Read, WaitMode::Stall);
+        assert!(r.now() >= pinned_until);
+        // Reading did not extend the occupancy.
+        assert_eq!(line.busy_horizon(), pinned_until);
+    }
+
+    #[test]
+    fn spin_waits_retire_instructions_stalls_do_not() {
+        let (t, c) = setup();
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        ctx.spin(Component::Locking, 1000);
+        let spin_instr = ctx.tally().instructions;
+        assert!(spin_instr > 1000, "spin IPC should exceed 1");
+        let mut ctx2 = SimCtx::new(&t, &c, CoreId(0), 0);
+        ctx2.stall(Component::Locking, 1000);
+        assert_eq!(ctx2.tally().instructions, 0);
+    }
+
+    #[test]
+    fn resource_acquisitions_serialize_holders() {
+        let (t, c) = setup();
+        let mut res = SimResource::new(SocketId(0));
+        let mut a = SimCtx::new(&t, &c, CoreId(0), 0);
+        a.acquire_resource(Component::Locking, &mut res, WaitMode::Spin);
+        a.work(Component::Locking, 2_000);
+        a.release_resource(&mut res);
+        let release_a = a.now();
+        // B starts before A releases and must wait.
+        let mut b = SimCtx::new(&t, &c, CoreId(4), 10);
+        b.acquire_resource(Component::Locking, &mut res, WaitMode::Spin);
+        assert!(b.now() >= release_a);
+        assert_eq!(res.contended, 1);
+        assert_eq!(res.acquisitions, 2);
+    }
+
+    #[test]
+    fn remote_memory_read_generates_interconnect_traffic() {
+        let (t, c) = setup();
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        ctx.memory_read(Component::XctExecution, SocketId(3), 256);
+        let tally = ctx.finish();
+        let total: u64 = tally.traffic.iter().map(|(_, _, b)| *b).sum();
+        assert_eq!(total, 256);
+        assert_eq!(tally.local_memory_bytes, 0);
+
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        ctx.memory_read(Component::XctExecution, SocketId(0), 256);
+        let tally = ctx.finish();
+        assert!(tally.traffic.is_empty());
+        assert_eq!(tally.local_memory_bytes, 256);
+    }
+
+    #[test]
+    fn messages_between_sockets_cost_more_than_local() {
+        let (t, c) = setup();
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        let local = ctx.send_message(Component::Communication, SocketId(0), 128);
+        let remote = ctx.send_message(Component::Communication, SocketId(2), 128);
+        assert!(remote > 10 * local.max(1));
+    }
+}

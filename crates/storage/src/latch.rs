@@ -1,0 +1,106 @@
+//! Physical latches for shared internal structures.
+//!
+//! The centralized baseline latches pages and shared metadata structures on
+//! every access; PLP removes page latches from the critical path by making
+//! subtree accesses thread-local (paper §III-A), and ATraPos inherits that.
+//! This module provides a small named set of latches used for the remaining
+//! shared structures (buffer-pool metadata, catalog) by the designs that
+//! still need them.
+
+use atrapos_numa::{Component, Cycles, SimCtx, SimResource, SocketId, WaitMode};
+use serde::{Deserialize, Serialize};
+
+/// A named collection of latches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatchSet {
+    names: Vec<String>,
+    latches: Vec<SimResource>,
+}
+
+impl LatchSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self {
+            names: Vec::new(),
+            latches: Vec::new(),
+        }
+    }
+
+    /// Add a latch homed on `home`; returns its index.
+    pub fn add(&mut self, name: impl Into<String>, home: SocketId) -> usize {
+        self.names.push(name.into());
+        self.latches.push(SimResource::new(home));
+        self.latches.len() - 1
+    }
+
+    /// Number of latches.
+    pub fn len(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.latches.is_empty()
+    }
+
+    /// Acquire latch `idx` exclusively, perform `hold_instructions` of work
+    /// under it, and release.  Returns the cycles spent.
+    pub fn with_latch(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        idx: usize,
+        hold_instructions: u64,
+    ) -> Cycles {
+        ctx.acquire_resource_for(
+            Component::Latching,
+            &mut self.latches[idx],
+            hold_instructions,
+            WaitMode::Spin,
+        )
+    }
+
+    /// Contention statistics: (acquisitions, contended acquisitions) summed
+    /// over all latches.
+    pub fn contention(&self) -> (u64, u64) {
+        self.latches
+            .iter()
+            .fold((0, 0), |(a, c), l| (a + l.acquisitions, c + l.contended))
+    }
+
+    /// Name of latch `idx`.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+}
+
+impl Default for LatchSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atrapos_numa::{CoreId, CostModel, Topology};
+
+    #[test]
+    fn latches_serialize_holders_and_track_contention() {
+        let topo = Topology::multisocket(2, 2);
+        let cost = CostModel::westmere();
+        let mut set = LatchSet::new();
+        let idx = set.add("buffer-pool", SocketId(0));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.name(idx), "buffer-pool");
+
+        let mut a = SimCtx::new(&topo, &cost, CoreId(0), 0);
+        set.with_latch(&mut a, idx, 5_000);
+        let release = a.now();
+        let mut b = SimCtx::new(&topo, &cost, CoreId(2), 10);
+        set.with_latch(&mut b, idx, 100);
+        assert!(b.now() > release);
+        let (acq, contended) = set.contention();
+        assert_eq!(acq, 2);
+        assert_eq!(contended, 1);
+    }
+}

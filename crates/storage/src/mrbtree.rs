@@ -1,0 +1,396 @@
+//! Multi-rooted B+-tree: the physically partitioned index used by
+//! physiological partitioning (PLP) and ATraPos.
+//!
+//! A multi-rooted B-tree partitions a table's key space into contiguous
+//! ranges, each with its *own* B+-tree root (paper §III-A).  Because a
+//! logical partition is only ever accessed by the worker thread it is
+//! assigned to, accesses to a subtree need no latching; the per-partition
+//! [`SimResource`] latch kept here is only exercised by the centralized
+//! baselines, which share roots between threads.
+//!
+//! Repartitioning (paper §V-D) manipulates this structure directly:
+//! * **split** divides an existing partition in two at a key boundary;
+//! * **merge** combines two adjacent partitions into one;
+//! * a **rearrangement** is a split followed by a merge.
+
+use crate::btree::BTree;
+use crate::error::{StorageError, StorageResult};
+use crate::record::{Key, Record};
+use atrapos_numa::{SimResource, SocketId};
+use serde::{Deserialize, Serialize};
+
+/// One physical partition: a key range with its own B+-tree root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionTree {
+    /// Inclusive lower bound of the key range; `None` for the first
+    /// partition (unbounded below).
+    pub lower: Option<Key>,
+    /// The partition's B+-tree.
+    pub tree: BTree,
+    /// NUMA node on which this partition's data is allocated.
+    pub memory_node: SocketId,
+    /// Root latch (only used by designs that share partitions between
+    /// threads).
+    pub latch: SimResource,
+}
+
+impl PartitionTree {
+    fn new(lower: Option<Key>, memory_node: SocketId) -> Self {
+        Self {
+            lower,
+            tree: BTree::new(),
+            memory_node,
+            latch: SimResource::new(memory_node),
+        }
+    }
+}
+
+/// A multi-rooted B+-tree: an ordered collection of range partitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MrBTree {
+    partitions: Vec<PartitionTree>,
+}
+
+impl MrBTree {
+    /// A single-partition tree allocated on `memory_node`.
+    pub fn new(memory_node: SocketId) -> Self {
+        Self {
+            partitions: vec![PartitionTree::new(None, memory_node)],
+        }
+    }
+
+    /// A range-partitioned tree: `boundaries` are the inclusive lower bounds
+    /// of partitions 1..n (partition 0 is unbounded below), and
+    /// `memory_nodes[i]` is where partition `i` is allocated.  `memory_nodes`
+    /// must have exactly `boundaries.len() + 1` entries and `boundaries`
+    /// must be strictly increasing.
+    pub fn range_partitioned(boundaries: Vec<Key>, memory_nodes: Vec<SocketId>) -> Self {
+        assert_eq!(
+            memory_nodes.len(),
+            boundaries.len() + 1,
+            "need one memory node per partition"
+        );
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "partition boundaries must be strictly increasing"
+        );
+        let mut partitions = Vec::with_capacity(memory_nodes.len());
+        partitions.push(PartitionTree::new(None, memory_nodes[0]));
+        for (i, b) in boundaries.into_iter().enumerate() {
+            partitions.push(PartitionTree::new(Some(b), memory_nodes[i + 1]));
+        }
+        Self { partitions }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of entries across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.tree.len()).sum()
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access a partition by index.
+    pub fn partition(&self, idx: usize) -> &PartitionTree {
+        &self.partitions[idx]
+    }
+
+    /// Mutable access to a partition by index.
+    pub fn partition_mut(&mut self, idx: usize) -> &mut PartitionTree {
+        &mut self.partitions[idx]
+    }
+
+    /// All partitions in key order.
+    pub fn partitions(&self) -> &[PartitionTree] {
+        &self.partitions
+    }
+
+    /// The partition index responsible for `key`.
+    pub fn partition_for(&self, key: &Key) -> usize {
+        // Find the last partition whose lower bound is <= key.
+        let mut idx = 0;
+        for (i, p) in self.partitions.iter().enumerate() {
+            match &p.lower {
+                None => idx = i.max(idx),
+                Some(lower) if lower <= key => idx = i,
+                Some(_) => break,
+            }
+        }
+        idx
+    }
+
+    /// Inclusive lower bound of partition `idx` (`None` = unbounded).
+    pub fn lower_bound(&self, idx: usize) -> Option<&Key> {
+        self.partitions[idx].lower.as_ref()
+    }
+
+    /// Exclusive upper bound of partition `idx` (`None` = unbounded).
+    pub fn upper_bound(&self, idx: usize) -> Option<&Key> {
+        self.partitions.get(idx + 1).and_then(|p| p.lower.as_ref())
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &Key) -> Option<&Record> {
+        self.partitions[self.partition_for(key)].tree.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &Key) -> Option<&mut Record> {
+        let idx = self.partition_for(key);
+        self.partitions[idx].tree.get_mut(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert a key/record pair, returning the replaced record if any.
+    pub fn insert(&mut self, key: Key, record: Record) -> Option<Record> {
+        let idx = self.partition_for(&key);
+        self.partitions[idx].tree.insert(key, record)
+    }
+
+    /// Remove a key, returning the removed record if any.
+    pub fn remove(&mut self, key: &Key) -> Option<Record> {
+        let idx = self.partition_for(key);
+        self.partitions[idx].tree.remove(key)
+    }
+
+    /// Iterate over all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Record)> {
+        self.partitions.iter().flat_map(|p| p.tree.iter())
+    }
+
+    /// Collect entries in `[from, to)` across partitions.
+    pub fn range(&self, from: Option<&Key>, to: Option<&Key>) -> Vec<(&Key, &Record)> {
+        let mut out = Vec::new();
+        for p in &self.partitions {
+            out.extend(p.tree.range(from, to));
+        }
+        out
+    }
+
+    /// Move the memory allocation of partition `idx` to `node` (models
+    /// `numactl`-style placement and ATraPos partition placement).
+    pub fn set_memory_node(&mut self, idx: usize, node: SocketId) {
+        self.partitions[idx].memory_node = node;
+        self.partitions[idx].latch = SimResource::new(node);
+    }
+
+    /// Split partition `idx` at `boundary`.  The upper half becomes a new
+    /// partition (inserted at `idx + 1`) allocated on `new_node`.
+    ///
+    /// Returns the number of records moved.
+    pub fn split_partition(
+        &mut self,
+        idx: usize,
+        boundary: Key,
+        new_node: SocketId,
+    ) -> StorageResult<usize> {
+        if idx >= self.partitions.len() {
+            return Err(StorageError::InvalidPartitionBoundary(format!(
+                "partition index {idx} out of range"
+            )));
+        }
+        // The boundary must lie strictly inside the partition's range.
+        if let Some(lower) = &self.partitions[idx].lower {
+            if boundary <= *lower {
+                return Err(StorageError::InvalidPartitionBoundary(format!(
+                    "boundary {boundary} not above partition lower bound {lower}"
+                )));
+            }
+        }
+        if let Some(upper) = self.upper_bound(idx) {
+            if boundary >= *upper {
+                return Err(StorageError::InvalidPartitionBoundary(format!(
+                    "boundary {boundary} not below next partition bound {upper}"
+                )));
+            }
+        }
+        let right_tree = self.partitions[idx].tree.split_off(&boundary);
+        let moved = right_tree.len();
+        let mut new_part = PartitionTree::new(Some(boundary), new_node);
+        new_part.tree = right_tree;
+        self.partitions.insert(idx + 1, new_part);
+        Ok(moved)
+    }
+
+    /// Merge partition `idx + 1` into partition `idx`.
+    ///
+    /// Returns the number of records moved.
+    pub fn merge_with_next(&mut self, idx: usize) -> StorageResult<usize> {
+        if idx + 1 >= self.partitions.len() {
+            return Err(StorageError::InvalidPartitionBoundary(format!(
+                "no partition after index {idx} to merge with"
+            )));
+        }
+        let right = self.partitions.remove(idx + 1);
+        let moved = right.tree.len();
+        self.partitions[idx].tree.merge_from(right.tree);
+        Ok(moved)
+    }
+
+    /// Check structural invariants: boundaries strictly increasing, every
+    /// key within its partition's range, every per-partition tree valid.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.partitions.is_empty() {
+            return Err("multi-rooted tree must have at least one partition".into());
+        }
+        if self.partitions[0].lower.is_some() {
+            return Err("first partition must be unbounded below".into());
+        }
+        for w in self.partitions.windows(2) {
+            match (&w[0].lower, &w[1].lower) {
+                (_, None) => return Err("only the first partition may be unbounded".into()),
+                (Some(a), Some(b)) if a >= b => {
+                    return Err(format!("partition bounds out of order: {a} >= {b}"))
+                }
+                _ => {}
+            }
+        }
+        for (i, p) in self.partitions.iter().enumerate() {
+            p.tree.check_invariants()?;
+            let lower = p.lower.as_ref();
+            let upper = self.upper_bound(i);
+            for (k, _) in p.tree.iter() {
+                if let Some(lo) = lower {
+                    if k < lo {
+                        return Err(format!("key {k} below partition {i} lower bound {lo}"));
+                    }
+                }
+                if let Some(hi) = upper {
+                    if k >= hi {
+                        return Err(format!("key {k} at/above partition {i} upper bound {hi}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Value;
+
+    fn rec(v: i64) -> Record {
+        Record::new(vec![Value::Int(v)])
+    }
+
+    fn loaded(n: i64, parts: usize) -> MrBTree {
+        let boundaries: Vec<Key> = (1..parts as i64)
+            .map(|i| Key::int(i * n / parts as i64))
+            .collect();
+        let nodes = vec![SocketId(0); parts];
+        let mut t = MrBTree::range_partitioned(boundaries, nodes);
+        for i in 0..n {
+            t.insert(Key::int(i), rec(i));
+        }
+        t
+    }
+
+    #[test]
+    fn single_partition_roundtrip() {
+        let mut t = MrBTree::new(SocketId(0));
+        for i in 0..100 {
+            t.insert(Key::int(i), rec(i));
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.num_partitions(), 1);
+        assert!(t.contains(&Key::int(50)));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_partitioning_routes_keys_to_the_right_partition() {
+        let t = loaded(1000, 4);
+        assert_eq!(t.num_partitions(), 4);
+        assert_eq!(t.partition_for(&Key::int(0)), 0);
+        assert_eq!(t.partition_for(&Key::int(249)), 0);
+        assert_eq!(t.partition_for(&Key::int(250)), 1);
+        assert_eq!(t.partition_for(&Key::int(999)), 3);
+        // Every partition got roughly a quarter of the data.
+        for i in 0..4 {
+            assert_eq!(t.partition(i).tree.len(), 250);
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_moves_upper_range_to_new_partition() {
+        let mut t = loaded(1000, 2);
+        assert_eq!(t.num_partitions(), 2);
+        let moved = t.split_partition(0, Key::int(100), SocketId(1)).unwrap();
+        assert_eq!(moved, 400); // keys 100..500 move
+        assert_eq!(t.num_partitions(), 3);
+        assert_eq!(t.partition(1).memory_node, SocketId(1));
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+        assert_eq!(t.partition_for(&Key::int(99)), 0);
+        assert_eq!(t.partition_for(&Key::int(100)), 1);
+        assert_eq!(t.partition_for(&Key::int(500)), 2);
+    }
+
+    #[test]
+    fn split_rejects_out_of_range_boundaries() {
+        let mut t = loaded(1000, 2);
+        assert!(t.split_partition(1, Key::int(100), SocketId(0)).is_err());
+        assert!(t.split_partition(0, Key::int(500), SocketId(0)).is_err());
+        assert!(t.split_partition(5, Key::int(100), SocketId(0)).is_err());
+    }
+
+    #[test]
+    fn merge_combines_adjacent_partitions() {
+        let mut t = loaded(1000, 4);
+        let moved = t.merge_with_next(1).unwrap();
+        assert_eq!(moved, 250);
+        assert_eq!(t.num_partitions(), 3);
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+        // All keys still reachable.
+        for i in (0..1000).step_by(37) {
+            assert!(t.contains(&Key::int(i)));
+        }
+        assert!(t.merge_with_next(2).is_err());
+    }
+
+    #[test]
+    fn rearrangement_is_a_split_plus_merge() {
+        let mut t = loaded(1000, 4);
+        // Move the 600..750 range from partition 2 into partition 3:
+        // split partition 2 at 600, then merge the new middle piece right.
+        t.split_partition(2, Key::int(600), SocketId(3)).unwrap();
+        assert_eq!(t.num_partitions(), 5);
+        t.merge_with_next(3).unwrap();
+        assert_eq!(t.num_partitions(), 4);
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn removal_and_iteration() {
+        let mut t = loaded(100, 3);
+        assert!(t.remove(&Key::int(42)).is_some());
+        assert!(t.remove(&Key::int(42)).is_none());
+        assert_eq!(t.len(), 99);
+        let keys: Vec<i64> = t.iter().map(|(k, _)| k.head_int()).collect();
+        assert_eq!(keys.len(), 99);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn memory_node_reassignment() {
+        let mut t = loaded(100, 2);
+        t.set_memory_node(1, SocketId(5));
+        assert_eq!(t.partition(1).memory_node, SocketId(5));
+    }
+}

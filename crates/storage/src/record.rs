@@ -1,0 +1,382 @@
+//! Values, records, and keys.
+
+use crate::schema::{ColumnType, Schema};
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Variable-length string.
+    Text(String),
+    /// 64-bit float (ordered by total order; never used in keys by the
+    /// built-in workloads).
+    Double(f64),
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            // Heterogeneous comparisons order by type tag; they only occur
+            // if a caller mixes key shapes, which the tables reject anyway.
+            (Int(_), _) => Ordering::Less,
+            (_, Int(_)) => Ordering::Greater,
+            (Text(_), _) => Ordering::Less,
+            (_, Text(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl Value {
+    /// The column type this value belongs to.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Text(_) => ColumnType::Text,
+            Value::Double(_) => ColumnType::Double,
+        }
+    }
+
+    /// Extract an integer, panicking on type mismatch (used by workloads
+    /// that know their schema).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// Extract a float.
+    pub fn as_double(&self) -> f64 {
+        match self {
+            Value::Double(v) => *v,
+            Value::Int(v) => *v as f64,
+            other => panic!("expected Double, got {other:?}"),
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_text(&self) -> &str {
+        match self {
+            Value::Text(v) => v,
+            other => panic!("expected Text, got {other:?}"),
+        }
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Value::Int(_) | Value::Double(_) => 8,
+            Value::Text(s) => s.len() as u64,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "'{v}'"),
+            Value::Double(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A (possibly composite) key: the primary-key column values in key order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
+pub struct Key(Vec<KeyValue>);
+
+/// Key-safe value (hashable); floats are not allowed in keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
+pub enum KeyValue {
+    /// Integer key component.
+    Int(i64),
+    /// Text key component.
+    Text(String),
+}
+
+impl From<Value> for KeyValue {
+    fn from(v: Value) -> Self {
+        match v {
+            Value::Int(i) => KeyValue::Int(i),
+            Value::Text(s) => KeyValue::Text(s),
+            Value::Double(_) => panic!("floating-point values cannot be used as keys"),
+        }
+    }
+}
+
+impl From<KeyValue> for Value {
+    fn from(v: KeyValue) -> Self {
+        match v {
+            KeyValue::Int(i) => Value::Int(i),
+            KeyValue::Text(s) => Value::Text(s),
+        }
+    }
+}
+
+impl Key {
+    /// Build a key from raw values.
+    pub fn from(values: Vec<Value>) -> Self {
+        assert!(!values.is_empty(), "keys must have at least one component");
+        Key(values.into_iter().map(KeyValue::from).collect())
+    }
+
+    /// A single-integer key (the common case for the microbenchmarks and
+    /// TATP).
+    pub fn int(v: i64) -> Self {
+        Key(vec![KeyValue::Int(v)])
+    }
+
+    /// A composite integer key (e.g. TPC-C `(w_id, d_id, o_id)`).
+    pub fn ints(vs: &[i64]) -> Self {
+        assert!(!vs.is_empty());
+        Key(vs.iter().map(|&v| KeyValue::Int(v)).collect())
+    }
+
+    /// Key components.
+    pub fn components(&self) -> &[KeyValue] {
+        &self.0
+    }
+
+    /// First component as an integer (panics if not an int key).
+    pub fn head_int(&self) -> i64 {
+        match &self.0[0] {
+            KeyValue::Int(v) => *v,
+            other => panic!("expected Int key head, got {other:?}"),
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key has no components (never true for constructed keys).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.0
+            .iter()
+            .map(|v| match v {
+                KeyValue::Int(_) => 8,
+                KeyValue::Text(s) => s.len() as u64,
+            })
+            .sum()
+    }
+
+    /// Serialize into an order-preserving byte string (useful for debugging
+    /// and for hashing keys across instance boundaries).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 * self.0.len());
+        for v in &self.0 {
+            match v {
+                KeyValue::Int(i) => {
+                    buf.put_u8(0x01);
+                    // Flip the sign bit so that the byte order matches the
+                    // numeric order.
+                    buf.put_u64((*i as u64) ^ (1 << 63));
+                }
+                KeyValue::Text(s) => {
+                    buf.put_u8(0x02);
+                    buf.put_slice(s.as_bytes());
+                    buf.put_u8(0x00);
+                }
+            }
+        }
+        buf.freeze()
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match v {
+                KeyValue::Int(x) => write!(f, "{x}")?,
+                KeyValue::Text(s) => write!(f, "'{s}'")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A tuple: one value per column of the table schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Build a record from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value of column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Overwrite column `i`.
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.values[i] = v;
+    }
+
+    /// Extract the primary key of this record according to `schema`.
+    pub fn key(&self, schema: &Schema) -> Key {
+        Key::from(
+            schema
+                .primary_key
+                .iter()
+                .map(|&i| self.values[i].clone())
+                .collect(),
+        )
+    }
+
+    /// Whether the record matches the schema's column count and types.
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.values.len() == schema.columns.len()
+            && self
+                .values
+                .iter()
+                .zip(&schema.columns)
+                .all(|(v, c)| v.column_type() == c.ty)
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.values.iter().map(Value::size_bytes).sum()
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(values: Vec<Value>) -> Self {
+        Record::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    #[test]
+    fn integer_keys_order_numerically() {
+        assert!(Key::int(-5) < Key::int(3));
+        assert!(Key::int(3) < Key::int(30));
+        assert_eq!(Key::int(7), Key::int(7));
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        assert!(Key::ints(&[1, 5]) < Key::ints(&[2, 0]));
+        assert!(Key::ints(&[1, 5]) < Key::ints(&[1, 6]));
+        assert!(Key::ints(&[1]) < Key::ints(&[1, 0]));
+    }
+
+    #[test]
+    fn key_encoding_preserves_integer_order() {
+        let keys = [-100i64, -1, 0, 1, 5, 1_000_000];
+        for w in keys.windows(2) {
+            let a = Key::int(w[0]).encode();
+            let b = Key::int(w[1]).encode();
+            assert!(a < b, "{:?} should sort before {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "floating-point")]
+    fn float_keys_are_rejected() {
+        let _ = Key::from(vec![Value::Double(1.5)]);
+    }
+
+    #[test]
+    fn record_key_extraction_follows_schema() {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Text),
+                Column::new("c", ColumnType::Int),
+            ],
+            vec![2, 0],
+        );
+        let r = Record::new(vec![Value::Int(1), Value::from("x"), Value::Int(9)]);
+        assert_eq!(r.key(&schema), Key::ints(&[9, 1]));
+        assert!(r.conforms_to(&schema));
+        let bad = Record::new(vec![Value::Int(1), Value::Int(2), Value::Int(9)]);
+        assert!(!bad.conforms_to(&schema));
+    }
+
+    #[test]
+    fn value_accessors_and_sizes() {
+        assert_eq!(Value::Int(5).as_int(), 5);
+        assert_eq!(Value::from("abc").as_text(), "abc");
+        assert_eq!(Value::Double(2.5).as_double(), 2.5);
+        assert_eq!(Value::from("abcd").size_bytes(), 4);
+        let r = Record::new(vec![Value::Int(1), Value::from("abcd")]);
+        assert_eq!(r.size_bytes(), 12);
+    }
+
+    #[test]
+    fn doubles_order_totally() {
+        assert!(Value::Double(f64::NEG_INFINITY) < Value::Double(0.0));
+        assert!(Value::Double(1.0) < Value::Double(f64::INFINITY));
+    }
+}

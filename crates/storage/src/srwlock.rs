@@ -1,0 +1,163 @@
+//! Shared state read/write locks: centralized vs NUMA-partitioned.
+//!
+//! A typical storage manager protects global state (volume metadata,
+//! checkpoint state, ...) with read/write locks that every transaction
+//! acquires in *read* mode for a short moment in its critical path, while
+//! background tasks (checkpointing) occasionally acquire them in *write*
+//! mode (paper §IV, "Shared locks").  Acquiring even a read lock writes the
+//! lock word, so on a multisocket machine every transaction pays a remote
+//! cache-line transfer.
+//!
+//! The NUMA-aware variant keeps one lock per socket: readers touch only
+//! their socket-local lock word, writers acquire every per-socket lock.
+
+use atrapos_numa::{AccessKind, Component, ContendedLine, Cycles, SimCtx, SocketId, WaitMode};
+use serde::{Deserialize, Serialize};
+
+/// Instruction cost of the read-lock fast path (check + increment).
+const READ_LOCK_INSTRUCTIONS: u64 = 20;
+
+/// A state read/write lock, possibly partitioned by socket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StateRwLock {
+    /// Human-readable name (e.g. "volume lock", "checkpoint mutex").
+    pub name: String,
+    words: Vec<ContendedLine>,
+    /// Maps a socket to the word it should use.
+    socket_to_word: Vec<usize>,
+    /// Number of write (background) acquisitions.
+    pub write_acquisitions: u64,
+}
+
+impl StateRwLock {
+    /// A single centralized lock word homed on socket 0.
+    pub fn centralized(name: impl Into<String>, n_sockets: usize) -> Self {
+        Self {
+            name: name.into(),
+            words: vec![ContendedLine::new(SocketId(0))],
+            socket_to_word: vec![0; n_sockets],
+            write_acquisitions: 0,
+        }
+    }
+
+    /// One lock word per socket (NUMA-aware).
+    pub fn per_socket(name: impl Into<String>, n_sockets: usize) -> Self {
+        Self {
+            name: name.into(),
+            words: (0..n_sockets)
+                .map(|s| ContendedLine::new(SocketId(s as u16)))
+                .collect(),
+            socket_to_word: (0..n_sockets).collect(),
+            write_acquisitions: 0,
+        }
+    }
+
+    /// Whether this is the NUMA-partitioned variant.
+    pub fn is_partitioned(&self) -> bool {
+        self.words.len() > 1
+    }
+
+    /// Acquire in read mode from the calling context's socket (critical
+    /// path).  Returns the cycles consumed.
+    pub fn read_acquire(&mut self, ctx: &mut SimCtx<'_>) -> Cycles {
+        let w = self.socket_to_word[ctx.socket().index()];
+        let spent = ctx.access_line(
+            Component::XctManagement,
+            &mut self.words[w],
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
+        ctx.work(Component::XctManagement, READ_LOCK_INSTRUCTIONS);
+        spent
+    }
+
+    /// Release a read acquisition (decrement of the local word).
+    pub fn read_release(&mut self, ctx: &mut SimCtx<'_>) -> Cycles {
+        let w = self.socket_to_word[ctx.socket().index()];
+        let spent = ctx.access_line(
+            Component::XctManagement,
+            &mut self.words[w],
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
+        spent
+    }
+
+    /// Acquire in write mode (background task): in the centralized variant
+    /// this is a single exclusive access, in the partitioned variant every
+    /// per-socket word must be taken.  Returns the cycles consumed.
+    pub fn write_acquire(&mut self, ctx: &mut SimCtx<'_>) -> Cycles {
+        self.write_acquisitions += 1;
+        let mut total = 0;
+        for word in &mut self.words {
+            total += ctx.access_line(
+                Component::XctManagement,
+                word,
+                AccessKind::Rmw,
+                WaitMode::Stall,
+            );
+        }
+        total
+    }
+
+    /// Exclusive accesses that crossed a socket boundary.
+    pub fn remote_accesses(&self) -> u64 {
+        self.words.iter().map(|w| w.remote_accesses).sum()
+    }
+
+    /// Total exclusive accesses.
+    pub fn total_rmws(&self) -> u64 {
+        self.words.iter().map(|w| w.rmw_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atrapos_numa::{CoreId, CostModel, Topology};
+
+    #[test]
+    fn partitioned_read_acquisitions_stay_local() {
+        let topo = Topology::multisocket(8, 2);
+        let cost = CostModel::westmere();
+        let mut lock = StateRwLock::per_socket("volume", 8);
+        let mut now = 0;
+        for i in 0..16u32 {
+            let mut ctx = SimCtx::new(&topo, &cost, CoreId(i % 16), now);
+            lock.read_acquire(&mut ctx);
+            lock.read_release(&mut ctx);
+            now = ctx.now();
+        }
+        assert_eq!(lock.remote_accesses(), 0);
+    }
+
+    #[test]
+    fn centralized_read_acquisitions_bounce() {
+        let topo = Topology::multisocket(8, 2);
+        let cost = CostModel::westmere();
+        let mut lock = StateRwLock::centralized("volume", 8);
+        let mut now = 0;
+        let mut remote_cost = 0;
+        for i in 0..16u32 {
+            let mut ctx = SimCtx::new(&topo, &cost, CoreId((i * 2) % 16), now);
+            lock.read_acquire(&mut ctx);
+            remote_cost += ctx.elapsed();
+            now = ctx.now();
+        }
+        assert!(lock.remote_accesses() > 0);
+        assert!(remote_cost > 16 * cost.llc_local);
+    }
+
+    #[test]
+    fn write_acquire_touches_every_partition() {
+        let topo = Topology::multisocket(4, 2);
+        let cost = CostModel::westmere();
+        let mut lock = StateRwLock::per_socket("checkpoint", 4);
+        let mut ctx = SimCtx::new(&topo, &cost, CoreId(0), 0);
+        lock.write_acquire(&mut ctx);
+        assert_eq!(lock.write_acquisitions, 1);
+        assert_eq!(lock.total_rmws(), 4);
+        // Three of the four words live on remote sockets.
+        assert_eq!(lock.remote_accesses(), 3);
+    }
+}

@@ -1,0 +1,383 @@
+//! Tables: schema + a (possibly partitioned) primary index holding the
+//! records.
+//!
+//! Every simulated access charges an index-probe cost proportional to the
+//! tree height plus a memory access to the partition's NUMA node, so the
+//! remote-memory experiments (paper §III-D, Table I) and the partition
+//! placement decisions of ATraPos have a physical effect.
+
+use crate::error::{StorageError, StorageResult};
+use crate::mrbtree::MrBTree;
+use crate::record::{Key, Record, Value};
+use crate::schema::{Schema, TableId};
+use atrapos_numa::{Component, SimCtx, SocketId};
+use serde::{Deserialize, Serialize};
+
+/// Instruction cost of descending one B+-tree level.
+const PROBE_INSTRUCTIONS_PER_LEVEL: u64 = 55;
+/// Fixed instruction cost of a tuple read/update once located.
+const TUPLE_WORK_INSTRUCTIONS: u64 = 140;
+/// Extra instruction cost of an insert/delete (leaf maintenance).
+const STRUCTURE_CHANGE_INSTRUCTIONS: u64 = 220;
+
+/// A table: schema plus the multi-rooted primary index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table identifier.
+    pub id: TableId,
+    /// Table schema.
+    pub schema: Schema,
+    index: MrBTree,
+}
+
+impl Table {
+    /// A single-partition table allocated on `memory_node`.
+    pub fn new(id: TableId, schema: Schema, memory_node: SocketId) -> Self {
+        Self {
+            id,
+            schema,
+            index: MrBTree::new(memory_node),
+        }
+    }
+
+    /// A range-partitioned table (see [`MrBTree::range_partitioned`]).
+    pub fn range_partitioned(
+        id: TableId,
+        schema: Schema,
+        boundaries: Vec<Key>,
+        memory_nodes: Vec<SocketId>,
+    ) -> Self {
+        Self {
+            id,
+            schema,
+            index: MrBTree::range_partitioned(boundaries, memory_nodes),
+        }
+    }
+
+    /// Table name (from the schema).
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Direct access to the underlying multi-rooted index (partitioning
+    /// metadata, repartitioning).
+    pub fn index(&self) -> &MrBTree {
+        &self.index
+    }
+
+    /// Mutable access to the underlying index.
+    pub fn index_mut(&mut self) -> &mut MrBTree {
+        &mut self.index
+    }
+
+    /// Populate the table outside of simulation (initial load).  Returns an
+    /// error on schema mismatch or duplicate key.
+    pub fn load(&mut self, record: Record) -> StorageResult<()> {
+        if !record.conforms_to(&self.schema) {
+            return Err(StorageError::SchemaMismatch {
+                table: self.id,
+                expected: self.schema.arity(),
+                got: record.arity(),
+            });
+        }
+        let key = record.key(&self.schema);
+        if self.index.insert(key.clone(), record).is_some() {
+            return Err(StorageError::DuplicateKey {
+                table: self.id,
+                key,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bulk-populate from an iterator of records (initial load).
+    pub fn load_many(&mut self, records: impl IntoIterator<Item = Record>) -> StorageResult<usize> {
+        let mut n = 0;
+        for r in records {
+            self.load(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn charge_probe(&self, ctx: &mut SimCtx<'_>, partition: usize) {
+        let p = self.index.partition(partition);
+        let height = p.tree.height() as u64;
+        ctx.work(
+            Component::XctExecution,
+            PROBE_INSTRUCTIONS_PER_LEVEL * height,
+        );
+        ctx.memory_read(
+            Component::XctExecution,
+            p.memory_node,
+            self.schema.record_bytes,
+        );
+    }
+
+    /// Read a record by primary key.
+    pub fn read(&self, ctx: &mut SimCtx<'_>, key: &Key) -> StorageResult<Record> {
+        let partition = self.index.partition_for(key);
+        self.charge_probe(ctx, partition);
+        ctx.work(Component::XctExecution, TUPLE_WORK_INSTRUCTIONS);
+        self.index
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StorageError::KeyNotFound {
+                table: self.id,
+                key: key.clone(),
+            })
+    }
+
+    /// Update columns of an existing record.
+    pub fn update(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        key: &Key,
+        changes: &[(usize, Value)],
+    ) -> StorageResult<()> {
+        let partition = self.index.partition_for(key);
+        self.charge_probe(ctx, partition);
+        ctx.work(
+            Component::XctExecution,
+            TUPLE_WORK_INSTRUCTIONS + 30 * changes.len() as u64,
+        );
+        let record = self
+            .index
+            .get_mut(key)
+            .ok_or_else(|| StorageError::KeyNotFound {
+                table: self.id,
+                key: key.clone(),
+            })?;
+        for (col, value) in changes {
+            record.set(*col, value.clone());
+        }
+        Ok(())
+    }
+
+    /// Insert a new record.
+    pub fn insert(&mut self, ctx: &mut SimCtx<'_>, record: Record) -> StorageResult<Key> {
+        if !record.conforms_to(&self.schema) {
+            return Err(StorageError::SchemaMismatch {
+                table: self.id,
+                expected: self.schema.arity(),
+                got: record.arity(),
+            });
+        }
+        let key = record.key(&self.schema);
+        let partition = self.index.partition_for(&key);
+        self.charge_probe(ctx, partition);
+        ctx.work(
+            Component::XctExecution,
+            TUPLE_WORK_INSTRUCTIONS + STRUCTURE_CHANGE_INSTRUCTIONS,
+        );
+        if self.index.insert(key.clone(), record).is_some() {
+            return Err(StorageError::DuplicateKey {
+                table: self.id,
+                key,
+            });
+        }
+        Ok(key)
+    }
+
+    /// Delete a record by primary key.
+    pub fn delete(&mut self, ctx: &mut SimCtx<'_>, key: &Key) -> StorageResult<Record> {
+        let partition = self.index.partition_for(key);
+        self.charge_probe(ctx, partition);
+        ctx.work(
+            Component::XctExecution,
+            TUPLE_WORK_INSTRUCTIONS + STRUCTURE_CHANGE_INSTRUCTIONS,
+        );
+        self.index
+            .remove(key)
+            .ok_or_else(|| StorageError::KeyNotFound {
+                table: self.id,
+                key: key.clone(),
+            })
+    }
+
+    /// Read up to `limit` records with keys in `[from, to)`.
+    pub fn range_read(
+        &self,
+        ctx: &mut SimCtx<'_>,
+        from: Option<&Key>,
+        to: Option<&Key>,
+        limit: usize,
+    ) -> Vec<Record> {
+        let rows: Vec<Record> = self
+            .index
+            .range(from, to)
+            .into_iter()
+            .take(limit)
+            .map(|(_, r)| r.clone())
+            .collect();
+        // Charge a probe on the first relevant partition plus streaming cost
+        // for the scanned rows.
+        let start_partition = from.map(|k| self.index.partition_for(k)).unwrap_or(0);
+        self.charge_probe(ctx, start_partition);
+        let node = self.index.partition(start_partition).memory_node;
+        ctx.memory_read(
+            Component::XctExecution,
+            node,
+            self.schema.record_bytes * rows.len() as u64,
+        );
+        ctx.work(
+            Component::XctExecution,
+            TUPLE_WORK_INSTRUCTIONS / 4 * rows.len() as u64,
+        );
+        rows
+    }
+
+    /// Read a record without charging simulation costs (tests, loaders,
+    /// consistency checks).
+    pub fn peek(&self, key: &Key) -> Option<&Record> {
+        self.index.get(key)
+    }
+
+    /// Number of partitions of the primary index.
+    pub fn num_partitions(&self) -> usize {
+        self.index.num_partitions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use atrapos_numa::{CoreId, CostModel, Topology};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "accounts",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("balance", ColumnType::Int),
+                Column::new("owner", ColumnType::Text),
+            ],
+            vec![0],
+        )
+    }
+
+    fn rec(id: i64, balance: i64) -> Record {
+        Record::new(vec![
+            Value::Int(id),
+            Value::Int(balance),
+            Value::from(format!("owner-{id}")),
+        ])
+    }
+
+    fn env() -> (Topology, CostModel) {
+        (Topology::multisocket(4, 2), CostModel::westmere())
+    }
+
+    #[test]
+    fn load_and_read_roundtrip() {
+        let (t, c) = env();
+        let mut table = Table::new(TableId(0), schema(), SocketId(0));
+        table.load_many((0..100).map(|i| rec(i, 1000 + i))).unwrap();
+        assert_eq!(table.len(), 100);
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        let r = table.read(&mut ctx, &Key::int(42)).unwrap();
+        assert_eq!(r.get(1).as_int(), 1042);
+        assert!(ctx.elapsed() > 0);
+        assert!(matches!(
+            table.read(&mut ctx, &Key::int(500)),
+            Err(StorageError::KeyNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_load_is_rejected() {
+        let mut table = Table::new(TableId(0), schema(), SocketId(0));
+        table.load(rec(1, 10)).unwrap();
+        assert!(matches!(
+            table.load(rec(1, 20)),
+            Err(StorageError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut table = Table::new(TableId(0), schema(), SocketId(0));
+        let bad = Record::new(vec![Value::Int(1), Value::Int(2)]);
+        assert!(matches!(
+            table.load(bad),
+            Err(StorageError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn update_changes_selected_columns() {
+        let (t, c) = env();
+        let mut table = Table::new(TableId(0), schema(), SocketId(0));
+        table.load(rec(7, 700)).unwrap();
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        table
+            .update(&mut ctx, &Key::int(7), &[(1, Value::Int(999))])
+            .unwrap();
+        assert_eq!(table.peek(&Key::int(7)).unwrap().get(1).as_int(), 999);
+        assert_eq!(table.peek(&Key::int(7)).unwrap().get(2).as_text(), "owner-7");
+    }
+
+    #[test]
+    fn insert_and_delete_in_simulation() {
+        let (t, c) = env();
+        let mut table = Table::new(TableId(0), schema(), SocketId(0));
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        let key = table.insert(&mut ctx, rec(1, 100)).unwrap();
+        assert_eq!(key, Key::int(1));
+        assert!(table.insert(&mut ctx, rec(1, 100)).is_err());
+        let removed = table.delete(&mut ctx, &Key::int(1)).unwrap();
+        assert_eq!(removed.get(1).as_int(), 100);
+        assert!(table.delete(&mut ctx, &Key::int(1)).is_err());
+    }
+
+    #[test]
+    fn remote_partition_reads_cost_more_than_local() {
+        let (t, c) = env();
+        // Same data, one table on the local node, one on a remote node.
+        let mut local = Table::new(TableId(0), schema(), SocketId(0));
+        let mut remote = Table::new(TableId(1), schema(), SocketId(3));
+        local.load(rec(1, 1)).unwrap();
+        remote.load(rec(1, 1)).unwrap();
+        let mut ctx_l = SimCtx::new(&t, &c, CoreId(0), 0);
+        local.read(&mut ctx_l, &Key::int(1)).unwrap();
+        let mut ctx_r = SimCtx::new(&t, &c, CoreId(0), 0);
+        remote.read(&mut ctx_r, &Key::int(1)).unwrap();
+        assert!(ctx_r.elapsed() > ctx_l.elapsed());
+    }
+
+    #[test]
+    fn range_read_respects_limit_and_bounds() {
+        let (t, c) = env();
+        let mut table = Table::new(TableId(0), schema(), SocketId(0));
+        table.load_many((0..50).map(|i| rec(i, i))).unwrap();
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        let rows = table.range_read(&mut ctx, Some(&Key::int(10)), Some(&Key::int(40)), 5);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].get(0).as_int(), 10);
+    }
+
+    #[test]
+    fn partitioned_table_routes_by_key() {
+        let boundaries = vec![Key::int(50)];
+        let table = Table::range_partitioned(
+            TableId(0),
+            schema(),
+            boundaries,
+            vec![SocketId(0), SocketId(1)],
+        );
+        assert_eq!(table.num_partitions(), 2);
+        assert_eq!(table.index().partition_for(&Key::int(10)), 0);
+        assert_eq!(table.index().partition_for(&Key::int(60)), 1);
+    }
+}

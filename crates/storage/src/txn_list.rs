@@ -1,0 +1,219 @@
+//! The list of active transactions.
+//!
+//! In Shore-MT this is a centralized lock-free list: beginning a transaction
+//! CASes the list head, and so does removing it at commit.  On a multisocket
+//! machine the head's cache line bounces between sockets and every
+//! short-lived transaction pays hundreds of cycles for it (paper §IV, "List
+//! of transactions").  ATraPos replaces it with one list per socket: adding
+//! and removing are then socket-local, and background operations that need
+//! the global view (checkpointing, page cleaning) simply walk all per-socket
+//! lists.
+
+use crate::txn::TxnId;
+use atrapos_numa::{AccessKind, Component, ContendedLine, SimCtx, SocketId, WaitMode};
+use serde::{Deserialize, Serialize};
+
+/// Instruction cost of the list manipulation itself (pointer swizzling),
+/// excluding the cache-line transfer which the simulator charges separately.
+const LIST_OP_INSTRUCTIONS: u64 = 40;
+
+/// A list of active transactions: either one centralized list or one list
+/// per socket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxnList {
+    partitions: Vec<TxnListPartition>,
+    /// Maps a socket to the partition index it should use (all zeros for the
+    /// centralized variant).
+    socket_to_partition: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TxnListPartition {
+    head: ContendedLine,
+    active: Vec<TxnId>,
+}
+
+impl TxnList {
+    /// A single centralized list whose head line is homed on socket 0, as in
+    /// stock Shore-MT.
+    pub fn centralized(n_sockets: usize) -> Self {
+        Self {
+            partitions: vec![TxnListPartition {
+                head: ContendedLine::new(SocketId(0)),
+                active: Vec::new(),
+            }],
+            socket_to_partition: vec![0; n_sockets],
+        }
+    }
+
+    /// One list per socket (the ATraPos NUMA-aware variant).
+    pub fn per_socket(n_sockets: usize) -> Self {
+        Self {
+            partitions: (0..n_sockets)
+                .map(|s| TxnListPartition {
+                    head: ContendedLine::new(SocketId(s as u16)),
+                    active: Vec::new(),
+                })
+                .collect(),
+            socket_to_partition: (0..n_sockets).collect(),
+        }
+    }
+
+    /// Whether this is the NUMA-partitioned variant.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitions.len() > 1
+    }
+
+    fn partition_for(&self, socket: SocketId) -> usize {
+        self.socket_to_partition[socket.index()]
+    }
+
+    /// Register a transaction as active.  Charges the CAS on the list head
+    /// of the caller's partition.
+    pub fn add(&mut self, ctx: &mut SimCtx<'_>, txn: TxnId) {
+        let p = self.partition_for(ctx.socket());
+        let part = &mut self.partitions[p];
+        ctx.access_line(
+            Component::XctManagement,
+            &mut part.head,
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
+        ctx.work(Component::XctManagement, LIST_OP_INSTRUCTIONS);
+        part.active.push(txn);
+    }
+
+    /// Remove a transaction at commit/abort.  Must be called from the same
+    /// socket that added it (ATraPos guarantees this through thread
+    /// binding).
+    pub fn remove(&mut self, ctx: &mut SimCtx<'_>, txn: TxnId) {
+        let p = self.partition_for(ctx.socket());
+        let part = &mut self.partitions[p];
+        ctx.access_line(
+            Component::XctManagement,
+            &mut part.head,
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
+        ctx.work(Component::XctManagement, LIST_OP_INSTRUCTIONS);
+        if let Some(pos) = part.active.iter().position(|t| *t == txn) {
+            part.active.swap_remove(pos);
+        }
+    }
+
+    /// Number of currently active transactions across all partitions
+    /// (a background-thread style traversal; not charged to any context).
+    pub fn active_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.active.len()).sum()
+    }
+
+    /// Snapshot of all active transactions, as a checkpointing thread would
+    /// collect it.  Charges one read of every partition head to `ctx`.
+    pub fn snapshot(&mut self, ctx: &mut SimCtx<'_>) -> Vec<TxnId> {
+        let mut out = Vec::with_capacity(self.active_count());
+        for part in &mut self.partitions {
+            ctx.access_line(
+                Component::XctManagement,
+                &mut part.head,
+                AccessKind::Read,
+                WaitMode::Stall,
+            );
+            ctx.work(Component::XctManagement, part.active.len() as u64 * 8);
+            out.extend(part.active.iter().copied());
+        }
+        out
+    }
+
+    /// Total number of exclusive accesses to list heads (contention metric).
+    pub fn total_head_rmws(&self) -> u64 {
+        self.partitions.iter().map(|p| p.head.rmw_count).sum()
+    }
+
+    /// Exclusive head accesses that crossed a socket boundary.
+    pub fn remote_head_accesses(&self) -> u64 {
+        self.partitions.iter().map(|p| p.head.remote_accesses).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atrapos_numa::{CoreId, CostModel, Topology};
+
+    fn machine() -> (Topology, CostModel) {
+        (Topology::multisocket(4, 2), CostModel::westmere())
+    }
+
+    #[test]
+    fn add_and_remove_maintain_active_set() {
+        let (t, c) = machine();
+        let mut list = TxnList::centralized(4);
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        list.add(&mut ctx, TxnId(1));
+        list.add(&mut ctx, TxnId(2));
+        assert_eq!(list.active_count(), 2);
+        list.remove(&mut ctx, TxnId(1));
+        assert_eq!(list.active_count(), 1);
+        let snap = list.snapshot(&mut ctx);
+        assert_eq!(snap, vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn centralized_list_bounces_across_sockets() {
+        let (t, c) = machine();
+        let mut list = TxnList::centralized(4);
+        // Cores on different sockets take turns: every access is remote
+        // relative to the previous owner.
+        let mut now = 0;
+        for i in 0..8u64 {
+            let core = CoreId(((i % 4) * 2) as u32);
+            let mut ctx = SimCtx::new(&t, &c, core, now);
+            list.add(&mut ctx, TxnId(i));
+            now = ctx.now();
+        }
+        assert!(list.remote_head_accesses() >= 6);
+    }
+
+    #[test]
+    fn per_socket_lists_keep_accesses_local() {
+        let (t, c) = machine();
+        let mut list = TxnList::per_socket(4);
+        assert!(list.is_partitioned());
+        let mut now = 0;
+        for i in 0..8u64 {
+            let core = CoreId(((i % 4) * 2) as u32);
+            let mut ctx = SimCtx::new(&t, &c, core, now);
+            list.add(&mut ctx, TxnId(i));
+            now = ctx.now();
+        }
+        assert_eq!(list.remote_head_accesses(), 0);
+        assert_eq!(list.active_count(), 8);
+    }
+
+    #[test]
+    fn per_socket_add_is_cheaper_than_contended_centralized_add() {
+        let (t, c) = machine();
+        let mut central = TxnList::centralized(4);
+        let mut local = TxnList::per_socket(4);
+        // Prime the centralized head from socket 3 (so socket 0 pays a
+        // remote transfer) and socket 0's local list from socket 0 itself
+        // (so its head stays in the local cache).
+        let mut ctx = SimCtx::new(&t, &c, CoreId(6), 0);
+        central.add(&mut ctx, TxnId(0));
+        let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
+        local.add(&mut ctx, TxnId(0));
+
+        let mut ctx_central = SimCtx::new(&t, &c, CoreId(0), 10_000);
+        central.add(&mut ctx_central, TxnId(1));
+        let central_cost = ctx_central.elapsed();
+
+        let mut ctx_local = SimCtx::new(&t, &c, CoreId(0), 10_000);
+        local.add(&mut ctx_local, TxnId(1));
+        let local_cost = ctx_local.elapsed();
+
+        assert!(
+            central_cost > 2 * local_cost,
+            "centralized {central_cost} vs per-socket {local_cost}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Key-distribution and transaction-mix helpers shared by the workloads.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How keys are drawn from a domain `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Uniform over the whole domain.
+    Uniform,
+    /// Hotspot skew: `access_fraction` of the requests go to the first
+    /// `data_fraction` of the domain (the paper's Figure 11 uses 50% of the
+    /// requests on 20% of the data).
+    Hotspot {
+        /// Fraction of the domain that is hot (0..1).
+        data_fraction: f64,
+        /// Fraction of accesses that hit the hot range (0..1).
+        access_fraction: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// Draw a key head from `[lo, hi)`.
+    pub fn sample(&self, rng: &mut SmallRng, lo: i64, hi: i64) -> i64 {
+        debug_assert!(hi > lo);
+        match *self {
+            KeyDistribution::Uniform => rng.gen_range(lo..hi),
+            KeyDistribution::Hotspot {
+                data_fraction,
+                access_fraction,
+            } => {
+                let width = hi - lo;
+                let hot_width = ((width as f64 * data_fraction).ceil() as i64).clamp(1, width);
+                if rng.gen_bool(access_fraction.clamp(0.0, 1.0)) {
+                    rng.gen_range(lo..lo + hot_width)
+                } else if hot_width < width {
+                    rng.gen_range(lo + hot_width..hi)
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+        }
+    }
+}
+
+/// A weighted transaction mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mix<T: Clone> {
+    entries: Vec<(T, f64)>,
+    total: f64,
+}
+
+impl<T: Clone> Mix<T> {
+    /// Build a mix from `(item, weight)` pairs.
+    pub fn new(entries: Vec<(T, f64)>) -> Self {
+        assert!(!entries.is_empty(), "a mix needs at least one entry");
+        let total = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "mix weights must sum to a positive value");
+        Self { entries, total }
+    }
+
+    /// A mix that always picks `item`.
+    pub fn single(item: T) -> Self {
+        Self::new(vec![(item, 1.0)])
+    }
+
+    /// Draw one item.
+    pub fn pick(&self, rng: &mut SmallRng) -> T {
+        let mut x = rng.gen_range(0.0..self.total);
+        for (item, w) in &self.entries {
+            if x < *w {
+                return item.clone();
+            }
+            x -= w;
+        }
+        self.entries.last().expect("non-empty").0.clone()
+    }
+
+    /// The entries of the mix.
+    pub fn entries(&self) -> &[(T, f64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_the_domain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = KeyDistribution::Uniform;
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..2000 {
+            let k = d.sample(&mut rng, 0, 100);
+            assert!((0..100).contains(&k));
+            if k < 10 {
+                seen_low = true;
+            }
+            if k >= 90 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = KeyDistribution::Hotspot {
+            data_fraction: 0.2,
+            access_fraction: 0.5,
+        };
+        let n = 10_000;
+        let hot = (0..n)
+            .filter(|_| d.sample(&mut rng, 0, 1000) < 200)
+            .count() as f64;
+        let frac = hot / n as f64;
+        assert!((0.45..0.55).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mix = Mix::new(vec![("a", 0.8), ("b", 0.2)]);
+        let n = 10_000;
+        let a = (0..n).filter(|_| mix.pick(&mut rng) == "a").count() as f64 / n as f64;
+        assert!((0.75..0.85).contains(&a), "a fraction {a}");
+        let single = Mix::single("x");
+        assert_eq!(single.pick(&mut rng), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_mix_is_rejected() {
+        let _: Mix<&str> = Mix::new(vec![]);
+    }
+}

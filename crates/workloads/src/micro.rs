@@ -1,0 +1,372 @@
+//! The microbenchmarks of paper §III.
+
+use crate::generator::KeyDistribution;
+use atrapos_core::KeyDomain;
+use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
+use atrapos_engine::workload::ensure_tables;
+use atrapos_numa::CoreId;
+use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The single table used by all three microbenchmarks: ten integer columns,
+/// keyed by the first.
+fn probe_schema(name: &str) -> Schema {
+    Schema::new(
+        name,
+        (0..10)
+            .map(|i| Column::new(format!("c{i}"), ColumnType::Int))
+            .collect(),
+        vec![0],
+    )
+}
+
+fn probe_record(key: i64) -> Record {
+    // Column 0 is the primary key; the remaining columns carry payload.
+    Record::new(
+        (0..10)
+            .map(|c| if c == 0 { Value::Int(key) } else { Value::Int(key * 10 + c) })
+            .collect(),
+    )
+}
+
+fn populate_probe(
+    workload: &dyn Workload,
+    rows: i64,
+    db: &mut Database,
+    filter: &dyn Fn(TableId, &Key) -> bool,
+) {
+    ensure_tables(workload, db);
+    let table = db.table_mut(TableId(0)).expect("probe table exists");
+    for i in 0..rows {
+        let key = Key::int(i);
+        if filter(TableId(0), &key) {
+            table.load(probe_record(i)).expect("unique keys");
+        }
+    }
+}
+
+/// The perfectly partitionable microbenchmark: every transaction reads one
+/// row, chosen uniformly, from a table of ten integer columns (paper §III-B,
+/// Figures 1, 2, and 5; 800 K rows in the paper).
+#[derive(Debug, Clone)]
+pub struct ReadOneRow {
+    /// Number of rows.
+    pub rows: i64,
+    /// Key distribution (uniform by default; the skew experiment of Figure
+    /// 11 switches to a hotspot at runtime).
+    pub distribution: KeyDistribution,
+    /// Number of sites the key space is divided into for site-local key
+    /// generation (1 = uniform over the whole table).  The paper's
+    /// "perfectly partitionable" workload draws each client's keys from its
+    /// own site, so transactions never cross sites.
+    pub sites: usize,
+    /// Cores per site (maps a submitting core to its site).
+    pub cores_per_site: usize,
+}
+
+impl ReadOneRow {
+    /// The paper-sized dataset (800 K rows).
+    pub fn paper() -> Self {
+        Self::with_rows(800_000)
+    }
+
+    /// A dataset with `rows` rows.
+    pub fn with_rows(rows: i64) -> Self {
+        Self {
+            rows,
+            distribution: KeyDistribution::Uniform,
+            sites: 1,
+            cores_per_site: 1,
+        }
+    }
+
+    /// Make the workload perfectly partitionable over `sites` sites with
+    /// `cores_per_site` cores each: every client only reads rows of its own
+    /// site.
+    pub fn partitionable(rows: i64, sites: usize, cores_per_site: usize) -> Self {
+        assert!(sites >= 1 && cores_per_site >= 1);
+        Self {
+            rows,
+            distribution: KeyDistribution::Uniform,
+            sites,
+            cores_per_site,
+        }
+    }
+
+    /// Switch the key distribution (e.g. to a hotspot) at runtime.
+    pub fn set_distribution(&mut self, d: KeyDistribution) {
+        self.distribution = d;
+    }
+
+    fn key_range(&self, client: CoreId) -> (i64, i64) {
+        if self.sites <= 1 {
+            return (0, self.rows);
+        }
+        let site = (client.index() / self.cores_per_site) % self.sites;
+        let width = self.rows / self.sites as i64;
+        let lo = site as i64 * width;
+        let hi = if site + 1 == self.sites { self.rows } else { lo + width };
+        (lo, hi.max(lo + 1))
+    }
+}
+
+impl Workload for ReadOneRow {
+    fn name(&self) -> &str {
+        "read-one-row"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        vec![TableSpec {
+            id: TableId(0),
+            schema: probe_schema("probe"),
+            domain: KeyDomain::new(0, self.rows),
+            rows: self.rows as u64,
+        }]
+    }
+
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        populate_probe(self, self.rows, db, filter);
+    }
+
+    fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec {
+        let (lo, hi) = self.key_range(client);
+        let k = self.distribution.sample(rng, lo, hi);
+        TransactionSpec::single_phase(
+            "read-one-row",
+            vec![Action::new(ActionOp::Read {
+                table: TableId(0),
+                key: Key::int(k),
+            })],
+        )
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The multi-site update microbenchmark (paper §III-C, Figures 3 and 4).
+///
+/// Local transactions update 10 rows chosen from the submitting site's slice
+/// of the data; multi-site transactions update 1 local row and 9 rows chosen
+/// uniformly from the whole dataset.
+#[derive(Debug, Clone)]
+pub struct MultiSiteUpdate {
+    /// Number of rows.
+    pub rows: i64,
+    /// Number of sites the data is partitioned over (instances of the
+    /// shared-nothing deployment being driven).
+    pub sites: usize,
+    /// Cores per site (1 for the extreme configuration, cores-per-socket for
+    /// the coarse one).
+    pub cores_per_site: usize,
+    /// Percentage (0–100) of multi-site transactions.
+    pub multi_site_percent: u32,
+    /// Rows updated per transaction (10 in the paper).
+    pub rows_per_txn: usize,
+}
+
+impl MultiSiteUpdate {
+    /// Build the benchmark for a deployment of `sites` sites with
+    /// `cores_per_site` cores each.
+    pub fn new(rows: i64, sites: usize, cores_per_site: usize, multi_site_percent: u32) -> Self {
+        assert!(sites >= 1 && cores_per_site >= 1);
+        Self {
+            rows,
+            sites,
+            cores_per_site,
+            multi_site_percent: multi_site_percent.min(100),
+            rows_per_txn: 10,
+        }
+    }
+
+    fn site_of(&self, client: CoreId) -> usize {
+        (client.index() / self.cores_per_site) % self.sites
+    }
+
+    fn local_range(&self, site: usize) -> (i64, i64) {
+        let width = self.rows / self.sites as i64;
+        let lo = site as i64 * width;
+        let hi = if site + 1 == self.sites {
+            self.rows
+        } else {
+            lo + width
+        };
+        (lo, hi.max(lo + 1))
+    }
+}
+
+impl Workload for MultiSiteUpdate {
+    fn name(&self) -> &str {
+        "multi-site-update"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        vec![TableSpec {
+            id: TableId(0),
+            schema: probe_schema("probe"),
+            domain: KeyDomain::new(0, self.rows),
+            rows: self.rows as u64,
+        }]
+    }
+
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        populate_probe(self, self.rows, db, filter);
+    }
+
+    fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec {
+        let site = self.site_of(client);
+        let (lo, hi) = self.local_range(site);
+        let multi = rng.gen_range(0..100) < self.multi_site_percent;
+        let mut keys = Vec::with_capacity(self.rows_per_txn);
+        // The first row always comes from the local site.
+        keys.push(rng.gen_range(lo..hi));
+        for _ in 1..self.rows_per_txn {
+            if multi {
+                keys.push(rng.gen_range(0..self.rows));
+            } else {
+                keys.push(rng.gen_range(lo..hi));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let actions = keys
+            .into_iter()
+            .map(|k| {
+                Action::new(ActionOp::Increment {
+                    table: TableId(0),
+                    key: Key::int(k),
+                    column: 1,
+                    delta: 1,
+                })
+            })
+            .collect();
+        TransactionSpec::new(
+            if multi { "multi-site" } else { "local" },
+            vec![Phase::new(actions)],
+        )
+    }
+}
+
+/// The remote-memory microbenchmark (paper §III-D, Table I): every
+/// transaction reads 100 rows chosen uniformly from a 1 M-row table —
+/// random enough to defeat the last-level cache and the prefetchers.
+#[derive(Debug, Clone)]
+pub struct ReadManyRows {
+    /// Number of rows.
+    pub rows: i64,
+    /// Rows read per transaction (100 in the paper).
+    pub rows_per_txn: usize,
+}
+
+impl ReadManyRows {
+    /// The paper-sized dataset (1 M rows, 100 rows per transaction).
+    pub fn paper() -> Self {
+        Self {
+            rows: 1_000_000,
+            rows_per_txn: 100,
+        }
+    }
+
+    /// A scaled dataset.
+    pub fn with_rows(rows: i64, rows_per_txn: usize) -> Self {
+        Self { rows, rows_per_txn }
+    }
+}
+
+impl Workload for ReadManyRows {
+    fn name(&self) -> &str {
+        "read-many-rows"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        vec![TableSpec {
+            id: TableId(0),
+            schema: probe_schema("probe"),
+            domain: KeyDomain::new(0, self.rows),
+            rows: self.rows as u64,
+        }]
+    }
+
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        populate_probe(self, self.rows, db, filter);
+    }
+
+    fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
+        let actions = (0..self.rows_per_txn)
+            .map(|_| {
+                Action::new(ActionOp::Read {
+                    table: TableId(0),
+                    key: Key::int(rng.gen_range(0..self.rows)),
+                })
+                .with_extra_instructions(60)
+            })
+            .collect();
+        TransactionSpec::single_phase("read-many-rows", actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn read_one_row_generates_single_reads() {
+        let mut w = ReadOneRow::with_rows(1000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = w.next_transaction(&mut rng, CoreId(0));
+        assert_eq!(spec.num_actions(), 1);
+        assert!(!spec.is_update());
+        let mut db = Database::new();
+        w.populate(&mut db, &|_, _| true);
+        assert_eq!(db.table(TableId(0)).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn multi_site_percentage_controls_remote_keys() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // 4 sites, 1 core per site, client on core 0 => site 0 owns 0..250.
+        let mut local_only = MultiSiteUpdate::new(1000, 4, 1, 0);
+        for _ in 0..50 {
+            let spec = local_only.next_transaction(&mut rng, CoreId(0));
+            assert_eq!(spec.class, "local");
+            for a in &spec.phases[0].actions {
+                assert!(a.op.routing_key_head() < 250);
+            }
+        }
+        let mut all_multi = MultiSiteUpdate::new(1000, 4, 1, 100);
+        let mut saw_remote = false;
+        for _ in 0..50 {
+            let spec = all_multi.next_transaction(&mut rng, CoreId(0));
+            assert_eq!(spec.class, "multi-site");
+            if spec.phases[0]
+                .actions
+                .iter()
+                .any(|a| a.op.routing_key_head() >= 250)
+            {
+                saw_remote = true;
+            }
+        }
+        assert!(saw_remote);
+    }
+
+    #[test]
+    fn multi_site_maps_clients_to_sites_by_cores_per_site() {
+        let w = MultiSiteUpdate::new(1000, 4, 10, 50);
+        assert_eq!(w.site_of(CoreId(0)), 0);
+        assert_eq!(w.site_of(CoreId(9)), 0);
+        assert_eq!(w.site_of(CoreId(10)), 1);
+        assert_eq!(w.site_of(CoreId(39)), 3);
+    }
+
+    #[test]
+    fn read_many_rows_reads_the_requested_count() {
+        let mut w = ReadManyRows::with_rows(10_000, 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = w.next_transaction(&mut rng, CoreId(2));
+        assert_eq!(spec.num_actions(), 100);
+        assert!(!spec.is_update());
+    }
+}

@@ -1,0 +1,162 @@
+//! The two-table "simple transaction" of paper §V-A (Figure 6).
+//!
+//! Two tables A and B with correlated keys; the transaction reads one row
+//! of A by its primary key and one row of B by the composite key
+//! `(pk_a, pk_b)`.  Because the two actions always share the same `pk_a`,
+//! the partitions of A and B that serve a given transaction are perfectly
+//! correlated — placing them on the same socket removes all
+//! synchronization cost, which is exactly what the ATraPos placement
+//! algorithm discovers.
+
+use atrapos_core::KeyDomain;
+use atrapos_engine::workload::ensure_tables;
+use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
+use atrapos_numa::CoreId;
+use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Table id of A.
+pub const TABLE_A: TableId = TableId(0);
+/// Table id of B.
+pub const TABLE_B: TableId = TableId(1);
+
+/// The Figure 6 workload.
+#[derive(Debug, Clone)]
+pub struct SimpleAb {
+    /// Rows in table A (B holds `b_per_a` rows per A row).
+    pub rows_a: i64,
+    /// B rows per A row.
+    pub b_per_a: i64,
+}
+
+impl SimpleAb {
+    /// A workload with `rows_a` rows in A and 4 B rows per A row.
+    pub fn new(rows_a: i64) -> Self {
+        Self { rows_a, b_per_a: 4 }
+    }
+}
+
+impl Workload for SimpleAb {
+    fn name(&self) -> &str {
+        "simple-ab"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        vec![
+            TableSpec {
+                id: TABLE_A,
+                schema: Schema::new(
+                    "A",
+                    vec![
+                        Column::new("pk_a", ColumnType::Int),
+                        Column::new("payload", ColumnType::Int),
+                    ],
+                    vec![0],
+                ),
+                domain: KeyDomain::new(0, self.rows_a),
+                rows: self.rows_a as u64,
+            },
+            TableSpec {
+                id: TABLE_B,
+                schema: Schema::new(
+                    "B",
+                    vec![
+                        Column::new("pk_a", ColumnType::Int),
+                        Column::new("pk_b", ColumnType::Int),
+                        Column::new("payload", ColumnType::Int),
+                    ],
+                    vec![0, 1],
+                )
+                .with_foreign_key(vec![0], TABLE_A),
+                domain: KeyDomain::new(0, self.rows_a),
+                rows: (self.rows_a * self.b_per_a) as u64,
+            },
+        ]
+    }
+
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        ensure_tables(self, db);
+        {
+            let a = db.table_mut(TABLE_A).expect("table A exists");
+            for i in 0..self.rows_a {
+                let key = Key::int(i);
+                if filter(TABLE_A, &key) {
+                    a.load(Record::new(vec![Value::Int(i), Value::Int(i)]))
+                        .expect("unique keys");
+                }
+            }
+        }
+        let b = db.table_mut(TABLE_B).expect("table B exists");
+        for i in 0..self.rows_a {
+            for j in 0..self.b_per_a {
+                let key = Key::ints(&[i, j]);
+                if filter(TABLE_B, &key) {
+                    b.load(Record::new(vec![
+                        Value::Int(i),
+                        Value::Int(j),
+                        Value::Int(i * 100 + j),
+                    ]))
+                    .expect("unique keys");
+                }
+            }
+        }
+    }
+
+    fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
+        let id_a = rng.gen_range(0..self.rows_a);
+        let id_b = rng.gen_range(0..self.b_per_a);
+        TransactionSpec::new(
+            "simple-ab",
+            vec![Phase::new(vec![
+                Action::new(ActionOp::Read {
+                    table: TABLE_A,
+                    key: Key::int(id_a),
+                }),
+                Action::new(ActionOp::Read {
+                    table: TABLE_B,
+                    key: Key::ints(&[id_a, id_b]),
+                }),
+            ])
+            .with_sync_bytes(96)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn population_respects_the_b_per_a_ratio() {
+        let w = SimpleAb::new(100);
+        let mut db = Database::new();
+        w.populate(&mut db, &|_, _| true);
+        assert_eq!(db.table(TABLE_A).unwrap().len(), 100);
+        assert_eq!(db.table(TABLE_B).unwrap().len(), 400);
+    }
+
+    #[test]
+    fn transactions_touch_both_tables_with_the_same_head_key() {
+        let mut w = SimpleAb::new(100);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            assert_eq!(spec.num_actions(), 2);
+            let heads: Vec<i64> = spec.phases[0]
+                .actions
+                .iter()
+                .map(|a| a.op.routing_key_head())
+                .collect();
+            assert_eq!(heads[0], heads[1]);
+        }
+    }
+
+    #[test]
+    fn schema_declares_the_foreign_key_dependency() {
+        let w = SimpleAb::new(10);
+        let tables = w.tables();
+        assert!(tables[1].schema.references(TABLE_A));
+    }
+}

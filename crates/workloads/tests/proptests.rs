@@ -1,0 +1,391 @@
+//! Property-based tests for the workload generators: key distributions,
+//! transaction mixes, the microbenchmarks of paper §III, and the TATP and
+//! TPC-C benchmark implementations of §VI.
+//!
+//! The central property is *routing validity*: every transaction a workload
+//! emits only references tables the workload declares, with routing keys
+//! inside those tables' declared key domains.  That property is what allows
+//! any partitioning scheme built from `table_domains()` to route every
+//! action to a live partition.
+
+use atrapos_engine::Workload;
+use atrapos_numa::CoreId;
+use atrapos_storage::{Database, TableId};
+use atrapos_workloads::{
+    KeyDistribution, Mix, MultiSiteUpdate, ReadManyRows, ReadOneRow, SimpleAb, Tatp, TatpConfig,
+    TatpTxn, Tpcc, TpccConfig, TpccTxn,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Assert that every action of every transaction a workload generates routes
+/// to a declared table with a key head inside that table's domain.
+fn assert_routing_validity(
+    workload: &mut dyn Workload,
+    seed: u64,
+    clients: &[CoreId],
+    transactions: usize,
+) -> Result<(), TestCaseError> {
+    let domains = workload.table_domains();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..transactions {
+        let client = clients[i % clients.len()];
+        let spec = workload.next_transaction(&mut rng, client);
+        prop_assert!(spec.num_actions() >= 1, "empty transaction");
+        prop_assert!(!spec.phases.is_empty());
+        for phase in &spec.phases {
+            prop_assert!(!phase.actions.is_empty(), "empty phase");
+            for action in &phase.actions {
+                let table = action.op.table();
+                let domain = domains
+                    .iter()
+                    .find(|(t, _)| *t == table)
+                    .map(|(_, d)| *d)
+                    .ok_or_else(|| {
+                        TestCaseError::fail(format!("action references undeclared table {table}"))
+                    })?;
+                let head = action.op.routing_key_head();
+                prop_assert!(
+                    head >= domain.lo && head < domain.hi,
+                    "routing key {head} outside domain [{}, {}) of table {table}",
+                    domain.lo,
+                    domain.hi
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Generators
+    // ------------------------------------------------------------------
+
+    /// Uniform and hotspot key distributions always draw keys inside the
+    /// requested `[lo, hi)` range, and the hotspot distribution actually
+    /// concentrates accesses on the hot fraction of the domain.
+    #[test]
+    fn key_distributions_sample_inside_the_domain(
+        lo in -10_000i64..10_000,
+        width in 10i64..100_000,
+        data_fraction in 0.05f64..0.95,
+        access_fraction in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo + width;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let uniform = KeyDistribution::Uniform;
+        let hotspot = KeyDistribution::Hotspot { data_fraction, access_fraction };
+        for _ in 0..200 {
+            let u = uniform.sample(&mut rng, lo, hi);
+            prop_assert!(u >= lo && u < hi);
+            let h = hotspot.sample(&mut rng, lo, hi);
+            prop_assert!(h >= lo && h < hi);
+        }
+    }
+
+    /// A strongly skewed hotspot (the paper's 50%-of-accesses-to-20%-of-data
+    /// and harsher) sends a clearly disproportionate share of samples to the
+    /// hot range.
+    #[test]
+    fn hotspot_distribution_concentrates_accesses(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = KeyDistribution::Hotspot { data_fraction: 0.2, access_fraction: 0.8 };
+        let (lo, hi) = (0i64, 10_000i64);
+        let hot_cutoff = lo + ((hi - lo) as f64 * 0.2).ceil() as i64;
+        let samples = 2_000;
+        let hot_hits = (0..samples)
+            .filter(|_| d.sample(&mut rng, lo, hi) < hot_cutoff)
+            .count();
+        // 80% of accesses should land in the first 20% of the domain; leave
+        // a generous margin for sampling noise.
+        prop_assert!(hot_hits as f64 / samples as f64 > 0.6, "hot hits: {hot_hits}/{samples}");
+    }
+
+    /// `Mix::pick` only ever returns declared entries, and entries with zero
+    /// weight are never picked.
+    #[test]
+    fn mix_only_picks_declared_entries(
+        weights in prop::collection::vec(0.0f64..10.0, 1..8),
+        seed in any::<u64>(),
+    ) {
+        // Ensure at least one positive weight.
+        let mut weights = weights;
+        if weights.iter().all(|w| *w == 0.0) {
+            weights[0] = 1.0;
+        }
+        let entries: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        let mix = Mix::new(entries.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let picked = mix.pick(&mut rng);
+            prop_assert!(picked < weights.len());
+            prop_assert!(weights[picked] > 0.0, "picked a zero-weight entry");
+        }
+        prop_assert_eq!(mix.entries().len(), weights.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Microbenchmarks (paper §III)
+    // ------------------------------------------------------------------
+
+    /// The perfectly partitionable read microbenchmark keeps every client's
+    /// keys inside its own site slice, so no transaction ever crosses
+    /// sites — the property Figures 1, 2, and 5 rely on.
+    #[test]
+    fn partitionable_reads_stay_site_local(
+        rows in 100i64..50_000,
+        sites in 1usize..16,
+        cores_per_site in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut w = ReadOneRow::partitionable(rows, sites, cores_per_site);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let width = rows / sites as i64;
+        for client_idx in 0..(sites * cores_per_site) {
+            let client = CoreId(client_idx as u32);
+            let site = (client_idx / cores_per_site) % sites;
+            for _ in 0..20 {
+                let spec = w.next_transaction(&mut rng, client);
+                let head = spec.phases[0].actions[0].op.routing_key_head();
+                let lo = site as i64 * width;
+                let hi = if site + 1 == sites { rows } else { lo + width };
+                prop_assert!(head >= lo && head < hi, "key {head} outside site [{lo}, {hi})");
+            }
+        }
+        // Routing validity also holds for the plain (single-site) variant.
+        let mut plain = ReadOneRow::with_rows(rows);
+        assert_routing_validity(&mut plain, seed, &[CoreId(0)], 50)?;
+    }
+
+    /// Multi-site update transactions: with 0% multi-site every key stays in
+    /// the submitting site's slice; the declared class matches the keys; and
+    /// keys within a transaction are unique (the generator dedups).
+    #[test]
+    fn multi_site_update_respects_percentage_and_locality(
+        rows in 400i64..20_000,
+        sites in 1usize..8,
+        pct in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let mut w = MultiSiteUpdate::new(rows, sites, 1, pct);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let width = rows / sites as i64;
+        for client_idx in 0..sites {
+            let client = CoreId(client_idx as u32);
+            let lo = client_idx as i64 * width;
+            let hi = if client_idx + 1 == sites { rows } else { lo + width };
+            for _ in 0..20 {
+                let spec = w.next_transaction(&mut rng, client);
+                let keys: Vec<i64> = spec.phases[0]
+                    .actions
+                    .iter()
+                    .map(|a| a.op.routing_key_head())
+                    .collect();
+                prop_assert!(spec.is_update());
+                // Keys are sorted and unique.
+                prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+                let all_local = keys.iter().all(|&k| k >= lo && k < hi);
+                if pct == 0 {
+                    prop_assert_eq!(spec.class, "local");
+                    prop_assert!(all_local);
+                }
+                if spec.class == "local" {
+                    prop_assert!(all_local, "a 'local' transaction touched a remote key");
+                }
+                // The first key always comes from the local site.
+                prop_assert!(keys.iter().any(|&k| k >= lo && k < hi));
+            }
+        }
+    }
+
+    /// The remote-memory microbenchmark (Table I) always reads the requested
+    /// number of rows from inside the table.
+    #[test]
+    fn read_many_rows_generates_in_domain_reads(
+        rows in 1_000i64..100_000,
+        per_txn in 1usize..150,
+        seed in any::<u64>(),
+    ) {
+        let mut w = ReadManyRows::with_rows(rows, per_txn);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = w.next_transaction(&mut rng, CoreId(0));
+        prop_assert_eq!(spec.num_actions(), per_txn);
+        prop_assert!(!spec.is_update());
+        assert_routing_validity(&mut w, seed, &[CoreId(0), CoreId(3)], 20)?;
+    }
+
+    // ------------------------------------------------------------------
+    // TATP
+    // ------------------------------------------------------------------
+
+    /// Every TATP transaction type routes only to declared tables with
+    /// subscriber ids inside the configured population, for any population
+    /// size and seed.
+    #[test]
+    fn tatp_transactions_route_inside_declared_domains(
+        subscribers in 10i64..20_000,
+        seed in any::<u64>(),
+        txn_idx in 0usize..7,
+    ) {
+        let txn = [
+            TatpTxn::GetSubscriberData,
+            TatpTxn::GetNewDestination,
+            TatpTxn::GetAccessData,
+            TatpTxn::UpdateSubscriberData,
+            TatpTxn::UpdateLocation,
+            TatpTxn::InsertCallForwarding,
+            TatpTxn::DeleteCallForwarding,
+        ][txn_idx];
+        let mut w = Tatp::new(TatpConfig::scaled(subscribers));
+        w.set_single(txn);
+        let clients = [CoreId(0), CoreId(1), CoreId(7)];
+        assert_routing_validity(&mut w, seed, &clients, 40)?;
+        // The standard mix is also valid.
+        let mut mixed = Tatp::new(TatpConfig::scaled(subscribers));
+        assert_routing_validity(&mut mixed, seed, &clients, 60)?;
+    }
+
+    /// TATP population matches the declared table cardinalities: one
+    /// subscriber row per subscriber and `records_per_subscriber` rows in
+    /// the per-subscriber detail tables.
+    #[test]
+    fn tatp_population_matches_declared_cardinalities(subscribers in 10i64..2_000) {
+        let w = Tatp::new(TatpConfig::scaled(subscribers));
+        let mut db = Database::new();
+        w.populate(&mut db, &|_, _| true);
+        for spec in w.tables() {
+            let table = db.table(spec.id).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(
+                table.len() as u64,
+                spec.rows,
+                "table {} holds {} rows, declared {}",
+                spec.id,
+                table.len(),
+                spec.rows
+            );
+        }
+        // Partial population (a shared-nothing slice) loads strictly less.
+        let mut half = Database::new();
+        w.populate(&mut half, &|_, key| key.head_int() <= subscribers / 2);
+        prop_assert!(half.total_records() < db.total_records() || subscribers == 1);
+    }
+
+    /// Switching a TATP workload to a hotspot distribution keeps every
+    /// generated subscriber id valid (the skew experiment of Figure 11 must
+    /// not push keys out of the domain).
+    #[test]
+    fn tatp_skew_keeps_keys_in_domain(
+        subscribers in 100i64..10_000,
+        data_fraction in 0.05f64..0.5,
+        access_fraction in 0.5f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let mut w = Tatp::new(TatpConfig::scaled(subscribers));
+        w.set_single(TatpTxn::GetSubscriberData);
+        w.set_distribution(KeyDistribution::Hotspot { data_fraction, access_fraction });
+        assert_routing_validity(&mut w, seed, &[CoreId(0)], 100)?;
+    }
+
+    // ------------------------------------------------------------------
+    // TPC-C
+    // ------------------------------------------------------------------
+
+    /// Every TPC-C transaction type routes only to declared tables with
+    /// warehouse-headed keys inside the configured scale, for any warehouse
+    /// count and seed.
+    #[test]
+    fn tpcc_transactions_route_inside_declared_domains(
+        warehouses in 1i64..20,
+        seed in any::<u64>(),
+        txn_idx in 0usize..5,
+    ) {
+        let txn = [
+            TpccTxn::NewOrder,
+            TpccTxn::Payment,
+            TpccTxn::OrderStatus,
+            TpccTxn::Delivery,
+            TpccTxn::StockLevel,
+        ][txn_idx];
+        let mut w = Tpcc::new(TpccConfig::scaled(warehouses));
+        w.set_single(txn);
+        let clients = [CoreId(0), CoreId(2)];
+        assert_routing_validity(&mut w, seed, &clients, 30)?;
+        let mut mixed = Tpcc::new(TpccConfig::scaled(warehouses));
+        assert_routing_validity(&mut mixed, seed, &clients, 50)?;
+    }
+
+    /// The NewOrder flow graph has the structure of the paper's Figure 7: a
+    /// fixed part, a variable part whose size tracks the 5–15 ordered items,
+    /// and more than one synchronization point.
+    #[test]
+    fn tpcc_new_order_flow_graph_matches_figure7(warehouses in 1i64..10, seed in any::<u64>()) {
+        let mut w = Tpcc::new(TpccConfig::scaled(warehouses));
+        w.set_single(TpccTxn::NewOrder);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            prop_assert!(spec.is_update());
+            // Fixed part (warehouse, district, customer reads + order
+            // inserts) plus one stock read/update and one order line per
+            // item: 5..=15 items means at least 5 + fixed actions and at
+            // most 15 * 3 + fixed.
+            // Per ordered item the variable part performs R(ITEM), R(STO),
+            // U(STO), and I(OL): 5 items → ≥ 26 actions, 15 items → ≤ 70.
+            prop_assert!(spec.num_actions() >= 26, "too few actions: {}", spec.num_actions());
+            prop_assert!(spec.num_actions() <= 70, "too many actions: {}", spec.num_actions());
+            // Multiple synchronization points (phases), as in Figure 7.
+            prop_assert!(spec.phases.len() >= 2);
+        }
+    }
+
+    /// TPC-C population matches the declared cardinalities for every table.
+    #[test]
+    fn tpcc_population_matches_declared_cardinalities(warehouses in 1i64..4) {
+        let w = Tpcc::new(TpccConfig::scaled(warehouses));
+        let mut db = Database::new();
+        w.populate(&mut db, &|_, _| true);
+        for spec in w.tables() {
+            let table = db.table(spec.id).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(
+                table.len() as u64,
+                spec.rows,
+                "table {} holds {} rows, declared {}",
+                spec.id,
+                table.len(),
+                spec.rows
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Simple A/B workload (Figure 6)
+    // ------------------------------------------------------------------
+
+    /// The two-table A/B transaction always reads one row of A and one row
+    /// of B with the same `pk_a` head, which is what makes co-locating the
+    /// correlated partitions remove all synchronization cost.
+    #[test]
+    fn simple_ab_actions_share_the_same_a_key(rows_a in 10i64..5_000, seed in any::<u64>()) {
+        let mut w = SimpleAb::new(rows_a);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            prop_assert_eq!(spec.num_actions(), 2);
+            let heads: Vec<i64> = spec
+                .phases
+                .iter()
+                .flat_map(|p| p.actions.iter().map(|a| a.op.routing_key_head()))
+                .collect();
+            prop_assert_eq!(heads[0], heads[1], "A and B keys must share the same head");
+        }
+        assert_routing_validity(&mut w, seed, &[CoreId(0), CoreId(1)], 50)?;
+        // Population respects the declared table specs.
+        let mut db = Database::new();
+        w.populate(&mut db, &|_, _| true);
+        let declared: u64 = w.tables().iter().map(|t| t.rows).sum();
+        prop_assert_eq!(db.total_records() as u64, declared);
+    }
+}

@@ -1,0 +1,61 @@
+//! Watch ATraPos adapt: run TATP, switch the transaction mix mid-run, and
+//! print the throughput time series together with the repartitioning events
+//! (the paper's Figure 10 in miniature).
+//!
+//! ```text
+//! cargo run --release -p atrapos-bench --example adaptive_tatp
+//! ```
+
+use atrapos_core::{AdaptiveInterval, ControllerConfig};
+use atrapos_engine::{AtraposConfig, AtraposDesign, ExecutorConfig, VirtualExecutor};
+use atrapos_numa::{CostModel, Machine, Topology};
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
+
+fn main() {
+    let machine = Machine::new(Topology::multisocket(4, 4), CostModel::westmere());
+    let mut workload = Tatp::new(TatpConfig::scaled(20_000));
+    workload.set_single(TatpTxn::UpdateSubscriberData);
+    let config = AtraposConfig {
+        controller: ControllerConfig {
+            interval: AdaptiveInterval::new(0.05, 0.4, 0.10),
+            ..ControllerConfig::default()
+        },
+        ..AtraposConfig::default()
+    };
+    let design = AtraposDesign::new(&machine, &workload, config);
+    let mut ex = VirtualExecutor::new(
+        machine,
+        Box::new(design),
+        Box::new(workload),
+        ExecutorConfig {
+            seed: 7,
+            default_interval_secs: 0.05,
+            time_series_bucket_secs: 0.05,
+        },
+    );
+
+    let phases: [(&str, fn(&mut Tatp)); 3] = [
+        ("UpdSubData", |_| {}),
+        ("GetNewDest", |t| t.set_single(TatpTxn::GetNewDestination)),
+        ("TATP-Mix", |t| t.set_standard_mix()),
+    ];
+    for (i, (label, mutate)) in phases.iter().enumerate() {
+        if i > 0 {
+            let tatp = ex
+                .workload_mut()
+                .as_any_mut()
+                .and_then(|a| a.downcast_mut::<Tatp>())
+                .expect("workload is TATP");
+            mutate(tatp);
+        }
+        let stats = ex.run_for(0.25);
+        println!(
+            "phase {label:<11} throughput {:>9.0} TPS  repartitionings {}",
+            stats.throughput_tps, stats.repartitions
+        );
+        for p in &stats.time_series {
+            let bar = "#".repeat((p.tps / 20_000.0).round() as usize);
+            println!("  t={:>5.2}s {:>9.0} TPS {bar}", p.secs, p.tps);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Compare the five system designs of the paper on the perfectly
+//! partitionable microbenchmark, on one socket and on eight sockets.
+//!
+//! ```text
+//! cargo run --release -p atrapos-bench --example design_shootout
+//! ```
+//!
+//! Expected shape (paper Figures 2 and 5): on one socket everything is
+//! within a small factor; on eight sockets the shared-nothing configurations
+//! and ATraPos scale while the centralized design and PLP collapse.
+
+use atrapos_bench::{DesignKind, Scale};
+use atrapos_workloads::ReadOneRow;
+
+fn main() {
+    let scale = Scale::quick();
+    let designs = [
+        DesignKind::ExtremeSharedNothing { locking: false },
+        DesignKind::CoarseSharedNothing,
+        DesignKind::Centralized,
+        DesignKind::Plp,
+        DesignKind::Atrapos,
+    ];
+    for sockets in [1usize, 8] {
+        println!("== {sockets} socket(s) × {} cores ==", scale.cores_per_socket);
+        for kind in designs {
+            let stats = atrapos_bench::harness::measure(
+                sockets,
+                scale.cores_per_socket,
+                kind,
+                Box::new(ReadOneRow::partitionable(
+                    scale.micro_rows,
+                    sockets * scale.cores_per_socket,
+                    1,
+                )),
+                scale.measure_secs,
+            );
+            println!(
+                "  {:<24} {:>10.2} KTPS   ipc {:>5.2}   avg latency {:>7.1} µs",
+                kind.label(),
+                stats.throughput_tps / 1e3,
+                stats.ipc,
+                stats.avg_latency_us
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Fail a processor socket mid-run and watch ATraPos repartition the data
+//! across the surviving cores (the paper's Figure 12 in miniature), compared
+//! with a static configuration that keeps its old partitioning plan.
+//!
+//! ```text
+//! cargo run --release -p atrapos-bench --example hardware_failure
+//! ```
+
+use atrapos_core::{AdaptiveInterval, ControllerConfig};
+use atrapos_engine::{AtraposConfig, AtraposDesign, ExecutorConfig, VirtualExecutor};
+use atrapos_numa::{CostModel, Machine, SocketId, Topology};
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
+
+fn run(adaptive: bool) {
+    let machine = Machine::new(Topology::multisocket(4, 4), CostModel::westmere());
+    let mut workload = Tatp::new(TatpConfig::scaled(20_000));
+    workload.set_single(TatpTxn::GetSubscriberData);
+    let config = AtraposConfig {
+        monitoring: adaptive,
+        adaptive,
+        controller: ControllerConfig {
+            interval: AdaptiveInterval::new(0.05, 0.4, 0.10),
+            ..ControllerConfig::default()
+        },
+        ..AtraposConfig::default()
+    };
+    let name = if adaptive { "ATraPos" } else { "Static" };
+    let design = AtraposDesign::with_name(name, &machine, &workload, config);
+    let mut ex = VirtualExecutor::new(
+        machine,
+        Box::new(design),
+        Box::new(workload),
+        ExecutorConfig {
+            seed: 11,
+            default_interval_secs: 0.05,
+            time_series_bucket_secs: 0.05,
+        },
+    );
+    let before = ex.run_for(0.25);
+    ex.fail_socket(SocketId(3));
+    let after = ex.run_for(0.25);
+    println!(
+        "{name:<8} before failure {:>9.0} TPS | after failure {:>9.0} TPS ({:+.1}%) | repartitionings {}",
+        before.throughput_tps,
+        after.throughput_tps,
+        (after.throughput_tps / before.throughput_tps - 1.0) * 100.0,
+        after.repartitions
+    );
+}
+
+fn main() {
+    println!("one of four sockets fails at t = 0.25 virtual seconds");
+    run(false);
+    run(true);
+}

@@ -1,0 +1,129 @@
+//! Data-integrity checks: after running update workloads through the full
+//! engine, the database contents satisfy the workloads' consistency
+//! conditions on every design (TPC-C consistency condition 1-style checks).
+
+use atrapos_engine::{
+    AtraposConfig, AtraposDesign, CentralizedDesign, SystemDesign, Workload,
+};
+use atrapos_numa::{CoreId, CostModel, Machine, Topology};
+use atrapos_storage::{Database, Key, TableId};
+use atrapos_workloads::{Tpcc, TpccConfig, TpccTxn};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run_payments<D: SystemDesign>(
+    design: &mut D,
+    machine: &mut Machine,
+    workload: &mut Tpcc,
+    n: usize,
+) {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let cores = machine.topology.active_cores();
+    let mut next = vec![0u64; cores.len()];
+    for i in 0..n {
+        let c = i % cores.len();
+        let spec = workload.next_transaction(&mut rng, cores[c]);
+        let out = design.execute(machine, &spec, cores[c], next[c]);
+        assert!(out.committed, "payment {i} aborted");
+        next[c] = out.end;
+    }
+}
+
+/// TPC-C consistency condition 1: for every warehouse, `w_ytd` equals the
+/// sum of its districts' `d_ytd` (both start at zero here and every Payment
+/// adds the same amount to both).
+fn check_ytd_consistency(db: &Database, warehouses: i64) {
+    for w in 1..=warehouses {
+        let w_ytd = db
+            .table(TableId(0))
+            .unwrap()
+            .peek(&Key::int(w))
+            .unwrap()
+            .get(2)
+            .as_int();
+        let d_sum: i64 = (1..=10)
+            .map(|d| {
+                db.table(TableId(1))
+                    .unwrap()
+                    .peek(&Key::ints(&[w, d]))
+                    .unwrap()
+                    .get(2)
+                    .as_int()
+            })
+            .sum();
+        assert_eq!(w_ytd, d_sum, "warehouse {w} ytd mismatch");
+    }
+}
+
+#[test]
+fn tpcc_payment_preserves_ytd_consistency_on_centralized() {
+    let mut machine = Machine::new(Topology::multisocket(2, 2), CostModel::westmere());
+    let mut workload = Tpcc::new(TpccConfig::scaled(2));
+    workload.set_single(TpccTxn::Payment);
+    let mut design = CentralizedDesign::new(&machine, &workload);
+    run_payments(&mut design, &mut machine, &mut workload, 200);
+    check_ytd_consistency(design.database(), 2);
+}
+
+#[test]
+fn tpcc_payment_preserves_ytd_consistency_on_atrapos() {
+    let mut machine = Machine::new(Topology::multisocket(2, 2), CostModel::westmere());
+    let mut workload = Tpcc::new(TpccConfig::scaled(2));
+    workload.set_single(TpccTxn::Payment);
+    let mut design = AtraposDesign::new(&machine, &workload, AtraposConfig::default());
+    run_payments(&mut design, &mut machine, &mut workload, 200);
+    check_ytd_consistency(design.database(), 2);
+}
+
+#[test]
+fn tpcc_new_orders_create_matching_orders_and_lines() {
+    let mut machine = Machine::new(Topology::multisocket(2, 2), CostModel::westmere());
+    let mut workload = Tpcc::new(TpccConfig::scaled(2));
+    workload.set_single(TpccTxn::NewOrder);
+    let initial_orders = {
+        let mut db = Database::new();
+        atrapos_engine::workload::populate_all(&workload, &mut db);
+        db.table(TableId(5)).unwrap().len()
+    };
+    let mut design = AtraposDesign::new(&machine, &workload, AtraposConfig::default());
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut now = 0;
+    let n = 50;
+    for _ in 0..n {
+        let spec = workload.next_transaction(&mut rng, CoreId(0));
+        let out = design.execute(&mut machine, &spec, CoreId(0), now);
+        assert!(out.committed);
+        now = out.end;
+    }
+    let db = design.database();
+    // Every NewOrder inserted exactly one ORDER row and one NEW_ORDER row.
+    assert_eq!(db.table(TableId(5)).unwrap().len(), initial_orders + n);
+    // Order lines grew by the sum of the per-order item counts (5..=15 each).
+    let new_lines = db.table(TableId(6)).unwrap().len() - initial_orders * 5;
+    assert!(new_lines >= 5 * n && new_lines <= 15 * n);
+}
+
+#[test]
+fn tatp_mix_has_low_abort_rate_and_preserves_row_counts() {
+    use atrapos_workloads::{Tatp, TatpConfig};
+    let mut machine = Machine::new(Topology::multisocket(2, 2), CostModel::westmere());
+    let mut workload = Tatp::new(TatpConfig::scaled(500));
+    let mut design = AtraposDesign::new(&machine, &workload, AtraposConfig::default());
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut now = 0;
+    let mut aborted = 0;
+    let n = 500;
+    for _ in 0..n {
+        let spec = workload.next_transaction(&mut rng, CoreId(1));
+        let out = design.execute(&mut machine, &spec, CoreId(1), now);
+        if !out.committed {
+            aborted += 1;
+        }
+        now = out.end;
+    }
+    // Insert/Delete CallForwarding may fail per the TATP spec, but the vast
+    // majority of the mix commits.
+    assert!(aborted < n / 10, "too many aborts: {aborted}");
+    // Subscriber rows are never created or destroyed by the mix.
+    assert_eq!(design.database().table(TableId(0)).unwrap().len(), 500);
+}
