@@ -87,7 +87,10 @@ fn bench_cost_model_and_search(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(3);
     for t in 0..2u32 {
         for sub in 0..800 {
-            stats.record_action(SubPartitionId::new(TableId(t), sub), rng.gen_range(1.0..50.0));
+            stats.record_action(
+                SubPartitionId::new(TableId(t), sub),
+                rng.gen_range(1.0..50.0),
+            );
         }
     }
     for sub in (0..800).step_by(2) {

@@ -10,7 +10,10 @@ fn main() {
     println!("ATraPos evaluation — regenerating every table and figure");
     println!(
         "scale: {} (set ATRAPOS_PAPER=1 for the paper-sized datasets)\n",
-        if std::env::var("ATRAPOS_PAPER").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("ATRAPOS_PAPER")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             "paper"
         } else {
             "quick"

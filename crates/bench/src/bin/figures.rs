@@ -12,7 +12,10 @@ use atrapos_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     if args.is_empty() {
         for fig in run_all(&scale) {
             fig.print();
@@ -23,7 +26,10 @@ fn main() {
         match run_by_id(id, &scale) {
             Some(fig) => fig.print(),
             None => {
-                eprintln!("unknown experiment id '{id}'; known ids: {}", ALL_IDS.join(", "));
+                eprintln!(
+                    "unknown experiment id '{id}'; known ids: {}",
+                    ALL_IDS.join(", ")
+                );
                 std::process::exit(1);
             }
         }

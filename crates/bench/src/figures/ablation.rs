@@ -15,7 +15,7 @@
 //!   with shifted cross-table correlation, the advisor's plan turns almost
 //!   every distributed transaction into a single-instance transaction.
 
-use crate::harness::{executor, DesignKind, Scale};
+use crate::harness::{executor, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_core::{
     advise_sharding, evaluate_sharding, KeyDomain, ShardingConfig, ShardingPlan, SubPartitionId,
@@ -23,8 +23,9 @@ use atrapos_core::{
 };
 use atrapos_engine::workload::ensure_tables;
 use atrapos_engine::{
-    Action, ActionOp, AtraposConfig, ExecutorConfig, Phase, SharedNothingDesign,
+    Action, ActionOp, AtraposConfig, DesignSpec, ExecutorConfig, Phase, SharedNothingDesign,
     SharedNothingGranularity, SystemDesign, TableSpec, TransactionSpec, VirtualExecutor, Workload,
+    WorkloadChange,
 };
 use atrapos_numa::{CoreId, CostModel, Machine, Topology};
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
@@ -48,13 +49,16 @@ pub fn abl01_uniform_interconnect(scale: &Scale) -> FigureResult {
     );
     let sockets = scale.max_sockets;
     let cores = scale.cores_per_socket.min(4);
-    for (label, cost) in [("westmere", CostModel::westmere()), ("uniform", CostModel::uniform())] {
+    for (label, cost) in [
+        ("westmere", CostModel::westmere()),
+        ("uniform", CostModel::uniform()),
+    ] {
         let mut throughputs = Vec::new();
-        for kind in [DesignKind::Plp, DesignKind::Atrapos] {
+        for spec in [DesignSpec::Plp, DesignSpec::atrapos()] {
             let machine = Machine::new(Topology::multisocket(sockets, cores), cost.clone());
             let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 4));
             workload.set_single(TatpTxn::GetSubscriberData);
-            let mut ex = executor(machine, kind, Box::new(workload), scale.measure_secs);
+            let mut ex = executor(machine, &spec, Box::new(workload), scale.measure_secs);
             throughputs.push(ex.run_for(scale.measure_secs).throughput_tps);
         }
         fig.push_row(vec![
@@ -64,7 +68,9 @@ pub fn abl01_uniform_interconnect(scale: &Scale) -> FigureResult {
             fmt(throughputs[1] / throughputs[0]),
         ]);
     }
-    fig.note("expected shape: a clear ATraPos speedup on the Westmere model, ~1x on the uniform model");
+    fig.note(
+        "expected shape: a clear ATraPos speedup on the Westmere model, ~1x on the uniform model",
+    );
     fig
 }
 
@@ -83,10 +89,8 @@ pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
     let cores = scale.cores_per_socket.min(4);
     for penalty in [0.0f64, 0.2, 0.35, 0.5] {
         let run = |adaptive: bool| {
-            let machine = Machine::new(
-                Topology::multisocket(sockets, cores),
-                CostModel::westmere(),
-            );
+            let machine =
+                Machine::new(Topology::multisocket(sockets, cores), CostModel::westmere());
             let workload = SimpleAb::new(scale.micro_rows / 8);
             let config = AtraposConfig {
                 oversubscription_penalty: penalty,
@@ -94,9 +98,9 @@ pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
                 adaptive,
                 ..AtraposConfig::default()
             };
-            let design: Box<dyn SystemDesign> = Box::new(
-                atrapos_engine::AtraposDesign::new(&machine, &workload, config),
-            );
+            let design: Box<dyn SystemDesign> = Box::new(atrapos_engine::AtraposDesign::new(
+                &machine, &workload, config,
+            ));
             let mut ex = VirtualExecutor::new(
                 machine,
                 design,
@@ -118,7 +122,9 @@ pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
             fmt(adaptive / naive),
         ]);
     }
-    fig.note("expected shape: the adaptive scheme's advantage grows with the oversubscription penalty");
+    fig.note(
+        "expected shape: the adaptive scheme's advantage grows with the oversubscription penalty",
+    );
     fig
 }
 
@@ -131,7 +137,12 @@ pub fn abl03_sub_partition_granularity(scale: &Scale) -> FigureResult {
     let mut fig = FigureResult::new(
         "abl03",
         "Throughput (KTPS) after adapting to a hotspot vs. sub-partitions per partition",
-        vec!["sub-partitions", "before skew", "after adaptation", "repartitions"],
+        vec![
+            "sub-partitions",
+            "before skew",
+            "after adaptation",
+            "repartitions",
+        ],
     );
     for sub_per in [2usize, 10, 40] {
         let machine = Machine::new(
@@ -144,8 +155,9 @@ pub fn abl03_sub_partition_granularity(scale: &Scale) -> FigureResult {
             sub_per_partition: sub_per,
             ..AtraposConfig::default()
         };
-        let design: Box<dyn SystemDesign> =
-            Box::new(atrapos_engine::AtraposDesign::new(&machine, &workload, config));
+        let design: Box<dyn SystemDesign> = Box::new(atrapos_engine::AtraposDesign::new(
+            &machine, &workload, config,
+        ));
         let mut ex = VirtualExecutor::new(
             machine,
             design,
@@ -159,14 +171,13 @@ pub fn abl03_sub_partition_granularity(scale: &Scale) -> FigureResult {
         let before = ex.run_for(scale.phase_secs).throughput_tps;
         // Introduce the Figure 11 hotspot: 50% of the requests on 20% of the
         // data.
-        if let Some(any) = ex.workload_mut().as_any_mut() {
-            if let Some(tatp) = any.downcast_mut::<Tatp>() {
-                tatp.set_distribution(atrapos_workloads::KeyDistribution::Hotspot {
-                    data_fraction: 0.2,
-                    access_fraction: 0.5,
-                });
-            }
-        }
+        ex.reconfigure_workload(&WorkloadChange::Distribution {
+            distribution: atrapos_workloads::KeyDistribution::Hotspot {
+                data_fraction: 0.2,
+                access_fraction: 0.5,
+            },
+        })
+        .expect("TATP supports distribution changes");
         let mut repartitions = 0;
         let mut after = 0.0;
         for _ in 0..3 {
@@ -352,12 +363,7 @@ pub fn abl04_sharding_advisor(scale: &Scale) -> FigureResult {
             },
         );
         let stats = ex.run_for(scale.measure_secs);
-        let distributed = ex
-            .design()
-            .as_any()
-            .and_then(|d| d.downcast_ref::<SharedNothingDesign>())
-            .map(|d| d.distributed_txns)
-            .unwrap_or(0);
+        let distributed = ex.design_stats().distributed_txns.unwrap_or(0);
         fig.push_row(vec![
             label.to_string(),
             fmt(estimated),

@@ -6,16 +6,20 @@
 //! quick scale runs proportionally shorter virtual phases with a
 //! proportionally shorter interval, so the *number* of monitoring intervals
 //! per phase — and therefore the adaptation behaviour — matches the paper.
+//!
+//! Each experiment is a declarative [`Scenario`] run against two
+//! [`DesignSpec`]s (the static baseline and full ATraPos) — the timeline is
+//! data, so the same scenario could be loaded from a file (see the
+//! `scenario_replay` example) or swept over other designs.
 
 use crate::harness::{machine, Scale};
-use crate::report::{fmt, FigureResult};
-use atrapos_core::{AdaptiveInterval, ControllerConfig};
-use atrapos_engine::{
-    AtraposConfig, AtraposDesign, ExecutorConfig, SystemDesign, TimePoint, VirtualExecutor,
-};
+use crate::report::{fmt, write_scenario_json, FigureResult};
+use atrapos_core::{AdaptiveInterval, ControllerConfig, KeyDistribution};
+use atrapos_engine::scenario::{Scenario, ScenarioEvent, ScenarioOutcome};
+use atrapos_engine::{AtraposConfig, DesignSpec, ExecutorConfig, TimePoint, VirtualExecutor};
 use atrapos_numa::SocketId;
 use atrapos_storage::{Key, Record, Schema, Table, TableId, Value};
-use atrapos_workloads::{KeyDistribution, Tatp, TatpConfig, TatpTxn};
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
 use std::time::Instant;
 
 /// Figure 9: wall-clock cost of repartitioning batches (merge, split,
@@ -33,11 +37,15 @@ pub fn fig09_repartitioning(scale: &Scale) -> FigureResult {
         let schema = Schema::new(
             "repart",
             (0..10)
-                .map(|i| atrapos_storage::Column::new(format!("c{i}"), atrapos_storage::ColumnType::Int))
+                .map(|i| {
+                    atrapos_storage::Column::new(format!("c{i}"), atrapos_storage::ColumnType::Int)
+                })
                 .collect(),
             vec![0],
         );
-        let boundaries: Vec<Key> = (1..partitions).map(|i| Key::int(i * rows / partitions)).collect();
+        let boundaries: Vec<Key> = (1..partitions)
+            .map(|i| Key::int(i * rows / partitions))
+            .collect();
         let nodes = vec![SocketId(0); partitions as usize];
         let mut t = Table::range_partitioned(TableId(0), schema, boundaries, nodes);
         for i in 0..rows {
@@ -103,6 +111,36 @@ enum Variant {
     Adaptive,
 }
 
+/// The design specification of one variant.
+fn variant_spec(scale: &Scale, variant: Variant) -> DesignSpec {
+    match variant {
+        Variant::Static => DesignSpec::atrapos_named(
+            "static",
+            AtraposConfig {
+                monitoring: false,
+                adaptive: false,
+                ..AtraposConfig::default()
+            },
+        ),
+        Variant::Adaptive => DesignSpec::atrapos_named(
+            "atrapos",
+            AtraposConfig {
+                monitoring: true,
+                adaptive: true,
+                controller: ControllerConfig {
+                    interval: AdaptiveInterval::new(
+                        scale.interval_min_secs,
+                        scale.interval_max_secs,
+                        0.10,
+                    ),
+                    ..ControllerConfig::default()
+                },
+                ..AtraposConfig::default()
+            },
+        ),
+    }
+}
+
 /// Build a scaled-down executor for the time-series experiments.
 fn adaptive_executor(scale: &Scale, variant: Variant, initial: TatpTxn) -> VirtualExecutor {
     // A smaller machine keeps the per-second transaction counts tractable
@@ -110,32 +148,7 @@ fn adaptive_executor(scale: &Scale, variant: Variant, initial: TatpTxn) -> Virtu
     let m = machine(4, 4);
     let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 2));
     workload.set_single(initial);
-    let config = match variant {
-        Variant::Static => AtraposConfig {
-            monitoring: false,
-            adaptive: false,
-            ..AtraposConfig::default()
-        },
-        Variant::Adaptive => AtraposConfig {
-            monitoring: true,
-            adaptive: true,
-            controller: ControllerConfig {
-                interval: AdaptiveInterval::new(
-                    scale.interval_min_secs,
-                    scale.interval_max_secs,
-                    0.10,
-                ),
-                ..ControllerConfig::default()
-            },
-            ..AtraposConfig::default()
-        },
-    };
-    let name = match variant {
-        Variant::Static => "static",
-        Variant::Adaptive => "atrapos",
-    };
-    let design: Box<dyn SystemDesign> =
-        Box::new(AtraposDesign::with_name(name, &m, &workload, config));
+    let design = variant_spec(scale, variant).build(&m, &workload);
     VirtualExecutor::new(
         m,
         design,
@@ -148,14 +161,19 @@ fn adaptive_executor(scale: &Scale, variant: Variant, initial: TatpTxn) -> Virtu
     )
 }
 
-/// Apply a reconfiguration to the TATP workload inside an executor.
-fn with_tatp(ex: &mut VirtualExecutor, f: impl FnOnce(&mut Tatp)) {
-    let any = ex
-        .workload_mut()
-        .as_any_mut()
-        .expect("TATP supports reconfiguration");
-    let tatp = any.downcast_mut::<Tatp>().expect("workload is TATP");
-    f(tatp);
+/// Run a scenario under both variants and return (static, adaptive).
+fn run_both(
+    scale: &Scale,
+    initial: TatpTxn,
+    scenario: &Scenario,
+) -> (ScenarioOutcome, ScenarioOutcome) {
+    let s = adaptive_executor(scale, Variant::Static, initial)
+        .run_scenario(scenario)
+        .expect("scenario runs on the static variant");
+    let a = adaptive_executor(scale, Variant::Adaptive, initial)
+        .run_scenario(scenario)
+        .expect("scenario runs on the adaptive variant");
+    (s, a)
 }
 
 /// Merge per-variant time series into rows of (time, static, atrapos).
@@ -163,38 +181,23 @@ fn series_rows(static_ts: &[TimePoint], adaptive_ts: &[TimePoint]) -> Vec<Vec<St
     static_ts
         .iter()
         .zip(adaptive_ts.iter())
-        .map(|(s, a)| {
-            vec![
-                format!("{:.2}", s.secs),
-                fmt(s.tps / 1e3),
-                fmt(a.tps / 1e3),
-            ]
-        })
+        .map(|(s, a)| vec![format!("{:.2}", s.secs), fmt(s.tps / 1e3), fmt(a.tps / 1e3)])
         .collect()
 }
 
-fn run_phases(
-    scale: &Scale,
-    variant: Variant,
-    initial: TatpTxn,
-    phases: &[(&str, fn(&mut Tatp))],
-    fail_socket_after_phase: Option<usize>,
-) -> Vec<TimePoint> {
-    let mut ex = adaptive_executor(scale, variant, initial);
-    let mut series = Vec::new();
-    for (i, (_, mutate)) in phases.iter().enumerate() {
-        if i > 0 {
-            with_tatp(&mut ex, |t| mutate(t));
-        }
-        if fail_socket_after_phase == Some(i) {
-            ex.fail_socket(SocketId(3));
-        }
-        let stats = ex.run_for(scale.phase_secs);
-        // Time points carry absolute virtual time, so phases concatenate
-        // naturally.
-        series.extend(stats.time_series);
-    }
-    series
+/// The Figure 10 timeline: UpdSubData → GetNewDest → TATP-Mix.
+pub fn fig10_scenario(scale: &Scale) -> Scenario {
+    let p = scale.phase_secs;
+    Scenario::new("fig10-adapt-to-workload-change", 3.0 * p)
+        .starting_as("UpdSubData")
+        .at(
+            p,
+            "GetNewDest",
+            ScenarioEvent::SetWorkloadPhase {
+                txn: "GetNewDest".to_string(),
+            },
+        )
+        .at(2.0 * p, "TATP-Mix", ScenarioEvent::SetMix)
 }
 
 /// Figure 10: adapting to workload changes (UpdSubData → GetNewDest →
@@ -205,14 +208,9 @@ pub fn fig10_adapt_workload(scale: &Scale) -> FigureResult {
         "Adapting to workload changes (KTPS over time)",
         vec!["time (s)", "Static", "ATraPos"],
     );
-    let phases: &[(&str, fn(&mut Tatp))] = &[
-        ("UpdSubData", |_| {}),
-        ("GetNewDest", |t| t.set_single(TatpTxn::GetNewDestination)),
-        ("TATP-Mix", |t| t.set_standard_mix()),
-    ];
-    let s = run_phases(scale, Variant::Static, TatpTxn::UpdateSubscriberData, phases, None);
-    let a = run_phases(scale, Variant::Adaptive, TatpTxn::UpdateSubscriberData, phases, None);
-    for row in series_rows(&s, &a) {
+    let scenario = fig10_scenario(scale);
+    let (s, a) = run_both(scale, TatpTxn::UpdateSubscriberData, &scenario);
+    for row in series_rows(&s.time_series(), &a.time_series()) {
         fig.push_row(row);
     }
     fig.note(format!(
@@ -221,7 +219,27 @@ pub fn fig10_adapt_workload(scale: &Scale) -> FigureResult {
         scale.time_compression()
     ));
     fig.note("expected shape: ATraPos recovers within a few monitoring intervals after each switch and exceeds the static configuration");
+    write_scenario_json("fig10", &[&s, &a]);
     fig
+}
+
+/// The Figure 11 timeline: uniform, then a sudden hotspot (50% of the
+/// requests on 20% of the data) held for two phases.
+pub fn fig11_scenario(scale: &Scale) -> Scenario {
+    let p = scale.phase_secs;
+    Scenario::new("fig11-adapt-to-skew", 3.0 * p)
+        .starting_as("uniform")
+        .at(
+            p,
+            "skewed",
+            ScenarioEvent::SetSkew {
+                distribution: KeyDistribution::Hotspot {
+                    data_fraction: 0.2,
+                    access_fraction: 0.5,
+                },
+            },
+        )
+        .at(2.0 * p, "skewed", ScenarioEvent::Measure)
 }
 
 /// Figure 11: adapting to sudden skew (50% of requests to 20% of the data).
@@ -231,23 +249,24 @@ pub fn fig11_adapt_skew(scale: &Scale) -> FigureResult {
         "Adapting to sudden workload skew (KTPS over time)",
         vec!["time (s)", "Static", "ATraPos"],
     );
-    let phases: &[(&str, fn(&mut Tatp))] = &[
-        ("uniform", |_| {}),
-        ("skewed", |t| {
-            t.set_distribution(KeyDistribution::Hotspot {
-                data_fraction: 0.2,
-                access_fraction: 0.5,
-            })
-        }),
-        ("skewed", |_| {}),
-    ];
-    let s = run_phases(scale, Variant::Static, TatpTxn::GetSubscriberData, phases, None);
-    let a = run_phases(scale, Variant::Adaptive, TatpTxn::GetSubscriberData, phases, None);
-    for row in series_rows(&s, &a) {
+    let scenario = fig11_scenario(scale);
+    let (s, a) = run_both(scale, TatpTxn::GetSubscriberData, &scenario);
+    for row in series_rows(&s.time_series(), &a.time_series()) {
         fig.push_row(row);
     }
     fig.note("expected shape: both drop when the skew appears; ATraPos repartitions and recovers most of the loss, the static system does not");
+    write_scenario_json("fig11", &[&s, &a]);
     fig
+}
+
+/// The Figure 12 timeline: one of four sockets fails after the first
+/// phase.
+pub fn fig12_scenario(scale: &Scale) -> Scenario {
+    let p = scale.phase_secs;
+    Scenario::new("fig12-adapt-to-processor-failure", 3.0 * p)
+        .starting_as("before")
+        .at(p, "failed", ScenarioEvent::FailSocket { socket: 3 })
+        .at(2.0 * p, "failed", ScenarioEvent::Measure)
 }
 
 /// Figure 12: adapting to a hardware change (one socket fails).
@@ -257,26 +276,35 @@ pub fn fig12_adapt_hardware(scale: &Scale) -> FigureResult {
         "Adapting to a processor failure (KTPS over time)",
         vec!["time (s)", "Static", "ATraPos"],
     );
-    let phases: &[(&str, fn(&mut Tatp))] = &[("before", |_| {}), ("failed", |_| {}), ("failed", |_| {})];
-    let s = run_phases(
-        scale,
-        Variant::Static,
-        TatpTxn::GetSubscriberData,
-        phases,
-        Some(1),
-    );
-    let a = run_phases(
-        scale,
-        Variant::Adaptive,
-        TatpTxn::GetSubscriberData,
-        phases,
-        Some(1),
-    );
-    for row in series_rows(&s, &a) {
+    let scenario = fig12_scenario(scale);
+    let (s, a) = run_both(scale, TatpTxn::GetSubscriberData, &scenario);
+    for row in series_rows(&s.time_series(), &a.time_series()) {
         fig.push_row(row);
     }
     fig.note("one of four sockets fails after the first phase; the static system overloads one remaining socket, ATraPos repartitions across the surviving cores");
+    write_scenario_json("fig12", &[&s, &a]);
     fig
+}
+
+/// The Figure 13 timeline: A = GetNewDest and B = TATP-Mix alternating
+/// every phase.
+pub fn fig13_scenario(scale: &Scale) -> Scenario {
+    let p = scale.phase_secs;
+    let mut scenario = Scenario::new("fig13-adapt-to-frequent-changes", 6.0 * p).starting_as("A");
+    for i in 1..6 {
+        let (label, event) = if i % 2 == 1 {
+            ("B", ScenarioEvent::SetMix)
+        } else {
+            (
+                "A",
+                ScenarioEvent::SetWorkloadPhase {
+                    txn: "GetNewDest".to_string(),
+                },
+            )
+        };
+        scenario = scenario.at(i as f64 * p, label, event);
+    }
+    scenario
 }
 
 /// Figure 13: adapting to frequent workload changes (A = GetNewDest,
@@ -287,27 +315,67 @@ pub fn fig13_adapt_frequency(scale: &Scale) -> FigureResult {
         "Adapting to frequent workload changes (KTPS over time, ATraPos)",
         vec!["time (s)", "ATraPos", "phase"],
     );
-    let mut ex = adaptive_executor(scale, Variant::Adaptive, TatpTxn::GetNewDestination);
-    let phases = ["A", "B", "A", "B", "A", "B"];
-    for (i, label) in phases.iter().enumerate() {
-        if i > 0 {
-            with_tatp(&mut ex, |t| {
-                if *label == "A" {
-                    t.set_single(TatpTxn::GetNewDestination);
-                } else {
-                    t.set_standard_mix();
-                }
-            });
-        }
-        let stats = ex.run_for(scale.phase_secs);
-        for p in stats.time_series {
+    let scenario = fig13_scenario(scale);
+    let outcome = adaptive_executor(scale, Variant::Adaptive, TatpTxn::GetNewDestination)
+        .run_scenario(&scenario)
+        .expect("scenario runs");
+    for segment in &outcome.segments {
+        for p in &segment.stats.time_series {
             fig.push_row(vec![
                 format!("{:.2}", p.secs),
                 fmt(p.tps / 1e3),
-                label.to_string(),
+                segment.label.clone(),
             ]);
         }
     }
     fig.note("A = GetNewDest, B = TATP-Mix; the monitoring interval relaxes while the workload is stable and resets after each adaptation");
+    write_scenario_json("fig13", &[&outcome]);
     fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            micro_rows: 8_000,
+            memory_rows: 8_000,
+            tatp_subscribers: 4_000,
+            tpcc_warehouses: 2,
+            measure_secs: 0.002,
+            phase_secs: 0.004,
+            interval_min_secs: 0.002,
+            interval_max_secs: 0.008,
+            max_sockets: 2,
+            cores_per_socket: 2,
+        }
+    }
+
+    #[test]
+    fn figure_scenarios_are_valid_and_serializable() {
+        let scale = tiny_scale();
+        for scenario in [
+            fig10_scenario(&scale),
+            fig11_scenario(&scale),
+            fig12_scenario(&scale),
+            fig13_scenario(&scale),
+        ] {
+            scenario.validate().expect("figure timelines are valid");
+            let json = scenario.to_json();
+            assert_eq!(Scenario::from_json(&json).unwrap(), scenario);
+        }
+    }
+
+    #[test]
+    fn fig10_runs_three_labelled_segments() {
+        let scale = tiny_scale();
+        let scenario = fig10_scenario(&scale);
+        let outcome = adaptive_executor(&scale, Variant::Adaptive, TatpTxn::UpdateSubscriberData)
+            .run_scenario(&scenario)
+            .unwrap();
+        let labels: Vec<&str> = outcome.segments.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["UpdSubData", "GetNewDest", "TATP-Mix"]);
+        assert!(outcome.total_committed() > 0);
+    }
 }

@@ -14,8 +14,8 @@ pub use ablation::{
     abl04_sharding_advisor, run_ablation, run_all_ablations, ABLATION_IDS,
 };
 pub use adaptive::{
-    fig09_repartitioning, fig10_adapt_workload, fig11_adapt_skew, fig12_adapt_hardware,
-    fig13_adapt_frequency,
+    fig09_repartitioning, fig10_adapt_workload, fig10_scenario, fig11_adapt_skew, fig11_scenario,
+    fig12_adapt_hardware, fig12_scenario, fig13_adapt_frequency, fig13_scenario,
 };
 pub use motivation::{
     fig01_ipc, fig02_scaleup, fig03_multisite, fig04_breakdown, fig05_atrapos_scaleup,

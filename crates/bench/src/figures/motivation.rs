@@ -1,8 +1,9 @@
 //! The motivation experiments of paper §III: how the existing designs behave
 //! on multisocket hardware (Figures 1–5, Table I).
 
-use crate::harness::{measure, measure_with_memory_policy, DesignKind, Scale};
+use crate::harness::{measure, measure_with_memory_policy, Scale};
 use crate::report::{fmt, FigureResult};
+use atrapos_engine::DesignSpec;
 use atrapos_numa::Component;
 use atrapos_numa::SocketId;
 use atrapos_storage::MemoryPolicy;
@@ -26,14 +27,14 @@ pub fn fig01_ipc(scale: &Scale) -> FigureResult {
         let sockets = sockets.min(scale.max_sockets);
         let mut row = vec![sockets.to_string()];
         for kind in [
-            DesignKind::ExtremeSharedNothing { locking: false },
-            DesignKind::Centralized,
-            DesignKind::Plp,
+            DesignSpec::extreme_shared_nothing(false),
+            DesignSpec::Centralized,
+            DesignSpec::Plp,
         ] {
             let stats = measure(
                 sockets,
                 scale.cores_per_socket,
-                kind,
+                &kind,
                 Box::new(ReadOneRow::partitionable(
                     scale.micro_rows,
                     sockets * scale.cores_per_socket,
@@ -60,14 +61,14 @@ pub fn fig02_scaleup(scale: &Scale) -> FigureResult {
     for sockets in socket_counts(scale.max_sockets) {
         let mut row = vec![sockets.to_string()];
         for kind in [
-            DesignKind::ExtremeSharedNothing { locking: false },
-            DesignKind::Centralized,
-            DesignKind::Plp,
+            DesignSpec::extreme_shared_nothing(false),
+            DesignSpec::Centralized,
+            DesignSpec::Plp,
         ] {
             let stats = measure(
                 sockets,
                 scale.cores_per_socket,
-                kind,
+                &kind,
                 Box::new(ReadOneRow::partitionable(
                     scale.micro_rows,
                     sockets * scale.cores_per_socket,
@@ -97,16 +98,25 @@ pub fn fig03_multisite(scale: &Scale) -> FigureResult {
     for pct in [0u32, 20, 40, 60, 80, 100] {
         let mut row = vec![pct.to_string()];
         for kind in [
-            DesignKind::ExtremeSharedNothing { locking: true },
-            DesignKind::CoarseSharedNothing,
-            DesignKind::Centralized,
+            DesignSpec::extreme_shared_nothing(true),
+            DesignSpec::coarse_shared_nothing(),
+            DesignSpec::Centralized,
         ] {
-            let (sites, cores_per_site) = match kind {
-                DesignKind::ExtremeSharedNothing { .. } => (sockets * cores, 1),
+            let (sites, cores_per_site) = match &kind {
+                DesignSpec::SharedNothing {
+                    granularity: atrapos_engine::SharedNothingGranularity::PerCore,
+                    ..
+                } => (sockets * cores, 1),
                 _ => (sockets, cores),
             };
             let workload = MultiSiteUpdate::new(scale.micro_rows, sites, cores_per_site, pct);
-            let stats = measure(sockets, cores, kind, Box::new(workload), scale.measure_secs);
+            let stats = measure(
+                sockets,
+                cores,
+                &kind,
+                Box::new(workload),
+                scale.measure_secs,
+            );
             row.push(fmt(stats.throughput_tps / 1e3));
         }
         fig.push_row(row);
@@ -139,7 +149,7 @@ pub fn fig04_breakdown(scale: &Scale) -> FigureResult {
         let stats = measure(
             sockets,
             cores,
-            DesignKind::CoarseSharedNothing,
+            &DesignSpec::coarse_shared_nothing(),
             Box::new(workload),
             scale.measure_secs,
         );
@@ -198,9 +208,9 @@ pub fn tab01_memory_policy(scale: &Scale) -> FigureResult {
         );
         let mut row = vec![policy.label().to_string()];
         for s in 0..sockets {
-            row.push(fmt(
-                stats.committed_by_socket.get(s).copied().unwrap_or(0) as f64 / scale.measure_secs,
-            ));
+            row.push(fmt(stats.committed_by_socket.get(s).copied().unwrap_or(0)
+                as f64
+                / scale.measure_secs));
         }
         row.push(fmt(stats.throughput_tps));
         totals.push(stats.throughput_tps);
@@ -227,15 +237,15 @@ pub fn fig05_atrapos_scaleup(scale: &Scale) -> FigureResult {
     for sockets in socket_counts(scale.max_sockets) {
         let mut row = vec![sockets.to_string()];
         for kind in [
-            DesignKind::ExtremeSharedNothing { locking: false },
-            DesignKind::CoarseSharedNothing,
-            DesignKind::Atrapos,
-            DesignKind::Plp,
+            DesignSpec::extreme_shared_nothing(false),
+            DesignSpec::coarse_shared_nothing(),
+            DesignSpec::atrapos(),
+            DesignSpec::Plp,
         ] {
             let stats = measure(
                 sockets,
                 scale.cores_per_socket,
-                kind,
+                &kind,
                 Box::new(ReadOneRow::partitionable(
                     scale.micro_rows,
                     sockets * scale.cores_per_socket,
@@ -247,6 +257,8 @@ pub fn fig05_atrapos_scaleup(scale: &Scale) -> FigureResult {
         }
         fig.push_row(row);
     }
-    fig.note("expected shape: ATraPos scales like both shared-nothing configurations; PLP does not");
+    fig.note(
+        "expected shape: ATraPos scales like both shared-nothing configurations; PLP does not",
+    );
     fig
 }

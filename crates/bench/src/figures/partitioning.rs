@@ -1,12 +1,12 @@
 //! The partitioning/placement strategy comparison (Figure 6) and the
 //! NewOrder flow graph (Figure 7).
 
-use crate::harness::{machine, DesignKind, Scale};
+use crate::harness::{machine, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_core::{KeyDomain, PartitionSpec, PartitioningScheme, TablePartitioning};
 use atrapos_engine::{
-    ActionOp, AtraposConfig, AtraposDesign, ExecutorConfig, SystemDesign, VirtualExecutor,
-    Workload,
+    ActionOp, AtraposConfig, AtraposDesign, DesignSpec, ExecutorConfig, SystemDesign,
+    VirtualExecutor, Workload,
 };
 use atrapos_numa::{CoreId, Topology};
 use atrapos_storage::TableId;
@@ -93,11 +93,11 @@ pub fn fig06_placement(scale: &Scale) -> FigureResult {
     let domains = workload.table_domains();
 
     // 1 & 2: the baselines.
-    for kind in [DesignKind::Centralized, DesignKind::Plp] {
+    for spec in [DesignSpec::Centralized, DesignSpec::Plp] {
         let m = machine(sockets, cores);
-        let design = kind.build(&m, &workload);
+        let design = spec.build(&m, &workload);
         let tput = run_simple_ab(scale, design, m, workload.clone());
-        fig.push_row(vec![kind.label().to_string(), fmt(tput / 1e3)]);
+        fig.push_row(vec![spec.label().to_string(), fmt(tput / 1e3)]);
     }
 
     // 3: the naive hardware-aware scheme (one partition of each table per

@@ -1,9 +1,9 @@
 //! The standard-benchmark experiments: Figure 8 (TATP and TPC-C throughput
 //! normalized to PLP) and Table II (monitoring overhead).
 
-use crate::harness::{measure, DesignKind, Scale};
+use crate::harness::{measure, Scale};
 use crate::report::{fmt, FigureResult};
-use atrapos_engine::{AtraposConfig, Workload};
+use atrapos_engine::{AtraposConfig, DesignSpec, Workload};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig, TpccTxn};
 
 fn tatp_workload(scale: &Scale, txn: Option<TatpTxn>) -> Box<dyn Workload> {
@@ -28,16 +28,12 @@ pub fn fig08_standard_benchmarks(scale: &Scale) -> FigureResult {
     let mut fig = FigureResult::new(
         "fig08",
         "Standard benchmarks: ATraPos throughput normalized over PLP",
-        vec![
-            "workload",
-            "PLP (KTPS)",
-            "ATraPos (KTPS)",
-            "ATraPos / PLP",
-        ],
+        vec!["workload", "PLP (KTPS)", "ATraPos (KTPS)", "ATraPos / PLP"],
     );
     let sockets = scale.max_sockets;
     let cores = scale.cores_per_socket;
-    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload> + '_>)> = vec![
+    type WorkloadFactory<'a> = Box<dyn Fn() -> Box<dyn Workload> + 'a>;
+    let cases: Vec<(&str, WorkloadFactory)> = vec![
         (
             "TATP GetSubData",
             Box::new(|| tatp_workload(scale, Some(TatpTxn::GetSubscriberData))),
@@ -62,11 +58,11 @@ pub fn fig08_standard_benchmarks(scale: &Scale) -> FigureResult {
         ("TPCC-Mix", Box::new(|| tpcc_workload(scale, None))),
     ];
     for (label, make) in cases {
-        let plp = measure(sockets, cores, DesignKind::Plp, make(), scale.measure_secs);
+        let plp = measure(sockets, cores, &DesignSpec::Plp, make(), scale.measure_secs);
         let atrapos = measure(
             sockets,
             cores,
-            DesignKind::Atrapos,
+            &DesignSpec::atrapos(),
             make(),
             scale.measure_secs,
         );
@@ -122,14 +118,14 @@ pub fn tab02_monitoring_overhead(scale: &Scale) -> FigureResult {
         let off = measure(
             sockets,
             cores,
-            DesignKind::AtraposWith(monitoring_off),
+            &DesignSpec::atrapos_with(monitoring_off()),
             tatp_workload(scale, txn),
             scale.measure_secs,
         );
         let on = measure(
             sockets,
             cores,
-            DesignKind::AtraposWith(monitoring_on),
+            &DesignSpec::atrapos_with(monitoring_on()),
             tatp_workload(scale, txn),
             scale.measure_secs,
         );

@@ -1,71 +1,12 @@
 //! Shared helpers for building machines, designs, and executors.
+//!
+//! Designs are instantiated from the engine's serializable
+//! [`DesignSpec`] — plain data, no function pointers — so any measurement
+//! the harness can run can also be described in a replay file.
 
-use atrapos_engine::{
-    AtraposConfig, AtraposDesign, CentralizedDesign, ExecutorConfig, PlpDesign, RunStats,
-    SharedNothingDesign, SharedNothingGranularity, SystemDesign, VirtualExecutor, Workload,
-};
+use atrapos_engine::{DesignSpec, ExecutorConfig, RunStats, VirtualExecutor, Workload};
 use atrapos_numa::{CostModel, Machine, Topology};
 use atrapos_storage::MemoryPolicy;
-
-/// Which system design to instantiate.
-#[derive(Debug, Clone, Copy)]
-pub enum DesignKind {
-    /// Centralized shared-everything (stock Shore-MT).
-    Centralized,
-    /// Extreme shared-nothing: one instance per core, locking disabled for
-    /// read-only workloads.
-    ExtremeSharedNothing {
-        /// Whether locking/latching is enabled.
-        locking: bool,
-    },
-    /// Coarse shared-nothing: one instance per socket.
-    CoarseSharedNothing,
-    /// PLP (physiological partitioning).
-    Plp,
-    /// ATraPos with its default configuration.
-    Atrapos,
-    /// ATraPos with a custom configuration.
-    AtraposWith(fn() -> AtraposConfig),
-}
-
-impl DesignKind {
-    /// Short label for tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            DesignKind::Centralized => "Centralized",
-            DesignKind::ExtremeSharedNothing { .. } => "Extreme shared-nothing",
-            DesignKind::CoarseSharedNothing => "Coarse shared-nothing",
-            DesignKind::Plp => "PLP",
-            DesignKind::Atrapos => "ATraPos",
-            DesignKind::AtraposWith(_) => "ATraPos (custom)",
-        }
-    }
-
-    /// Instantiate the design for `machine` and `workload`.
-    pub fn build(&self, machine: &Machine, workload: &dyn Workload) -> Box<dyn SystemDesign> {
-        match self {
-            DesignKind::Centralized => Box::new(CentralizedDesign::new(machine, workload)),
-            DesignKind::ExtremeSharedNothing { locking } => Box::new(
-                SharedNothingDesign::new(machine, workload, SharedNothingGranularity::PerCore)
-                    .with_locking(*locking),
-            ),
-            DesignKind::CoarseSharedNothing => Box::new(SharedNothingDesign::new(
-                machine,
-                workload,
-                SharedNothingGranularity::PerSocket,
-            )),
-            DesignKind::Plp => Box::new(PlpDesign::new(machine, workload)),
-            DesignKind::Atrapos => Box::new(AtraposDesign::new(
-                machine,
-                workload,
-                AtraposConfig::default(),
-            )),
-            DesignKind::AtraposWith(make) => {
-                Box::new(AtraposDesign::new(machine, workload, make()))
-            }
-        }
-    }
-}
 
 /// Experiment scale: reduced by default so the whole suite runs in minutes;
 /// `ATRAPOS_PAPER=1` switches to the paper's dataset sizes (slow).
@@ -130,7 +71,10 @@ impl Scale {
 
     /// Pick the scale from the `ATRAPOS_PAPER` environment variable.
     pub fn from_env() -> Self {
-        if std::env::var("ATRAPOS_PAPER").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("ATRAPOS_PAPER")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Self::paper()
         } else {
             Self::quick()
@@ -155,11 +99,11 @@ pub fn machine(sockets: usize, cores_per_socket: usize) -> Machine {
 /// Build an executor for (design, workload, machine).
 pub fn executor(
     machine: Machine,
-    kind: DesignKind,
+    spec: &DesignSpec,
     workload: Box<dyn Workload>,
     interval_secs: f64,
 ) -> VirtualExecutor {
-    let design = kind.build(&machine, workload.as_ref());
+    let design = spec.build(&machine, workload.as_ref());
     VirtualExecutor::new(
         machine,
         design,
@@ -177,12 +121,12 @@ pub fn executor(
 pub fn measure(
     sockets: usize,
     cores_per_socket: usize,
-    kind: DesignKind,
+    spec: &DesignSpec,
     workload: Box<dyn Workload>,
     secs: f64,
 ) -> RunStats {
     let m = machine(sockets, cores_per_socket);
-    let mut ex = executor(m, kind, workload, secs.max(0.01));
+    let mut ex = executor(m, spec, workload, secs.max(0.01));
     ex.run_for(secs)
 }
 
@@ -195,27 +139,13 @@ pub fn measure_with_memory_policy(
     workload: Box<dyn Workload>,
     secs: f64,
 ) -> RunStats {
-    let m = machine(sockets, cores_per_socket);
-    let design = Box::new(
-        SharedNothingDesign::with_memory_policy(
-            &m,
-            workload.as_ref(),
-            SharedNothingGranularity::PerSocket,
-            policy,
-        )
-        .with_locking(false),
-    );
-    let mut ex = VirtualExecutor::new(
-        m,
-        design,
+    measure(
+        sockets,
+        cores_per_socket,
+        &DesignSpec::shared_nothing_with_memory_policy(policy),
         workload,
-        ExecutorConfig {
-            seed: 42,
-            default_interval_secs: secs.max(0.01),
-            time_series_bucket_secs: secs.max(0.01),
-        },
-    );
-    ex.run_for(secs)
+        secs,
+    )
 }
 
 #[cfg(test)]
@@ -233,22 +163,16 @@ mod tests {
     }
 
     #[test]
-    fn measure_runs_every_design_kind() {
-        for kind in [
-            DesignKind::Centralized,
-            DesignKind::ExtremeSharedNothing { locking: false },
-            DesignKind::CoarseSharedNothing,
-            DesignKind::Plp,
-            DesignKind::Atrapos,
+    fn measure_runs_every_design_spec() {
+        for spec in [
+            DesignSpec::Centralized,
+            DesignSpec::extreme_shared_nothing(false),
+            DesignSpec::coarse_shared_nothing(),
+            DesignSpec::Plp,
+            DesignSpec::atrapos(),
         ] {
-            let stats = measure(
-                1,
-                2,
-                kind,
-                Box::new(ReadOneRow::with_rows(2_000)),
-                0.002,
-            );
-            assert!(stats.committed > 0, "{} committed nothing", kind.label());
+            let stats = measure(1, 2, &spec, Box::new(ReadOneRow::with_rows(2_000)), 0.002);
+            assert!(stats.committed > 0, "{} committed nothing", spec.label());
         }
     }
 }

@@ -21,5 +21,6 @@ pub mod figures;
 pub mod harness;
 pub mod report;
 
-pub use harness::{DesignKind, Scale};
+pub use atrapos_engine::DesignSpec;
+pub use harness::Scale;
 pub use report::FigureResult;

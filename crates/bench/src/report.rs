@@ -1,4 +1,8 @@
-//! Plain-text rendering of experiment results.
+//! Plain-text rendering of experiment results, plus machine-readable JSON
+//! dumps of scenario runs.
+
+use atrapos_engine::ScenarioOutcome;
+use std::path::PathBuf;
 
 /// The outcome of regenerating one table or figure.
 #[derive(Debug, Clone)]
@@ -73,6 +77,31 @@ impl FigureResult {
     /// Print to stdout.
     pub fn print(&self) {
         println!("{}", self.render());
+    }
+}
+
+/// Directory the JSON segment reports go to (`ATRAPOS_REPORT_DIR`
+/// overrides; default `reports/`).
+pub fn report_dir() -> PathBuf {
+    std::env::var("ATRAPOS_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("reports"))
+}
+
+/// Write the per-segment statistics of one experiment's scenario runs as
+/// JSON next to the text report (`reports/BENCH_<id>_segments.json`), so
+/// the performance trajectory has machine-readable input.  Best-effort: a
+/// read-only working directory only loses the JSON copy, never the run.
+pub fn write_scenario_json(id: &str, outcomes: &[&ScenarioOutcome]) -> Option<PathBuf> {
+    let dir = report_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("BENCH_{id}_segments.json"));
+    let body = serde::json::to_string_pretty(&outcomes.to_vec());
+    match std::fs::write(&path, body) {
+        Ok(()) => Some(path),
+        Err(_) => None,
     }
 }
 

@@ -116,7 +116,11 @@ impl ShardingPlan {
     /// A range sharding matching the engine's default shared-nothing
     /// deployment on `topo`: one instance per socket, one machine per
     /// socket.
-    pub fn per_socket(tables: &[(TableId, KeyDomain)], n_sub_per_table: usize, topo: &Topology) -> Self {
+    pub fn per_socket(
+        tables: &[(TableId, KeyDomain)],
+        n_sub_per_table: usize,
+        topo: &Topology,
+    ) -> Self {
         let n = topo.num_sockets();
         Self::range(tables, n_sub_per_table, n, n)
     }
@@ -338,7 +342,7 @@ pub fn advise_sharding(
         if candidates.is_empty() {
             break;
         }
-        candidates.sort_by(|x, y| y.2.cmp(&x.2));
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.2));
         let mut improved = false;
         'candidates: for (a, b, _) in candidates.into_iter().take(16) {
             for (mover, target) in [(a, b), (b, a)] {
@@ -519,8 +523,9 @@ mod tests {
         let mut new = old.clone();
         new.assign(TableId(0), 0, 3);
         new.assign(TableId(1), 7, 0);
-        let bytes: HashMap<TableId, u64> =
-            [(TableId(0), 1_000), (TableId(1), 2_000)].into_iter().collect();
+        let bytes: HashMap<TableId, u64> = [(TableId(0), 1_000), (TableId(1), 2_000)]
+            .into_iter()
+            .collect();
         assert_eq!(estimate_migration_bytes(&old, &old, &bytes), 0);
         assert_eq!(estimate_migration_bytes(&old, &new, &bytes), 3_000);
     }

@@ -122,11 +122,7 @@ impl AdaptiveController {
 
     /// Evaluate the model immediately (used when the engine detects a
     /// hardware change out-of-band).
-    pub fn force_evaluate(
-        &mut self,
-        stats: &WorkloadStats,
-        topo: &Topology,
-    ) -> AdaptationOutcome {
+    pub fn force_evaluate(&mut self, stats: &WorkloadStats, topo: &Topology) -> AdaptationOutcome {
         let hardware_changed = self.current.check_invariants(topo).is_err();
         self.evaluate_and_maybe_adapt(stats, topo, hardware_changed)
     }
@@ -143,8 +139,7 @@ impl AdaptiveController {
         let new_cost = evaluate(&candidate, stats, topo);
         let old_combined = old_cost.combined(self.config.sync_weight);
         let new_combined = new_cost.combined(self.config.sync_weight);
-        let improved = new_combined
-            < old_combined * (1.0 - self.config.improvement_threshold)
+        let improved = new_combined < old_combined * (1.0 - self.config.improvement_threshold)
             || (hardware_changed && candidate.check_invariants(topo).is_ok());
         if !improved {
             return AdaptationOutcome::NoChange;
@@ -174,9 +169,11 @@ mod tests {
 
     fn setup() -> (Topology, AdaptiveController) {
         let topo = Topology::multisocket(2, 4);
-        let scheme =
-            PartitioningScheme::naive(&[(TableId(0), KeyDomain::new(0, 1000))], &topo, 10);
-        (topo, AdaptiveController::new(scheme, ControllerConfig::default()))
+        let scheme = PartitioningScheme::naive(&[(TableId(0), KeyDomain::new(0, 1000))], &topo, 10);
+        (
+            topo,
+            AdaptiveController::new(scheme, ControllerConfig::default()),
+        )
     }
 
     fn uniform_stats(n_sub: usize) -> WorkloadStats {

@@ -150,7 +150,10 @@ mod tests {
         // Maximal skew: one core holds everything; deviation = 2*(1-1/n)*total.
         let total = 400.0;
         let expected = 2.0 * (1.0 - 1.0 / 4.0) * total;
-        assert!((ru_s - expected).abs() < 1e-6, "ru_s={ru_s} expected={expected}");
+        assert!(
+            (ru_s - expected).abs() < 1e-6,
+            "ru_s={ru_s} expected={expected}"
+        );
     }
 
     #[test]

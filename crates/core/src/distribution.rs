@@ -1,0 +1,99 @@
+//! Key-access distributions.
+//!
+//! Lives in `atrapos-core` (rather than the workloads crate) because the
+//! engine's typed reconfiguration channel (`WorkloadChange::Distribution`)
+//! carries a distribution across the workload trait boundary: scenarios
+//! that introduce skew at runtime (paper Figure 11) are plain data.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How keys are drawn from a domain `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Uniform over the whole domain.
+    Uniform,
+    /// Hotspot skew: `access_fraction` of the requests go to the first
+    /// `data_fraction` of the domain (the paper's Figure 11 uses 50% of the
+    /// requests on 20% of the data).
+    Hotspot {
+        /// Fraction of the domain that is hot (0..1).
+        data_fraction: f64,
+        /// Fraction of accesses that hit the hot range (0..1).
+        access_fraction: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// Draw a key head from `[lo, hi)`.
+    pub fn sample(&self, rng: &mut SmallRng, lo: i64, hi: i64) -> i64 {
+        debug_assert!(hi > lo);
+        match *self {
+            KeyDistribution::Uniform => rng.gen_range(lo..hi),
+            KeyDistribution::Hotspot {
+                data_fraction,
+                access_fraction,
+            } => {
+                let width = hi - lo;
+                let hot_width = ((width as f64 * data_fraction).ceil() as i64).clamp(1, width);
+                if rng.gen_bool(access_fraction.clamp(0.0, 1.0)) {
+                    rng.gen_range(lo..lo + hot_width)
+                } else if hot_width < width {
+                    rng.gen_range(lo + hot_width..hi)
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_the_domain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = KeyDistribution::Uniform;
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..2000 {
+            let k = d.sample(&mut rng, 0, 100);
+            assert!((0..100).contains(&k));
+            if k < 10 {
+                seen_low = true;
+            }
+            if k >= 90 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = KeyDistribution::Hotspot {
+            data_fraction: 0.2,
+            access_fraction: 0.5,
+        };
+        let n = 10_000;
+        let hot = (0..n).filter(|_| d.sample(&mut rng, 0, 1000) < 200).count() as f64;
+        let frac = hot / n as f64;
+        assert!((0.45..0.55).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn distribution_round_trips_through_serde() {
+        let d = KeyDistribution::Hotspot {
+            data_fraction: 0.2,
+            access_fraction: 0.5,
+        };
+        let text = serde::json::to_string(&d);
+        let back: KeyDistribution = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -31,10 +31,13 @@
 //!   applied to coarse- and fine-grained shared-nothing deployments, where
 //!   the dominant costs are distributed transactions and physical data
 //!   movement.
+//! * [`distribution`] — key-access distributions (uniform, hotspot skew);
+//!   shared data for the engine's typed workload-reconfiguration channel.
 
 pub mod advisor;
 pub mod controller;
 pub mod cost_model;
+pub mod distribution;
 pub mod monitor;
 pub mod partitioning;
 pub mod repartition;
@@ -47,8 +50,11 @@ pub use advisor::{
 };
 pub use controller::{AdaptationOutcome, AdaptiveController, ControllerConfig};
 pub use cost_model::{resource_utilization, sync_overhead, CostBreakdown};
+pub use distribution::KeyDistribution;
 pub use monitor::{AdaptiveInterval, IntervalDecision, Monitor, MONITOR_INSTRUCTIONS_PER_EVENT};
 pub use partitioning::{KeyDomain, PartitionSpec, PartitioningScheme, TablePartitioning};
-pub use repartition::{apply_plan, plan_repartitioning, RepartitionAction, RepartitionPlan, RepartitionStats};
+pub use repartition::{
+    apply_plan, plan_repartitioning, RepartitionAction, RepartitionPlan, RepartitionStats,
+};
 pub use search::{choose_partitioning, choose_placement, choose_scheme, SearchConfig};
 pub use stats::{SubPartitionId, SyncObservation, WorkloadStats};

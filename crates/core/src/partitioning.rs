@@ -95,7 +95,9 @@ pub struct TablePartitioning {
 impl TablePartitioning {
     /// Partition index responsible for `key_head`.
     pub fn partition_of_key(&self, key_head: i64) -> usize {
-        let sub = self.domain.sub_partition_of(key_head, self.num_sub_partitions);
+        let sub = self
+            .domain
+            .sub_partition_of(key_head, self.num_sub_partitions);
         self.partition_of_sub(sub)
     }
 
@@ -103,10 +105,7 @@ impl TablePartitioning {
     pub fn partition_of_sub(&self, sub: usize) -> usize {
         // Partitions are contiguous and ordered by `sub_start`, so a binary
         // search finds the owner in O(log n).
-        match self
-            .partitions
-            .binary_search_by(|p| p.sub_start.cmp(&sub))
-        {
+        match self.partitions.binary_search_by(|p| p.sub_start.cmp(&sub)) {
             Ok(i) => i,
             Err(0) => panic!("sub-partition {sub} not covered by any partition"),
             Err(i) => {

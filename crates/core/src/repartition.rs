@@ -90,10 +90,7 @@ pub struct RepartitionStats {
 
 /// Compute the action batch that transforms the partition boundaries of
 /// `old` into those of `new`.
-pub fn plan_repartitioning(
-    old: &PartitioningScheme,
-    new: &PartitioningScheme,
-) -> RepartitionPlan {
+pub fn plan_repartitioning(old: &PartitioningScheme, new: &PartitioningScheme) -> RepartitionPlan {
     let mut plan = RepartitionPlan::default();
     for new_t in new.tables() {
         let Some(old_t) = old.tables().iter().find(|t| t.table == new_t.table) else {
@@ -264,12 +261,8 @@ mod tests {
     fn coarser_scheme_produces_merges_finer_produces_splits() {
         let topo = Topology::multisocket(2, 2);
         let fine = PartitioningScheme::naive(&[(TableId(0), KeyDomain::new(0, 1000))], &topo, 10);
-        let coarse = PartitioningScheme::even(
-            &[(TableId(0), KeyDomain::new(0, 1000))],
-            &topo,
-            2,
-            20,
-        );
+        let coarse =
+            PartitioningScheme::even(&[(TableId(0), KeyDomain::new(0, 1000))], &topo, 2, 20);
         let plan = plan_repartitioning(&fine, &coarse);
         assert!(plan.num_merges() > 0);
         assert_eq!(plan.num_splits(), 0);
@@ -282,12 +275,8 @@ mod tests {
     fn apply_plan_transforms_the_physical_partitions() {
         let topo = Topology::multisocket(2, 2);
         let fine = scheme(&topo, 4);
-        let coarse = PartitioningScheme::even(
-            &[(TableId(0), KeyDomain::new(0, 1000))],
-            &topo,
-            2,
-            20,
-        );
+        let coarse =
+            PartitioningScheme::even(&[(TableId(0), KeyDomain::new(0, 1000))], &topo, 2, 20);
         let mut db = db_matching(&fine, &topo);
         assert_eq!(db.table(TableId(0)).unwrap().num_partitions(), 4);
         let plan = plan_repartitioning(&fine, &coarse);
@@ -334,12 +323,8 @@ mod tests {
             .iter()
             .map(|(k, _)| k.head_int())
             .collect();
-        let coarse = PartitioningScheme::even(
-            &[(TableId(0), KeyDomain::new(0, 1000))],
-            &topo,
-            2,
-            20,
-        );
+        let coarse =
+            PartitioningScheme::even(&[(TableId(0), KeyDomain::new(0, 1000))], &topo, 2, 20);
         let plan = plan_repartitioning(&fine, &coarse);
         apply_plan(&mut db, &plan, &coarse, &topo).unwrap();
         let plan_back = plan_repartitioning(&coarse, &fine);

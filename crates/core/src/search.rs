@@ -71,8 +71,8 @@ pub fn choose_partitioning(
         let n_sub = t.num_sub_partitions;
         let mut parts: Vec<PartitionSpec> = Vec::new();
         let mut start = 0usize;
-        for sub in 0..n_sub {
-            core_load += loads[sub];
+        for (sub, &load) in loads.iter().enumerate().take(n_sub) {
+            core_load += load;
             let last_core = core_idx + 1 >= cores.len();
             if core_load >= target && !last_core && sub + 1 < n_sub {
                 parts.push(PartitionSpec {
@@ -202,6 +202,11 @@ fn candidate_moves(scheme: &PartitioningScheme, under: CoreId) -> Vec<Partitioni
     out
 }
 
+/// One cross-socket synchronization pair considered by the placement
+/// improvement loop: the two `(table index, partition index)` endpoints and
+/// the pair's synchronization cost.
+type CrossSocketPair = ((usize, usize), (usize, usize), f64);
+
 /// Algorithm 2: choose a placement (partition → core assignment) that
 /// minimizes the synchronization overhead.
 ///
@@ -235,7 +240,7 @@ pub fn choose_placement(
     for _ in 0..cfg.max_iterations {
         let mut improved = false;
         // Find the costliest cross-socket pair under the current placement.
-        let mut pairs: Vec<((usize, usize), (usize, usize), f64)> = Vec::new();
+        let mut pairs: Vec<CrossSocketPair> = Vec::new();
         for ((a, b), obs) in stats.sync_pairs() {
             let (ta, pa) = locate(&placed, a.table, a.index);
             let (tb, pb) = locate(&placed, b.table, b.index);
@@ -287,7 +292,11 @@ pub fn choose_placement(
 }
 
 /// Locate the (table index, partition index) owning a sub-partition.
-fn locate(scheme: &PartitioningScheme, table: atrapos_storage::TableId, sub: usize) -> (usize, usize) {
+fn locate(
+    scheme: &PartitioningScheme,
+    table: atrapos_storage::TableId,
+    sub: usize,
+) -> (usize, usize) {
     let t_idx = scheme
         .tables()
         .iter()
@@ -441,10 +450,7 @@ mod tests {
         let mut stats = WorkloadStats::new();
         for t in 0..2u32 {
             for sub in 0..160 {
-                stats.record_action(
-                    SubPartitionId::new(TableId(t), sub),
-                    (sub % 7) as f64 + 1.0,
-                );
+                stats.record_action(SubPartitionId::new(TableId(t), sub), (sub % 7) as f64 + 1.0);
             }
         }
         for sub in (0..160).step_by(3) {

@@ -200,10 +200,7 @@ impl TransactionSpec {
     /// Number of synchronization points (phase boundaries with more than
     /// one participating action, plus joins between phases).
     pub fn num_sync_points(&self) -> usize {
-        self.phases
-            .iter()
-            .filter(|p| p.actions.len() > 1)
-            .count()
+        self.phases.iter().filter(|p| p.actions.len() > 1).count()
             + self.phases.len().saturating_sub(1)
     }
 

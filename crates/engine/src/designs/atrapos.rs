@@ -24,7 +24,7 @@ use crate::designs::common::{
     acquire_action_locks, log_action, storage_op, sync_point, BEGIN_INSTRUCTIONS,
     COMMIT_INSTRUCTIONS,
 };
-use crate::designs::{IntervalOutcome, SystemDesign};
+use crate::designs::{DesignStats, IntervalOutcome, SystemDesign};
 use crate::workers::WorkerPool;
 use crate::workload::{populate_all, Workload};
 use atrapos_core::{
@@ -41,7 +41,10 @@ use atrapos_storage::{
 use std::collections::HashMap;
 
 /// Configuration of the partitioned shared-everything engine.
-#[derive(Debug, Clone)]
+///
+/// Serializable so that a [`crate::designs::spec::DesignSpec`] — and
+/// therefore a whole experiment — is plain data.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct AtraposConfig {
     /// Partition the transaction list, state locks, and log per socket
     /// (true for ATraPos, false for the PLP baseline).
@@ -204,7 +207,7 @@ impl AtraposDesign {
             let mut boundaries: Vec<atrapos_storage::Key> = Vec::new();
             let mut nodes: Vec<SocketId> = vec![topo.socket_of(t.partitions[0].core)];
             for (i, b) in t.boundary_keys().into_iter().enumerate() {
-                if boundaries.last().map_or(true, |last| *last < b) {
+                if boundaries.last().is_none_or(|last| *last < b) {
                     boundaries.push(b);
                     nodes.push(topo.socket_of(t.partitions[i + 1].core));
                 }
@@ -314,7 +317,9 @@ impl SystemDesign for AtraposDesign {
                 let core = Self::effective_core(&machine.topology, tpart.partitions[pidx].core);
                 let sub = SubPartitionId::new(
                     table,
-                    tpart.domain.sub_partition_of(head, tpart.num_sub_partitions),
+                    tpart
+                        .domain
+                        .sub_partition_of(head, tpart.num_sub_partitions),
                 );
                 let avail = self.workers.available_at(core, phase_start);
                 let mut actx = machine.ctx(core, avail);
@@ -468,8 +473,7 @@ impl SystemDesign for AtraposDesign {
                     };
                 }
                 self.scheme = new_scheme;
-                self.partition_locks =
-                    Self::build_partition_locks(&machine.topology, &self.scheme);
+                self.partition_locks = Self::build_partition_locks(&machine.topology, &self.scheme);
                 self.partitions_per_core = self.scheme.partitions_per_core(&machine.topology);
                 self.repartitions += 1;
                 let pause = micros_to_cycles(
@@ -490,6 +494,22 @@ impl SystemDesign for AtraposDesign {
         // Nothing to do eagerly: the controller notices the failed socket at
         // the next interval because the current scheme stops satisfying its
         // placement invariants.
+    }
+
+    fn stats(&self) -> DesignStats {
+        DesignStats {
+            aborted: self.aborted,
+            distributed_txns: None,
+            instances: None,
+            repartitions: Some(self.repartitions),
+            partitions: Some(
+                self.scheme
+                    .tables()
+                    .iter()
+                    .map(|t| t.partitions.len())
+                    .sum(),
+            ),
+        }
     }
 }
 
@@ -529,7 +549,10 @@ mod tests {
             .iter()
             .map(|c| d.workers.busy_cycles(*c))
             .collect();
-        assert!(busy.iter().filter(|&&b| b > 0).count() >= 3, "busy: {busy:?}");
+        assert!(
+            busy.iter().filter(|&&b| b > 0).count() >= 3,
+            "busy: {busy:?}"
+        );
     }
 
     #[test]
@@ -562,7 +585,9 @@ mod tests {
         // Same workload, same machine: the only difference is the
         // NUMA-awareness of the internal structures.
         let run = |config: AtraposConfig| {
-            let mut m = Machine::new(Topology::multisocket(4, 2), CostModel::westmere());
+            // 8 sockets: the centralized-structure penalty of PLP grows
+            // with the number of sockets hammering the shared cache lines.
+            let mut m = Machine::new(Topology::multisocket(8, 2), CostModel::westmere());
             let mut w = TinyWorkload { rows: 4000 };
             let mut d = AtraposDesign::new(&m, &w, config);
             let mut rng = SmallRng::seed_from_u64(3);

@@ -10,7 +10,7 @@ use crate::action::{TransactionSpec, TxnOutcome};
 use crate::designs::common::{
     acquire_action_locks, log_action, storage_op, BEGIN_INSTRUCTIONS, COMMIT_INSTRUCTIONS,
 };
-use crate::designs::SystemDesign;
+use crate::designs::{DesignStats, SystemDesign};
 use crate::workload::{ensure_tables, populate_all, Workload};
 use atrapos_numa::{Component, CoreId, Cycles, Machine, SocketId};
 use atrapos_storage::{
@@ -117,13 +117,11 @@ impl SystemDesign for CentralizedDesign {
         if failed {
             txn.abort();
             self.aborted += 1;
-            self.log
-                .insert(&mut ctx, txn.id, LogRecordKind::Abort, 32);
+            self.log.insert(&mut ctx, txn.id, LogRecordKind::Abort, 32);
         } else {
             txn.commit();
             if spec.is_update() {
-                self.log
-                    .insert(&mut ctx, txn.id, LogRecordKind::Commit, 48);
+                self.log.insert(&mut ctx, txn.id, LogRecordKind::Commit, 48);
                 self.log.commit_flush(&mut ctx);
             }
         }
@@ -137,6 +135,13 @@ impl SystemDesign for CentralizedDesign {
             committed: !failed,
             start,
             end,
+        }
+    }
+
+    fn stats(&self) -> DesignStats {
+        DesignStats {
+            aborted: self.aborted,
+            ..DesignStats::default()
         }
     }
 }

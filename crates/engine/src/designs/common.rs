@@ -140,8 +140,8 @@ pub fn sync_point(ctx: &mut SimCtx<'_>, sockets: &[SocketId], bytes: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::testing::TinyUpdateWorkload;
     use crate::workload::populate_all;
+    use crate::workload::testing::TinyUpdateWorkload;
     use atrapos_numa::{CoreId, CostModel, Topology};
     use atrapos_storage::{Key, TableId, TxnId};
 

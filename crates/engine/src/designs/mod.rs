@@ -5,9 +5,11 @@ pub mod centralized;
 pub mod common;
 pub mod plp;
 pub mod shared_nothing;
+pub mod spec;
 
 use crate::action::{TransactionSpec, TxnOutcome};
 use atrapos_numa::{CoreId, Cycles, Machine};
+use serde::{Deserialize, Serialize};
 
 /// What a design did at a monitoring-interval boundary.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -19,6 +21,25 @@ pub struct IntervalOutcome {
     /// Length of the next monitoring interval in (virtual) seconds; `None`
     /// keeps the executor's default.
     pub next_interval_secs: Option<f64>,
+}
+
+/// A structured statistics report of a design, readable after (or during)
+/// a run without downcasting.  Fields that do not apply to a design are
+/// `None`; counters that apply to every design are plain integers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DesignStats {
+    /// Transactions aborted because of storage errors.
+    pub aborted: u64,
+    /// Distributed (multi-instance) transactions executed — shared-nothing
+    /// designs only (paper §III-C).
+    pub distributed_txns: Option<u64>,
+    /// Number of database instances — shared-nothing designs only.
+    pub instances: Option<usize>,
+    /// Repartitionings performed so far — adaptive designs only.
+    pub repartitions: Option<u64>,
+    /// Data partitions currently in force, summed over tables —
+    /// partitioned designs only.
+    pub partitions: Option<usize>,
 }
 
 /// A transaction-processing system design under evaluation.
@@ -53,10 +74,10 @@ pub trait SystemDesign {
     /// the design can react on the next interval.
     fn on_topology_change(&mut self, _machine: &Machine) {}
 
-    /// Downcasting hook so harnesses can read design-specific statistics
-    /// (e.g. the shared-nothing distributed-transaction count) after a run.
-    /// Designs that expose such statistics return `Some(self)`.
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        None
+    /// Structured statistics of the design (distributed-transaction counts,
+    /// partition counts, repartitioning history, …).  Harnesses read this
+    /// instead of downcasting to concrete design types.
+    fn stats(&self) -> DesignStats {
+        DesignStats::default()
     }
 }

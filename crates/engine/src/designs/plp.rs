@@ -11,7 +11,7 @@
 
 use crate::action::{TransactionSpec, TxnOutcome};
 use crate::designs::atrapos::{AtraposConfig, AtraposDesign};
-use crate::designs::{IntervalOutcome, SystemDesign};
+use crate::designs::{DesignStats, IntervalOutcome, SystemDesign};
 use crate::workload::Workload;
 use atrapos_numa::{CoreId, Cycles, Machine};
 
@@ -24,7 +24,12 @@ impl PlpDesign {
     /// Build the PLP baseline for `machine` and `workload`.
     pub fn new(machine: &Machine, workload: &dyn Workload) -> Self {
         Self {
-            inner: AtraposDesign::with_name("plp", machine, workload, AtraposConfig::plp_baseline()),
+            inner: AtraposDesign::with_name(
+                "plp",
+                machine,
+                workload,
+                AtraposConfig::plp_baseline(),
+            ),
         }
     }
 
@@ -57,6 +62,10 @@ impl SystemDesign for PlpDesign {
     ) -> IntervalOutcome {
         self.inner.on_interval(machine, now, interval_throughput)
     }
+
+    fn stats(&self) -> DesignStats {
+        self.inner.stats()
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +83,11 @@ mod tests {
         let mut d = PlpDesign::new(&m, &w);
         assert_eq!(d.name(), "plp");
         assert_eq!(
-            d.inner().scheme().table(atrapos_storage::TableId(0)).partitions.len(),
+            d.inner()
+                .scheme()
+                .table(atrapos_storage::TableId(0))
+                .partitions
+                .len(),
             4
         );
         let mut rng = SmallRng::seed_from_u64(8);

@@ -14,18 +14,18 @@ use crate::action::{TransactionSpec, TxnOutcome};
 use crate::designs::common::{
     acquire_action_locks, log_action, storage_op, BEGIN_INSTRUCTIONS, COMMIT_INSTRUCTIONS,
 };
-use crate::designs::SystemDesign;
+use crate::designs::{DesignStats, SystemDesign};
 use crate::workload::Workload;
 use atrapos_core::{KeyDomain, ShardingPlan};
 use atrapos_numa::{Component, CoreId, Cycles, Machine, SocketId, Tally, Topology};
 use atrapos_storage::{
     Database, LockManager, LogManager, LogRecordKind, MemoryPolicy, StateRwLock, Table, TableId,
-    Txn, TxnId, TxnList, TwoPhaseCommit,
+    TwoPhaseCommit, Txn, TxnId, TxnList,
 };
 use std::collections::HashMap;
 
 /// Granularity of the shared-nothing deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SharedNothingGranularity {
     /// One instance per core (the paper's "extreme" configuration).
     PerCore,
@@ -91,7 +91,13 @@ impl SharedNothingDesign {
         granularity: SharedNothingGranularity,
         plan: ShardingPlan,
     ) -> Self {
-        Self::with_routing(machine, workload, granularity, MemoryPolicy::Local, Some(plan))
+        Self::with_routing(
+            machine,
+            workload,
+            granularity,
+            MemoryPolicy::Local,
+            Some(plan),
+        )
     }
 
     fn with_routing(
@@ -128,7 +134,11 @@ impl SharedNothingDesign {
                 db.add_table(Table::new(spec.id, spec.schema.clone(), memory_node));
             }
             let route = |table: TableId, key: &atrapos_storage::Key| match &plan {
-                Some(p) => p.instance_of_key(table, key.head_int()).min(n_instances - 1) == idx,
+                Some(p) => {
+                    p.instance_of_key(table, key.head_int())
+                        .min(n_instances - 1)
+                        == idx
+                }
                 None => instance_for(&domains, n_instances, table, key.head_int()) == idx,
             };
             workload.populate(&mut db, &route);
@@ -197,7 +207,9 @@ impl SharedNothingDesign {
 
     fn route_action(&self, table: TableId, key_head: i64) -> usize {
         match &self.plan {
-            Some(p) => p.instance_of_key(table, key_head).min(self.instances.len() - 1),
+            Some(p) => p
+                .instance_of_key(table, key_head)
+                .min(self.instances.len() - 1),
             None => instance_for(&self.domains, self.instances.len(), table, key_head),
         }
     }
@@ -221,8 +233,14 @@ fn instance_for(
 }
 
 impl SystemDesign for SharedNothingDesign {
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn stats(&self) -> DesignStats {
+        DesignStats {
+            aborted: self.aborted,
+            distributed_txns: Some(self.distributed_txns),
+            instances: Some(self.instances.len()),
+            repartitions: None,
+            partitions: None,
+        }
     }
 
     fn name(&self) -> &str {
@@ -321,9 +339,7 @@ impl SystemDesign for SharedNothingDesign {
                         self.two_pc.message_bytes,
                     );
                     let inst = &mut self.instances[target];
-                    let txn = branches
-                        .entry(target)
-                        .or_insert_with(|| Txn::begin(txn_id));
+                    let txn = branches.entry(target).or_insert_with(|| Txn::begin(txn_id));
                     txn.distributed = true;
                     let mut rctx = machine.ctx(inst.home_core, ctx.now());
                     rctx.work(Component::XctManagement, BEGIN_INSTRUCTIONS / 2);
@@ -449,8 +465,18 @@ mod tests {
         assert_eq!(total, 400);
         // Each instance holds a contiguous quarter.
         assert_eq!(d.instance_db(0).table(TableId(0)).unwrap().len(), 100);
-        assert!(d.instance_db(0).table(TableId(0)).unwrap().peek(&Key::int(0)).is_some());
-        assert!(d.instance_db(3).table(TableId(0)).unwrap().peek(&Key::int(399)).is_some());
+        assert!(d
+            .instance_db(0)
+            .table(TableId(0))
+            .unwrap()
+            .peek(&Key::int(0))
+            .is_some());
+        assert!(d
+            .instance_db(3)
+            .table(TableId(0))
+            .unwrap()
+            .peek(&Key::int(399))
+            .is_some());
     }
 
     #[test]
@@ -578,8 +604,18 @@ mod tests {
         // Every row is loaded exactly once, on the instance the plan names.
         let total: usize = (0..2).map(|i| d.instance_db(i).total_records()).sum();
         assert_eq!(total, 400);
-        assert!(d.instance_db(0).table(TableId(0)).unwrap().peek(&Key::int(399)).is_some());
-        assert!(d.instance_db(1).table(TableId(0)).unwrap().peek(&Key::int(0)).is_some());
+        assert!(d
+            .instance_db(0)
+            .table(TableId(0))
+            .unwrap()
+            .peek(&Key::int(399))
+            .is_some());
+        assert!(d
+            .instance_db(1)
+            .table(TableId(0))
+            .unwrap()
+            .peek(&Key::int(0))
+            .is_some());
         assert_eq!(d.route_action(TableId(0), 0), 1);
         assert_eq!(d.route_action(TableId(0), 399), 0);
     }

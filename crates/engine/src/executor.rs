@@ -9,9 +9,11 @@
 //! control to the design, which may repartition and pause execution.
 
 use crate::action::TxnOutcome;
-use crate::designs::SystemDesign;
-use crate::workload::Workload;
-use atrapos_numa::{cycles_to_micros, secs_to_cycles, Breakdown, CoreId, Cycles, Machine, SocketId};
+use crate::designs::{DesignStats, SystemDesign};
+use crate::workload::{ReconfigureError, Workload, WorkloadChange};
+use atrapos_numa::{
+    cycles_to_micros, secs_to_cycles, Breakdown, CoreId, Cycles, Machine, SocketId,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -157,10 +159,31 @@ impl VirtualExecutor {
         self.design.as_ref()
     }
 
-    /// Mutable access to the workload (the adaptive experiments change the
-    /// transaction mix or skew between segments).
+    /// Mutable access to the workload.
     pub fn workload_mut(&mut self) -> &mut dyn Workload {
         self.workload.as_mut()
+    }
+
+    /// Apply a typed reconfiguration to the workload (the adaptive
+    /// experiments change the transaction mix or skew between segments).
+    pub fn reconfigure_workload(
+        &mut self,
+        change: &WorkloadChange,
+    ) -> Result<(), ReconfigureError> {
+        self.workload.reconfigure(change)
+    }
+
+    /// The design's structured statistics (distributed-transaction counts,
+    /// partition counts, repartitioning history).
+    pub fn design_stats(&self) -> DesignStats {
+        self.design.stats()
+    }
+
+    /// Change the default monitoring-interval length used from the next
+    /// boundary on (adaptive designs may still override it per interval).
+    pub fn set_default_interval_secs(&mut self, secs: f64) {
+        assert!(secs > 0.0, "interval must be positive");
+        self.config.default_interval_secs = secs;
     }
 
     /// Current virtual time in seconds since the executor started.
@@ -218,18 +241,16 @@ impl VirtualExecutor {
         let mut repartitions = 0u64;
         let mut committed_by_socket = vec![0u64; self.machine.topology.num_sockets()];
 
-        loop {
-            // The next client ready to submit.
-            let Some((ci, t)) = self
-                .clients
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.active)
-                .map(|(i, c)| (i, c.next_free))
-                .min_by_key(|&(_, t)| t)
-            else {
-                break;
-            };
+        // Keep picking the next client ready to submit until no client is
+        // active or the segment ends.
+        while let Some((ci, t)) = self
+            .clients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.active)
+            .map(|(i, c)| (i, c.next_free))
+            .min_by_key(|&(_, t)| t)
+        {
             let t = t.max(seg_start);
             if t >= end_at {
                 break;
@@ -339,7 +360,11 @@ mod tests {
         let workload = TinyWorkload { rows: 2000 };
         let design: Box<dyn SystemDesign> = match design_kind {
             "centralized" => Box::new(CentralizedDesign::new(&machine, &workload)),
-            _ => Box::new(AtraposDesign::new(&machine, &workload, AtraposConfig::default())),
+            _ => Box::new(AtraposDesign::new(
+                &machine,
+                &workload,
+                AtraposConfig::default(),
+            )),
         };
         VirtualExecutor::new(
             machine,

@@ -18,10 +18,32 @@
 //! comparisons between designs come from their structure (what is
 //! centralized, what is partitioned, where data and threads are placed) and
 //! not from per-design tuning constants.
+//!
+//! ## The scenario layer
+//!
+//! Experiments are driven declaratively:
+//!
+//! * [`scenario::Scenario`] — a serializable timeline of typed
+//!   [`scenario::ScenarioEvent`]s at virtual-time offsets (mix switches,
+//!   skew, socket failures, measurement boundaries) plus a total duration.
+//! * [`workload::WorkloadChange`] — the typed runtime-reconfiguration
+//!   vocabulary every reconfigurable workload implements via
+//!   [`Workload::reconfigure`]; no downcasting.
+//! * [`designs::DesignStats`] — the structured statistics report every
+//!   design exposes via [`SystemDesign::stats`]; no downcasting either.
+//! * [`designs::spec::DesignSpec`] — a serializable design specification;
+//!   the one way harnesses, examples, and tests instantiate designs.
+//!
+//! [`VirtualExecutor::run_scenario`] interprets a timeline and returns a
+//! [`scenario::ScenarioOutcome`] with per-segment [`RunStats`] keyed by the
+//! labels on the timeline — the paper's Figures 10–13 are each a `Scenario`
+//! plus two `DesignSpec`s.  Scenarios round-trip through JSON (see the
+//! `scenario_replay` example).
 
 pub mod action;
 pub mod designs;
 pub mod executor;
+pub mod scenario;
 pub mod workers;
 pub mod workload;
 
@@ -30,7 +52,9 @@ pub use designs::atrapos::{AtraposConfig, AtraposDesign};
 pub use designs::centralized::CentralizedDesign;
 pub use designs::plp::PlpDesign;
 pub use designs::shared_nothing::{SharedNothingDesign, SharedNothingGranularity};
-pub use designs::{IntervalOutcome, SystemDesign};
+pub use designs::spec::DesignSpec;
+pub use designs::{DesignStats, IntervalOutcome, SystemDesign};
 pub use executor::{ExecutorConfig, RunStats, TimePoint, VirtualExecutor};
+pub use scenario::{Scenario, ScenarioEvent, ScenarioOutcome, SegmentStats, TimedEvent};
 pub use workers::WorkerPool;
-pub use workload::{TableSpec, Workload};
+pub use workload::{ReconfigureError, TableSpec, Workload, WorkloadChange};

@@ -1,0 +1,511 @@
+//! Declarative experiment timelines.
+//!
+//! The paper's headline experiments (Figures 10–13, the hardware-failure
+//! run) are *scenarios*: a workload runs while typed events fire at
+//! virtual-time offsets — the transaction mix switches, skew appears, a
+//! processor socket fails.  A [`Scenario`] captures such a timeline as
+//! plain serializable data: an event list plus a total duration.  The
+//! executor interprets it with [`VirtualExecutor::run_scenario`], emitting
+//! one labelled [`RunStats`] segment per inter-event span, so the same
+//! scenario can be stored in a file, replayed, swept over designs, and
+//! compared — no hand-rolled phase loops, no downcasts.
+//!
+//! ```
+//! use atrapos_engine::scenario::{Scenario, ScenarioEvent};
+//!
+//! // Figure 10 in miniature: two mix switches at 0.25s and 0.5s.
+//! let scenario = Scenario::new("adapt-to-workload-change", 0.75)
+//!     .starting_as("UpdSubData")
+//!     .at(0.25, "GetNewDest", ScenarioEvent::SetWorkloadPhase { txn: "GetNewDest".into() })
+//!     .at(0.50, "TATP-Mix", ScenarioEvent::SetMix);
+//! assert_eq!(scenario.events.len(), 2);
+//! let json = scenario.to_json();
+//! assert_eq!(Scenario::from_json(&json).unwrap(), scenario);
+//! ```
+
+use crate::designs::DesignStats;
+use crate::executor::{RunStats, TimePoint, VirtualExecutor};
+use crate::workload::{ReconfigureError, WorkloadChange};
+use atrapos_core::KeyDistribution;
+use atrapos_numa::SocketId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed event on a scenario timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioEvent {
+    /// Switch the workload to a single transaction type — the phase
+    /// changes of Figures 10 and 13.
+    SetWorkloadPhase {
+        /// Transaction-type label (e.g. `"GetNewDest"`).
+        txn: String,
+    },
+    /// Restore the workload's standard transaction mix.
+    SetMix,
+    /// Change the key-access distribution — Figure 11's sudden hotspot.
+    SetSkew {
+        /// The new distribution.
+        distribution: KeyDistribution,
+    },
+    /// Apply any other typed workload change (escape hatch covering the
+    /// full [`WorkloadChange`] vocabulary).
+    ChangeWorkload {
+        /// The change.
+        change: WorkloadChange,
+    },
+    /// Fail a processor socket — the hardware change of Figure 12.
+    FailSocket {
+        /// Socket index.
+        socket: u16,
+    },
+    /// Restore a previously failed socket.
+    RestoreSocket {
+        /// Socket index.
+        socket: u16,
+    },
+    /// Override the executor's default monitoring interval from this point
+    /// on.
+    SetInterval {
+        /// New default interval in virtual seconds.
+        secs: f64,
+    },
+    /// Pure measurement boundary: close the current segment and start a
+    /// new one without changing anything.
+    Measure,
+}
+
+impl ScenarioEvent {
+    /// The workload change this event carries, if any.
+    fn workload_change(&self) -> Option<WorkloadChange> {
+        match self {
+            ScenarioEvent::SetWorkloadPhase { txn } => {
+                Some(WorkloadChange::SingleTransaction { txn: txn.clone() })
+            }
+            ScenarioEvent::SetMix => Some(WorkloadChange::StandardMix),
+            ScenarioEvent::SetSkew { distribution } => Some(WorkloadChange::Distribution {
+                distribution: *distribution,
+            }),
+            ScenarioEvent::ChangeWorkload { change } => Some(change.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// An event bound to a virtual-time offset, optionally starting a new
+/// labelled segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Offset from the scenario start, in virtual seconds.
+    pub at_secs: f64,
+    /// Label of the segment that begins at this event; `None` keeps the
+    /// previous label.
+    pub label: Option<String>,
+    /// The event.
+    pub event: ScenarioEvent,
+}
+
+/// A declarative experiment timeline: an event list plus a total duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Label of the initial segment (before any event fires).
+    pub initial_label: String,
+    /// Total duration in virtual seconds.
+    pub duration_secs: f64,
+    /// Events, at offsets within `[0, duration_secs]`.
+    pub events: Vec<TimedEvent>,
+}
+
+impl Scenario {
+    /// An empty scenario of the given virtual duration.
+    pub fn new(name: impl Into<String>, duration_secs: f64) -> Self {
+        Self {
+            name: name.into(),
+            initial_label: "start".to_string(),
+            duration_secs,
+            events: Vec::new(),
+        }
+    }
+
+    /// Name the initial segment (before any event fires).
+    pub fn starting_as(mut self, label: impl Into<String>) -> Self {
+        self.initial_label = label.into();
+        self
+    }
+
+    /// Add an event starting a new labelled segment.
+    pub fn at(mut self, at_secs: f64, label: impl Into<String>, event: ScenarioEvent) -> Self {
+        self.events.push(TimedEvent {
+            at_secs,
+            label: Some(label.into()),
+            event,
+        });
+        self
+    }
+
+    /// Add an event that keeps the current segment label.
+    pub fn at_unlabelled(mut self, at_secs: f64, event: ScenarioEvent) -> Self {
+        self.events.push(TimedEvent {
+            at_secs,
+            label: None,
+            event,
+        });
+        self
+    }
+
+    /// Check the timeline is well-formed: positive duration, events in
+    /// non-decreasing time order, offsets within the duration.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        // NaN durations/offsets fail the `is_finite` checks, so a timeline
+        // with unparseable numbers can never validate.
+        if !self.duration_secs.is_finite() || self.duration_secs <= 0.0 {
+            return Err(ScenarioError::BadTimeline {
+                scenario: self.name.clone(),
+                reason: format!("duration must be positive, got {}", self.duration_secs),
+            });
+        }
+        let mut last = 0.0f64;
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.at_secs.is_finite() || e.at_secs < 0.0 || e.at_secs > self.duration_secs {
+                return Err(ScenarioError::BadTimeline {
+                    scenario: self.name.clone(),
+                    reason: format!(
+                        "event {i} at {}s lies outside [0, {}]",
+                        e.at_secs, self.duration_secs
+                    ),
+                });
+            }
+            if e.at_secs < last {
+                return Err(ScenarioError::BadTimeline {
+                    scenario: self.name.clone(),
+                    reason: format!(
+                        "event {i} at {}s is earlier than its predecessor at {last}s",
+                        e.at_secs
+                    ),
+                });
+            }
+            if let ScenarioEvent::SetInterval { secs } = &e.event {
+                if !secs.is_finite() || *secs <= 0.0 {
+                    return Err(ScenarioError::BadTimeline {
+                        scenario: self.name.clone(),
+                        reason: format!(
+                            "event {i}: SetInterval needs a positive interval, got {secs}"
+                        ),
+                    });
+                }
+            }
+            last = e.at_secs;
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON (scenarios are data — store them in
+    /// files).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse a scenario from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        serde::json::from_str(text).map_err(|e| ScenarioError::BadTimeline {
+            scenario: "<json>".to_string(),
+            reason: e.to_string(),
+        })
+    }
+}
+
+/// Why a scenario could not be run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The timeline itself is malformed (or failed to parse).
+    BadTimeline {
+        /// Scenario name.
+        scenario: String,
+        /// What is wrong.
+        reason: String,
+    },
+    /// A workload-change event was rejected by the workload.
+    Reconfigure {
+        /// Scenario name.
+        scenario: String,
+        /// Offset of the rejected event.
+        at_secs: f64,
+        /// The underlying rejection.
+        source: ReconfigureError,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BadTimeline { scenario, reason } => {
+                write!(f, "scenario '{scenario}': {reason}")
+            }
+            ScenarioError::Reconfigure {
+                scenario,
+                at_secs,
+                source,
+            } => write!(f, "scenario '{scenario}' at {at_secs}s: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One measured segment of a scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Label of the segment (from the event that started it).
+    pub label: String,
+    /// Segment start, as an offset from the scenario start in virtual
+    /// seconds.
+    pub start_secs: f64,
+    /// Executor statistics of the segment.
+    pub stats: RunStats,
+}
+
+/// The full result of a scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Name of the scenario that ran.
+    pub scenario: String,
+    /// Name of the design it ran against.
+    pub design: String,
+    /// Per-segment statistics, in timeline order.
+    pub segments: Vec<SegmentStats>,
+    /// The design's structured statistics after the run.
+    pub design_stats: DesignStats,
+}
+
+impl ScenarioOutcome {
+    /// The concatenated throughput time series of every segment (time
+    /// points carry absolute virtual time, so segments chain naturally).
+    pub fn time_series(&self) -> Vec<TimePoint> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.stats.time_series.iter().copied())
+            .collect()
+    }
+
+    /// Total committed transactions over the whole run.
+    pub fn total_committed(&self) -> u64 {
+        self.segments.iter().map(|s| s.stats.committed).sum()
+    }
+
+    /// Total repartitionings over the whole run.
+    pub fn total_repartitions(&self) -> u64 {
+        self.segments.iter().map(|s| s.stats.repartitions).sum()
+    }
+
+    /// The segments carrying a given label, in order.
+    pub fn segments_labelled<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = &'a SegmentStats> {
+        self.segments.iter().filter(move |s| s.label == label)
+    }
+}
+
+impl VirtualExecutor {
+    /// Interpret a scenario timeline: run each inter-event span as one
+    /// measured segment, applying events at their offsets.
+    ///
+    /// Offsets are relative to the executor's current virtual time, so a
+    /// scenario can run on a fresh executor or continue an existing run.
+    /// Events sharing an offset apply in list order without producing
+    /// zero-length segments.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
+        scenario.validate()?;
+        let mut segments = Vec::new();
+        let mut label = scenario.initial_label.clone();
+        let mut now = 0.0f64;
+        let run_segment =
+            |ex: &mut Self, from: f64, to: f64, label: &str, out: &mut Vec<SegmentStats>| {
+                if to > from + 1e-12 {
+                    let stats = ex.run_for(to - from);
+                    out.push(SegmentStats {
+                        label: label.to_string(),
+                        start_secs: from,
+                        stats,
+                    });
+                }
+            };
+        for e in &scenario.events {
+            run_segment(self, now, e.at_secs, &label, &mut segments);
+            now = now.max(e.at_secs);
+            if let Some(l) = &e.label {
+                label = l.clone();
+            }
+            if let Some(change) = e.event.workload_change() {
+                self.reconfigure_workload(&change).map_err(|source| {
+                    ScenarioError::Reconfigure {
+                        scenario: scenario.name.clone(),
+                        at_secs: e.at_secs,
+                        source,
+                    }
+                })?;
+            } else {
+                match &e.event {
+                    ScenarioEvent::FailSocket { socket } => self.fail_socket(SocketId(*socket)),
+                    ScenarioEvent::RestoreSocket { socket } => {
+                        self.restore_socket(SocketId(*socket))
+                    }
+                    ScenarioEvent::SetInterval { secs } => self.set_default_interval_secs(*secs),
+                    ScenarioEvent::Measure => {}
+                    // Workload changes were handled above.
+                    _ => {}
+                }
+            }
+        }
+        run_segment(self, now, scenario.duration_secs, &label, &mut segments);
+        Ok(ScenarioOutcome {
+            scenario: scenario.name.clone(),
+            design: self.design().name().to_string(),
+            segments,
+            design_stats: self.design_stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::atrapos::{AtraposConfig, AtraposDesign};
+    use crate::designs::SystemDesign;
+    use crate::executor::ExecutorConfig;
+    use crate::workload::testing::TinyWorkload;
+    use atrapos_numa::{CostModel, Machine, Topology};
+
+    fn executor() -> VirtualExecutor {
+        let machine = Machine::new(Topology::multisocket(2, 2), CostModel::westmere());
+        let workload = TinyWorkload { rows: 2_000 };
+        let design: Box<dyn SystemDesign> = Box::new(AtraposDesign::new(
+            &machine,
+            &workload,
+            AtraposConfig::default(),
+        ));
+        VirtualExecutor::new(
+            machine,
+            design,
+            Box::new(workload),
+            ExecutorConfig {
+                seed: 9,
+                default_interval_secs: 0.002,
+                time_series_bucket_secs: 0.002,
+            },
+        )
+    }
+
+    #[test]
+    fn scenario_emits_one_segment_per_span() {
+        let scenario = Scenario::new("three-phases", 0.03)
+            .starting_as("a")
+            .at(0.01, "b", ScenarioEvent::Measure)
+            .at(0.02, "c", ScenarioEvent::Measure);
+        let outcome = executor().run_scenario(&scenario).unwrap();
+        let labels: Vec<&str> = outcome.segments.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        assert!(outcome.segments.iter().all(|s| s.stats.committed > 0));
+        assert_eq!(
+            outcome.total_committed(),
+            outcome
+                .segments
+                .iter()
+                .map(|s| s.stats.committed)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn scenario_matches_equivalent_run_for_calls() {
+        let scenario = Scenario::new("plain", 0.03).at_unlabelled(0.015, ScenarioEvent::Measure);
+        let outcome = executor().run_scenario(&scenario).unwrap();
+        let mut manual = executor();
+        let m1 = manual.run_for(0.015);
+        let m2 = manual.run_for(0.015);
+        assert_eq!(
+            outcome.total_committed(),
+            m1.committed + m2.committed,
+            "scenario runner must be a pure reformulation of run_for"
+        );
+    }
+
+    #[test]
+    fn fail_and_restore_events_change_the_topology() {
+        let scenario = Scenario::new("hw", 0.03)
+            .starting_as("before")
+            .at(0.01, "failed", ScenarioEvent::FailSocket { socket: 1 })
+            .at(0.02, "restored", ScenarioEvent::RestoreSocket { socket: 1 });
+        let mut ex = executor();
+        let cores_before = ex.machine().topology.num_active_cores();
+        let outcome = ex.run_scenario(&scenario).unwrap();
+        assert_eq!(ex.machine().topology.num_active_cores(), cores_before);
+        assert_eq!(outcome.segments.len(), 3);
+        assert!(outcome
+            .segments_labelled("failed")
+            .all(|s| s.stats.committed > 0));
+    }
+
+    #[test]
+    fn unsupported_workload_change_is_reported_with_offset() {
+        let scenario = Scenario::new("bad", 0.02).at(0.01, "x", ScenarioEvent::SetMix);
+        // TinyWorkload supports no reconfiguration at all.
+        let err = executor().run_scenario(&scenario).unwrap_err();
+        match err {
+            ScenarioError::Reconfigure { at_secs, .. } => assert_eq!(at_secs, 0.01),
+            other => panic!("expected Reconfigure error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_timelines_are_rejected() {
+        assert!(Scenario::new("empty", 0.0).validate().is_err());
+        let out_of_range = Scenario::new("oor", 0.01).at(0.5, "x", ScenarioEvent::Measure);
+        assert!(out_of_range.validate().is_err());
+        let unordered = Scenario::new("uo", 1.0)
+            .at(0.5, "a", ScenarioEvent::Measure)
+            .at(0.25, "b", ScenarioEvent::Measure);
+        assert!(unordered.validate().is_err());
+        // A non-positive interval must be caught at validation time, not by
+        // the executor's assert mid-run.
+        let bad_interval =
+            Scenario::new("bi", 1.0).at(0.5, "x", ScenarioEvent::SetInterval { secs: 0.0 });
+        assert!(bad_interval.validate().is_err());
+        assert!(executor().run_scenario(&bad_interval).is_err());
+    }
+
+    #[test]
+    fn optional_fields_may_be_omitted_in_scenario_json() {
+        // serde_json-style files omit nullable keys; TimedEvent.label is
+        // Option and must default to None when absent.
+        let json = r#"{
+            "name": "omitted", "initial_label": "start", "duration_secs": 0.5,
+            "events": [{"at_secs": 0.1, "event": "Measure"}]
+        }"#;
+        let scenario = Scenario::from_json(json).unwrap();
+        assert_eq!(scenario.events[0].label, None);
+        scenario.validate().unwrap();
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_json() {
+        let scenario = Scenario::new("roundtrip", 0.75)
+            .starting_as("uniform")
+            .at(
+                0.25,
+                "skewed",
+                ScenarioEvent::SetSkew {
+                    distribution: KeyDistribution::Hotspot {
+                        data_fraction: 0.2,
+                        access_fraction: 0.5,
+                    },
+                },
+            )
+            .at_unlabelled(0.5, ScenarioEvent::SetInterval { secs: 0.1 })
+            .at(0.5, "mix", ScenarioEvent::SetMix)
+            .at(0.6, "failed", ScenarioEvent::FailSocket { socket: 3 });
+        let json = scenario.to_json();
+        assert_eq!(Scenario::from_json(&json).unwrap(), scenario);
+    }
+}

@@ -2,10 +2,12 @@
 //! generation.
 
 use crate::action::TransactionSpec;
-use atrapos_core::KeyDomain;
+use atrapos_core::{KeyDistribution, KeyDomain};
 use atrapos_numa::CoreId;
 use atrapos_storage::{Database, Key, Schema, TableId};
 use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Description of one table of a workload.
 #[derive(Debug, Clone)]
@@ -19,6 +21,97 @@ pub struct TableSpec {
     /// Approximate number of rows the populated table holds.
     pub rows: u64,
 }
+
+/// A typed runtime reconfiguration of a workload.
+///
+/// The adaptive experiments of the paper (Figures 10–13) change the
+/// workload mid-run: they switch the transaction mix, introduce access
+/// skew, or both.  `WorkloadChange` is the serializable vocabulary of those
+/// changes — scenario timelines carry values of this type instead of
+/// downcasting to concrete workload structs, so an experiment is plain
+/// data that can be stored, replayed, and swept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadChange {
+    /// Run only the named transaction type (e.g. `"GetNewDest"` for TATP,
+    /// `"NewOrder"` for TPC-C) — the workload-phase switches of Figures 10
+    /// and 13.
+    SingleTransaction {
+        /// Transaction-type label as printed in the paper's figures.
+        txn: String,
+    },
+    /// Restore the workload's standard transaction mix.
+    StandardMix,
+    /// Change the key-access distribution (Figure 11 introduces a hotspot
+    /// where 50% of the requests hit 20% of the data).
+    Distribution {
+        /// The new distribution.
+        distribution: KeyDistribution,
+    },
+    /// Change the percentage of multi-site transactions (the knob of the
+    /// §III-C microbenchmark).
+    MultiSitePercent {
+        /// Percentage (0–100) of transactions that touch remote sites.
+        percent: u32,
+    },
+}
+
+impl fmt::Display for WorkloadChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadChange::SingleTransaction { txn } => write!(f, "single transaction '{txn}'"),
+            WorkloadChange::StandardMix => write!(f, "standard mix"),
+            WorkloadChange::Distribution { distribution } => {
+                write!(f, "distribution {distribution:?}")
+            }
+            WorkloadChange::MultiSitePercent { percent } => {
+                write!(f, "{percent}% multi-site")
+            }
+        }
+    }
+}
+
+/// Why a [`WorkloadChange`] could not be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReconfigureError {
+    /// The workload does not support this kind of change at all.
+    Unsupported {
+        /// Name of the workload.
+        workload: String,
+        /// The rejected change.
+        change: WorkloadChange,
+    },
+    /// A `SingleTransaction` change named a transaction type the workload
+    /// does not have.
+    UnknownTransaction {
+        /// Name of the workload.
+        workload: String,
+        /// The unrecognized label.
+        txn: String,
+        /// The labels the workload accepts.
+        known: Vec<&'static str>,
+    },
+}
+
+impl fmt::Display for ReconfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigureError::Unsupported { workload, change } => {
+                write!(f, "workload '{workload}' does not support {change}")
+            }
+            ReconfigureError::UnknownTransaction {
+                workload,
+                txn,
+                known,
+            } => write!(
+                f,
+                "workload '{workload}' has no transaction type '{txn}' (known: {})",
+                known.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigureError {}
 
 /// A benchmark workload: its schema, how to populate it, and how to generate
 /// transactions.
@@ -50,11 +143,14 @@ pub trait Workload {
         self.tables().iter().map(|t| (t.id, t.domain)).collect()
     }
 
-    /// Downcasting hook for experiments that reconfigure the workload at
-    /// runtime (switching the transaction mix, introducing skew).  Workloads
-    /// that support runtime reconfiguration return `Some(self)`.
-    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
-        None
+    /// Apply a typed runtime reconfiguration (switching the transaction
+    /// mix, introducing skew, …).  The default rejects every change;
+    /// workloads opt in per [`WorkloadChange`] variant.
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        Err(ReconfigureError::Unsupported {
+            workload: self.name().to_string(),
+            change: change.clone(),
+        })
     }
 }
 

@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn uniform_model_has_no_remote_penalty() {
         let c = CostModel::uniform();
-        assert_eq!(c.cache_transfer(0), c.cache_transfer(2) - 0);
+        assert_eq!(c.cache_transfer(0), c.cache_transfer(2));
         assert_eq!(c.memory_access(0), c.memory_access(3));
     }
 

@@ -31,9 +31,11 @@ impl<'a> SimCtx<'a> {
     /// Start a step on `core` at virtual time `start`.
     pub fn new(topo: &'a Topology, cost: &'a CostModel, core: CoreId, start: Cycles) -> Self {
         let socket = topo.socket_of(core);
-        let mut tally = Tally::default();
-        tally.start = start;
-        tally.end = start;
+        let tally = Tally {
+            start,
+            end: start,
+            ..Tally::default()
+        };
         Self {
             topo,
             cost,
@@ -354,15 +356,30 @@ mod tests {
         // Core 0 (socket 0) takes the line.
         let mut line = ContendedLine::new(SocketId(0));
         let mut ctx0 = SimCtx::new(&t, &c, CoreId(0), 0);
-        ctx0.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        ctx0.access_line(
+            Component::XctManagement,
+            &mut line,
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
         let local_cost = {
             let mut ctx = SimCtx::new(&t, &c, CoreId(1), ctx0.now());
-            ctx.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall)
+            ctx.access_line(
+                Component::XctManagement,
+                &mut line,
+                AccessKind::Rmw,
+                WaitMode::Stall,
+            )
         };
         // Core on socket 2 accesses the line now owned by socket 0.
         let remote_cost = {
             let mut ctx = SimCtx::new(&t, &c, CoreId(8), line.busy_horizon());
-            ctx.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall)
+            ctx.access_line(
+                Component::XctManagement,
+                &mut line,
+                AccessKind::Rmw,
+                WaitMode::Stall,
+            )
         };
         assert!(
             remote_cost > 3 * local_cost,
@@ -378,13 +395,23 @@ mod tests {
         let mut line = ContendedLine::new(SocketId(0));
         // First access at t=0 pins the line until its completion.
         let mut ctx_a = SimCtx::new(&t, &c, CoreId(0), 0);
-        ctx_a.access_line(Component::Logging, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        ctx_a.access_line(
+            Component::Logging,
+            &mut line,
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
         let free = line.busy_horizon();
         assert!(free > 0);
         // Second access starting at the same time must wait until the first
         // completes.
         let mut ctx_b = SimCtx::new(&t, &c, CoreId(4), 0);
-        ctx_b.access_line(Component::Logging, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        ctx_b.access_line(
+            Component::Logging,
+            &mut line,
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
         assert!(ctx_b.now() > free);
         let tally_b = ctx_b.finish();
         assert_eq!(tally_b.waits, 1);
@@ -396,10 +423,20 @@ mod tests {
         let (t, c) = setup();
         let mut line = ContendedLine::new(SocketId(0));
         let mut w = SimCtx::new(&t, &c, CoreId(0), 0);
-        w.access_line(Component::XctManagement, &mut line, AccessKind::Rmw, WaitMode::Stall);
+        w.access_line(
+            Component::XctManagement,
+            &mut line,
+            AccessKind::Rmw,
+            WaitMode::Stall,
+        );
         let pinned_until = line.busy_horizon();
         let mut r = SimCtx::new(&t, &c, CoreId(1), 0);
-        r.access_line(Component::XctManagement, &mut line, AccessKind::Read, WaitMode::Stall);
+        r.access_line(
+            Component::XctManagement,
+            &mut line,
+            AccessKind::Read,
+            WaitMode::Stall,
+        );
         assert!(r.now() >= pinned_until);
         // Reading did not extend the occupancy.
         assert_eq!(line.busy_horizon(), pinned_until);

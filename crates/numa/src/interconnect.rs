@@ -89,13 +89,7 @@ impl Interconnect {
             return 0.0;
         }
         let secs = cycles_to_secs(elapsed, topo.frequency_ghz());
-        let max_bytes = self
-            .link_bytes
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64;
+        let max_bytes = self.link_bytes.iter().flatten().copied().max().unwrap_or(0) as f64;
         (max_bytes / secs) / (link_gbytes_per_sec * 1e9)
     }
 

@@ -65,16 +65,14 @@ pub fn round_robin_by_socket(topo: &Topology, n: usize) -> CorePlacement {
     assert!(!sockets.is_empty(), "no active sockets");
     let mut per_socket_next: Vec<usize> = vec![0; sockets.len()];
     let mut assignment = Vec::with_capacity(n);
-    let mut s = 0usize;
-    for _ in 0..n {
-        // Find the next socket that still has a free core slot; wrap the
-        // per-socket index when all cores of the socket have been used.
+    for s in 0..n {
+        // Walk the sockets round-robin; wrap the per-socket core index when
+        // all cores of the socket have been used.
         let socket = sockets[s % sockets.len()];
         let cores = topo.cores_of(socket);
         let idx = per_socket_next[s % sockets.len()];
         assignment.push(cores[idx % cores.len()]);
         per_socket_next[s % sockets.len()] += 1;
-        s += 1;
     }
     CorePlacement::new(assignment)
 }

@@ -134,11 +134,11 @@ impl Topology {
         assert!(nx >= 1 && ny >= 1);
         let n = nx * ny;
         let mut distance = vec![vec![0u32; n]; n];
-        for a in 0..n {
-            for b in 0..n {
+        for (a, row) in distance.iter_mut().enumerate() {
+            for (b, d) in row.iter_mut().enumerate() {
                 let (ax, ay) = (a % nx, a / nx);
                 let (bx, by) = (b % nx, b / nx);
-                distance[a][b] = (ax.abs_diff(bx) + ay.abs_diff(by)) as u32;
+                *d = (ax.abs_diff(bx) + ay.abs_diff(by)) as u32;
             }
         }
         Self::from_parts(TopologyKind::Mesh, n, cores_per_island, distance)
@@ -345,14 +345,14 @@ fn fully_connected(n: usize) -> Vec<Vec<u32>> {
 /// n = 8 this yields a diameter of 2, matching the Westmere-EX platform.
 fn twisted_cube(n: usize) -> Vec<Vec<u32>> {
     let mut adj = vec![Vec::new(); n];
-    for i in 0..n {
+    for (i, neighbours) in adj.iter_mut().enumerate() {
         for mask in [1usize, 2, 4, n.saturating_sub(1)] {
             if mask == 0 {
                 continue;
             }
             let j = i ^ mask;
             if j < n && j != i {
-                adj[i].push(j);
+                neighbours.push(j);
             }
         }
     }
@@ -474,7 +474,10 @@ mod tests {
         assert!(!t.is_active(SocketId(3)));
         assert_eq!(t.num_active_cores(), 70);
         assert_eq!(t.active_sockets().len(), 7);
-        assert!(!t.active_cores().iter().any(|c| t.socket_of(*c) == SocketId(3)));
+        assert!(!t
+            .active_cores()
+            .iter()
+            .any(|c| t.socket_of(*c) == SocketId(3)));
         // Failing twice reports it was already failed.
         assert!(!t.fail_socket(SocketId(3)));
         t.restore_socket(SocketId(3));
@@ -508,6 +511,6 @@ mod tests {
     fn average_distance_is_between_one_and_diameter() {
         let t = Topology::westmere_ex_8x10();
         let avg = t.average_distance();
-        assert!(avg >= 1.0 && avg <= 2.0, "avg distance {avg}");
+        assert!((1.0..=2.0).contains(&avg), "avg distance {avg}");
     }
 }

@@ -89,7 +89,7 @@ proptest! {
         let topo = Topology::mesh(nx, ny, cores);
         prop_assert_eq!(topo.num_sockets(), nx * ny);
         let max_hops = (nx - 1 + ny - 1) as u32;
-        prop_assert!(topo.diameter() <= max_hops.max(0));
+        prop_assert!(topo.diameter() <= max_hops);
         for a in 0..(nx * ny) {
             for b in 0..(nx * ny) {
                 let d = topo.distance(SocketId(a as u16), SocketId(b as u16));

@@ -92,11 +92,7 @@ impl BTree {
         loop {
             match node {
                 Node::Leaf(leaf) => {
-                    return leaf
-                        .keys
-                        .binary_search(key)
-                        .ok()
-                        .map(|i| &leaf.values[i]);
+                    return leaf.keys.binary_search(key).ok().map(|i| &leaf.values[i]);
                 }
                 Node::Internal(internal) => {
                     node = &internal.children[internal.child_index(key)];
@@ -211,7 +207,10 @@ impl BTree {
 
     /// Build a tree from key-sorted, duplicate-free pairs.
     pub fn bulk_load(pairs: Vec<(Key, Record)>) -> Self {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "bulk_load requires sorted unique keys");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires sorted unique keys"
+        );
         let len = pairs.len();
         if len == 0 {
             return Self::new();
@@ -275,14 +274,10 @@ impl BTree {
     pub fn merge_from(&mut self, other: BTree) {
         // When the ranges are disjoint and adjacent, a rebuild keeps the
         // result compact; otherwise plain inserts would work too.
-        let mut all: Vec<(Key, Record)> = self
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        let mut incoming: Vec<(Key, Record)> = other
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
+        let mut all: Vec<(Key, Record)> =
+            self.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut incoming: Vec<(Key, Record)> =
+            other.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         all.append(&mut incoming);
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all.dedup_by(|a, b| a.0 == b.0);
@@ -304,7 +299,10 @@ impl BTree {
             count += 1;
         }
         if count != self.len {
-            return Err(format!("len mismatch: counted {count}, stored {}", self.len));
+            return Err(format!(
+                "len mismatch: counted {count}, stored {}",
+                self.len
+            ));
         }
         self.root.check(None, None)
     }

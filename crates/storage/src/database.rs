@@ -45,10 +45,7 @@ impl Database {
 
     /// Find a table by name.
     pub fn table_by_name(&self, name: &str) -> Option<&Table> {
-        self.tables
-            .iter()
-            .flatten()
-            .find(|t| t.name() == name)
+        self.tables.iter().flatten().find(|t| t.name() == name)
     }
 
     /// All registered tables.

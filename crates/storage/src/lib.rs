@@ -64,6 +64,6 @@ pub use record::{Key, Record, Value};
 pub use schema::{Column, ColumnType, Schema, TableId};
 pub use srwlock::StateRwLock;
 pub use table::Table;
-pub use two_phase_commit::{TwoPhaseCommit, TwoPcOutcome};
+pub use two_phase_commit::{TwoPcOutcome, TwoPhaseCommit};
 pub use txn::{Txn, TxnId, TxnState};
 pub use txn_list::TxnList;

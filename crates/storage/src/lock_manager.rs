@@ -170,7 +170,10 @@ impl LockManager {
                 LOCK_RELEASE_WORK,
             );
             if let Some(entry) = bucket.entries.get_mut(&id) {
-                if let Some(pos) = entry.holders.iter().position(|(t, m)| *t == txn.id && *m == mode)
+                if let Some(pos) = entry
+                    .holders
+                    .iter()
+                    .position(|(t, m)| *t == txn.id && *m == mode)
                 {
                     entry.holders.swap_remove(pos);
                 }

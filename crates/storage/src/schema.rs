@@ -84,11 +84,7 @@ pub struct Schema {
 
 impl Schema {
     /// Build a schema; the record size is estimated from the column types.
-    pub fn new(
-        name: impl Into<String>,
-        columns: Vec<Column>,
-        primary_key: Vec<usize>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, columns: Vec<Column>, primary_key: Vec<usize>) -> Self {
         assert!(!columns.is_empty(), "a table needs at least one column");
         assert!(!primary_key.is_empty(), "a table needs a primary key");
         for &pk in &primary_key {

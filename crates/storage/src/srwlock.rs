@@ -74,13 +74,13 @@ impl StateRwLock {
     /// Release a read acquisition (decrement of the local word).
     pub fn read_release(&mut self, ctx: &mut SimCtx<'_>) -> Cycles {
         let w = self.socket_to_word[ctx.socket().index()];
-        let spent = ctx.access_line(
+
+        ctx.access_line(
             Component::XctManagement,
             &mut self.words[w],
             AccessKind::Rmw,
             WaitMode::Stall,
-        );
-        spent
+        )
     }
 
     /// Acquire in write mode (background task): in the centralized variant

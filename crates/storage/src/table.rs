@@ -325,7 +325,10 @@ mod tests {
             .update(&mut ctx, &Key::int(7), &[(1, Value::Int(999))])
             .unwrap();
         assert_eq!(table.peek(&Key::int(7)).unwrap().get(1).as_int(), 999);
-        assert_eq!(table.peek(&Key::int(7)).unwrap().get(2).as_text(), "owner-7");
+        assert_eq!(
+            table.peek(&Key::int(7)).unwrap().get(2).as_text(),
+            "owner-7"
+        );
     }
 
     #[test]

@@ -196,13 +196,8 @@ mod tests {
         let mut log = LogManager::per_socket(8);
         let mut ctx = SimCtx::new(&t, &c, CoreId(0), 0);
         let participants = [SocketId(1), SocketId(3)];
-        let (_, stats) = TwoPhaseCommit::default().coordinate(
-            &mut ctx,
-            TxnId(9),
-            &participants,
-            &mut log,
-            None,
-        );
+        let (_, stats) =
+            TwoPhaseCommit::default().coordinate(&mut ctx, TxnId(9), &participants, &mut log, None);
         // 2 prepare + 1 coordinator decision + 2 participant decisions.
         assert_eq!(stats.log_records, 5);
         assert_eq!(log.total_records(), 5);

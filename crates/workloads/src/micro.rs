@@ -2,8 +2,8 @@
 
 use crate::generator::KeyDistribution;
 use atrapos_core::KeyDomain;
+use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
 use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
-use atrapos_engine::workload::ensure_tables;
 use atrapos_numa::CoreId;
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
 use rand::rngs::SmallRng;
@@ -25,7 +25,13 @@ fn probe_record(key: i64) -> Record {
     // Column 0 is the primary key; the remaining columns carry payload.
     Record::new(
         (0..10)
-            .map(|c| if c == 0 { Value::Int(key) } else { Value::Int(key * 10 + c) })
+            .map(|c| {
+                if c == 0 {
+                    Value::Int(key)
+                } else {
+                    Value::Int(key * 10 + c)
+                }
+            })
             .collect(),
     )
 }
@@ -106,7 +112,11 @@ impl ReadOneRow {
         let site = (client.index() / self.cores_per_site) % self.sites;
         let width = self.rows / self.sites as i64;
         let lo = site as i64 * width;
-        let hi = if site + 1 == self.sites { self.rows } else { lo + width };
+        let hi = if site + 1 == self.sites {
+            self.rows
+        } else {
+            lo + width
+        };
         (lo, hi.max(lo + 1))
     }
 }
@@ -141,8 +151,17 @@ impl Workload for ReadOneRow {
         )
     }
 
-    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
-        Some(self)
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        match change {
+            WorkloadChange::Distribution { distribution } => {
+                self.set_distribution(*distribution);
+                Ok(())
+            }
+            other => Err(ReconfigureError::Unsupported {
+                workload: self.name().to_string(),
+                change: other.clone(),
+            }),
+        }
     }
 }
 
@@ -218,7 +237,7 @@ impl Workload for MultiSiteUpdate {
     fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec {
         let site = self.site_of(client);
         let (lo, hi) = self.local_range(site);
-        let multi = rng.gen_range(0..100) < self.multi_site_percent;
+        let multi = rng.gen_range(0u32..100) < self.multi_site_percent;
         let mut keys = Vec::with_capacity(self.rows_per_txn);
         // The first row always comes from the local site.
         keys.push(rng.gen_range(lo..hi));
@@ -246,6 +265,19 @@ impl Workload for MultiSiteUpdate {
             if multi { "multi-site" } else { "local" },
             vec![Phase::new(actions)],
         )
+    }
+
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        match change {
+            WorkloadChange::MultiSitePercent { percent } => {
+                self.multi_site_percent = (*percent).min(100);
+                Ok(())
+            }
+            other => Err(ReconfigureError::Unsupported {
+                workload: self.name().to_string(),
+                change: other.clone(),
+            }),
+        }
     }
 }
 

@@ -8,8 +8,9 @@
 //! synchronization cost, which is exactly what the ATraPos placement
 //! algorithm discovers.
 
+use crate::generator::KeyDistribution;
 use atrapos_core::KeyDomain;
-use atrapos_engine::workload::ensure_tables;
+use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
 use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
 use atrapos_numa::CoreId;
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
@@ -28,12 +29,19 @@ pub struct SimpleAb {
     pub rows_a: i64,
     /// B rows per A row.
     pub b_per_a: i64,
+    /// Distribution of the shared `pk_a` head key (uniform by default;
+    /// scenarios may introduce a hotspot at runtime).
+    pub distribution: KeyDistribution,
 }
 
 impl SimpleAb {
     /// A workload with `rows_a` rows in A and 4 B rows per A row.
     pub fn new(rows_a: i64) -> Self {
-        Self { rows_a, b_per_a: 4 }
+        Self {
+            rows_a,
+            b_per_a: 4,
+            distribution: KeyDistribution::Uniform,
+        }
     }
 }
 
@@ -104,7 +112,7 @@ impl Workload for SimpleAb {
     }
 
     fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
-        let id_a = rng.gen_range(0..self.rows_a);
+        let id_a = self.distribution.sample(rng, 0, self.rows_a);
         let id_b = rng.gen_range(0..self.b_per_a);
         TransactionSpec::new(
             "simple-ab",
@@ -120,6 +128,19 @@ impl Workload for SimpleAb {
             ])
             .with_sync_bytes(96)],
         )
+    }
+
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        match change {
+            WorkloadChange::Distribution { distribution } => {
+                self.distribution = *distribution;
+                Ok(())
+            }
+            other => Err(ReconfigureError::Unsupported {
+                workload: self.name().to_string(),
+                change: other.clone(),
+            }),
+        }
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::generator::{KeyDistribution, Mix};
 use atrapos_core::KeyDomain;
-use atrapos_engine::workload::ensure_tables;
+use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
 use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
 use atrapos_numa::CoreId;
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
@@ -51,6 +51,17 @@ pub enum TatpTxn {
 }
 
 impl TatpTxn {
+    /// All seven transaction types.
+    pub const ALL: [TatpTxn; 7] = [
+        TatpTxn::GetSubscriberData,
+        TatpTxn::GetNewDestination,
+        TatpTxn::GetAccessData,
+        TatpTxn::UpdateSubscriberData,
+        TatpTxn::UpdateLocation,
+        TatpTxn::InsertCallForwarding,
+        TatpTxn::DeleteCallForwarding,
+    ];
+
     /// Human-readable name matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -62,6 +73,12 @@ impl TatpTxn {
             TatpTxn::InsertCallForwarding => "InsCallFwd",
             TatpTxn::DeleteCallForwarding => "DelCallFwd",
         }
+    }
+
+    /// Parse a figure label back into the transaction type (the typed
+    /// reconfiguration channel names transactions by label).
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.label() == label)
     }
 }
 
@@ -145,7 +162,8 @@ impl Tatp {
     }
 
     fn subscriber_id(&self, rng: &mut SmallRng) -> i64 {
-        self.distribution.sample(rng, 1, self.config.subscribers + 1)
+        self.distribution
+            .sample(rng, 1, self.config.subscribers + 1)
     }
 
     fn build(&self, txn: TatpTxn, rng: &mut SmallRng) -> TransactionSpec {
@@ -219,7 +237,7 @@ impl Tatp {
                         record: Record::new(vec![
                             Value::Int(s),
                             Value::Int(1),
-                            Value::Int(8 * rng.gen_range(1..3)),
+                            Value::Int(8 * rng.gen_range(1i64..3)),
                             Value::Int(24),
                             Value::from("5551234"),
                         ]),
@@ -235,7 +253,7 @@ impl Tatp {
                     })]),
                     Phase::new(vec![Action::new(ActionOp::Delete {
                         table: CALL_FORWARDING,
-                        key: Key::ints(&[s, 1, 8 * rng.gen_range(1..3)]),
+                        key: Key::ints(&[s, 1, 8 * rng.gen_range(1i64..3)]),
                     })]),
                 ],
             ),
@@ -402,8 +420,32 @@ impl Workload for Tatp {
         self.build(txn, rng)
     }
 
-    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
-        Some(self)
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        match change {
+            WorkloadChange::SingleTransaction { txn } => match TatpTxn::from_label(txn) {
+                Some(t) => {
+                    self.set_single(t);
+                    Ok(())
+                }
+                None => Err(ReconfigureError::UnknownTransaction {
+                    workload: self.name().to_string(),
+                    txn: txn.clone(),
+                    known: TatpTxn::ALL.iter().map(|t| t.label()).collect(),
+                }),
+            },
+            WorkloadChange::StandardMix => {
+                self.set_standard_mix();
+                Ok(())
+            }
+            WorkloadChange::Distribution { distribution } => {
+                self.set_distribution(*distribution);
+                Ok(())
+            }
+            other => Err(ReconfigureError::Unsupported {
+                workload: self.name().to_string(),
+                change: other.clone(),
+            }),
+        }
     }
 }
 

@@ -15,7 +15,7 @@
 //! target existing orders.
 
 use atrapos_core::KeyDomain;
-use atrapos_engine::workload::ensure_tables;
+use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
 use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
 use atrapos_numa::CoreId;
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
@@ -60,6 +60,21 @@ pub enum TpccTxn {
 }
 
 impl TpccTxn {
+    /// All five transaction types.
+    pub const ALL: [TpccTxn; 5] = [
+        TpccTxn::NewOrder,
+        TpccTxn::Payment,
+        TpccTxn::OrderStatus,
+        TpccTxn::Delivery,
+        TpccTxn::StockLevel,
+    ];
+
+    /// Parse a figure label back into the transaction type (the typed
+    /// reconfiguration channel names transactions by label).
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.label() == label)
+    }
+
     /// Human-readable name matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -701,7 +716,11 @@ impl Workload for Tpcc {
                     if o >= undelivered_from && filter(NEW_ORDER, &Key::ints(&[w, d, o])) {
                         db.table_mut(NEW_ORDER)
                             .expect("new_order table")
-                            .load(Record::new(vec![Value::Int(w), Value::Int(d), Value::Int(o)]))
+                            .load(Record::new(vec![
+                                Value::Int(w),
+                                Value::Int(d),
+                                Value::Int(o),
+                            ]))
                             .expect("unique new order");
                     }
                     let t = db.table_mut(ORDER_LINE).expect("order_line table");
@@ -732,6 +751,30 @@ impl Workload for Tpcc {
             TpccTxn::OrderStatus => self.order_status(rng),
             TpccTxn::Delivery => self.delivery(rng),
             TpccTxn::StockLevel => self.stock_level(rng),
+        }
+    }
+
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        match change {
+            WorkloadChange::SingleTransaction { txn } => match TpccTxn::from_label(txn) {
+                Some(t) => {
+                    self.set_single(t);
+                    Ok(())
+                }
+                None => Err(ReconfigureError::UnknownTransaction {
+                    workload: self.name().to_string(),
+                    txn: txn.clone(),
+                    known: TpccTxn::ALL.iter().map(|t| t.label()).collect(),
+                }),
+            },
+            WorkloadChange::StandardMix => {
+                self.set_standard_mix();
+                Ok(())
+            }
+            other => Err(ReconfigureError::Unsupported {
+                workload: self.name().to_string(),
+                change: other.clone(),
+            }),
         }
     }
 }
@@ -851,7 +894,13 @@ mod tests {
         for _ in 0..400 {
             classes.insert(w.next_transaction(&mut rng, CoreId(0)).class);
         }
-        for expect in ["NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"] {
+        for expect in [
+            "NewOrder",
+            "Payment",
+            "OrderStatus",
+            "Delivery",
+            "StockLevel",
+        ] {
             assert!(classes.contains(expect), "missing {expect}");
         }
     }

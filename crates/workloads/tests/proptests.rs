@@ -10,7 +10,7 @@
 
 use atrapos_engine::Workload;
 use atrapos_numa::CoreId;
-use atrapos_storage::{Database, TableId};
+use atrapos_storage::Database;
 use atrapos_workloads::{
     KeyDistribution, Mix, MultiSiteUpdate, ReadManyRows, ReadOneRow, SimpleAb, Tatp, TatpConfig,
     TatpTxn, Tpcc, TpccConfig, TpccTxn,

@@ -9,25 +9,28 @@
 //! within a small factor; on eight sockets the shared-nothing configurations
 //! and ATraPos scale while the centralized design and PLP collapse.
 
-use atrapos_bench::{DesignKind, Scale};
+use atrapos_bench::{DesignSpec, Scale};
 use atrapos_workloads::ReadOneRow;
 
 fn main() {
     let scale = Scale::quick();
     let designs = [
-        DesignKind::ExtremeSharedNothing { locking: false },
-        DesignKind::CoarseSharedNothing,
-        DesignKind::Centralized,
-        DesignKind::Plp,
-        DesignKind::Atrapos,
+        DesignSpec::extreme_shared_nothing(false),
+        DesignSpec::coarse_shared_nothing(),
+        DesignSpec::Centralized,
+        DesignSpec::Plp,
+        DesignSpec::atrapos(),
     ];
     for sockets in [1usize, 8] {
-        println!("== {sockets} socket(s) × {} cores ==", scale.cores_per_socket);
-        for kind in designs {
+        println!(
+            "== {sockets} socket(s) × {} cores ==",
+            scale.cores_per_socket
+        );
+        for spec in &designs {
             let stats = atrapos_bench::harness::measure(
                 sockets,
                 scale.cores_per_socket,
-                kind,
+                spec,
                 Box::new(ReadOneRow::partitionable(
                     scale.micro_rows,
                     sockets * scale.cores_per_socket,
@@ -37,7 +40,7 @@ fn main() {
             );
             println!(
                 "  {:<24} {:>10.2} KTPS   ipc {:>5.2}   avg latency {:>7.1} µs",
-                kind.label(),
+                spec.label(),
                 stats.throughput_tps / 1e3,
                 stats.ipc,
                 stats.avg_latency_us

@@ -2,33 +2,46 @@
 //! across the surviving cores (the paper's Figure 12 in miniature), compared
 //! with a static configuration that keeps its old partitioning plan.
 //!
+//! Both variants run the *same* declarative [`Scenario`] — the failure is a
+//! typed event on the timeline, not an imperative call buried in a loop.
+//!
 //! ```text
 //! cargo run --release -p atrapos-bench --example hardware_failure
 //! ```
 
 use atrapos_core::{AdaptiveInterval, ControllerConfig};
-use atrapos_engine::{AtraposConfig, AtraposDesign, ExecutorConfig, VirtualExecutor};
-use atrapos_numa::{CostModel, Machine, SocketId, Topology};
+use atrapos_engine::scenario::{Scenario, ScenarioEvent};
+use atrapos_engine::{AtraposConfig, DesignSpec, ExecutorConfig, VirtualExecutor};
+use atrapos_numa::{CostModel, Machine, Topology};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
+
+fn scenario() -> Scenario {
+    Scenario::new("one-socket-fails", 0.5)
+        .starting_as("before")
+        .at(0.25, "after", ScenarioEvent::FailSocket { socket: 3 })
+}
 
 fn run(adaptive: bool) {
     let machine = Machine::new(Topology::multisocket(4, 4), CostModel::westmere());
     let mut workload = Tatp::new(TatpConfig::scaled(20_000));
     workload.set_single(TatpTxn::GetSubscriberData);
-    let config = AtraposConfig {
-        monitoring: adaptive,
-        adaptive,
-        controller: ControllerConfig {
-            interval: AdaptiveInterval::new(0.05, 0.4, 0.10),
-            ..ControllerConfig::default()
-        },
-        ..AtraposConfig::default()
-    };
     let name = if adaptive { "ATraPos" } else { "Static" };
-    let design = AtraposDesign::with_name(name, &machine, &workload, config);
+    let spec = DesignSpec::atrapos_named(
+        name,
+        AtraposConfig {
+            monitoring: adaptive,
+            adaptive,
+            controller: ControllerConfig {
+                interval: AdaptiveInterval::new(0.05, 0.4, 0.10),
+                ..ControllerConfig::default()
+            },
+            ..AtraposConfig::default()
+        },
+    );
+    let design = spec.build(&machine, &workload);
     let mut ex = VirtualExecutor::new(
         machine,
-        Box::new(design),
+        design,
         Box::new(workload),
         ExecutorConfig {
             seed: 11,
@@ -36,9 +49,9 @@ fn run(adaptive: bool) {
             time_series_bucket_secs: 0.05,
         },
     );
-    let before = ex.run_for(0.25);
-    ex.fail_socket(SocketId(3));
-    let after = ex.run_for(0.25);
+    let outcome = ex.run_scenario(&scenario()).expect("scenario runs");
+    let before = &outcome.segments[0].stats;
+    let after = &outcome.segments[1].stats;
     println!(
         "{name:<8} before failure {:>9.0} TPS | after failure {:>9.0} TPS ({:+.1}%) | repartitionings {}",
         before.throughput_tps,

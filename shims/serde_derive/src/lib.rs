@@ -1,0 +1,540 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! type shapes used in this workspace — named-field structs, tuple/newtype
+//! structs, and enums with unit, tuple, and struct variants, with simple
+//! generic parameters — by walking the raw token stream (no `syn`/`quote`;
+//! the build environment has no network access to fetch them).
+//!
+//! The generated representation matches serde_json's defaults: structs are
+//! objects, newtype structs are transparent, enums are externally tagged.
+//! The only field attribute honoured is `#[serde(skip)]` (omit on
+//! serialize, `Default::default()` on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// A minimal item model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct/variant with this many slots.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+struct GenericParam {
+    name: String,
+    bounds: String,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    // Skip an optional where-clause (not used in this workspace, but cheap
+    // to tolerate): everything up to the body group or semicolon.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&tokens, &mut i)),
+        "enum" => Kind::Enum(parse_enum_body(&tokens, &mut i)),
+        other => panic!("serde derive: expected struct or enum, got '{other}'"),
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    // Returns whether any skipped attribute was `#[serde(skip)]`.
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let body = g.stream().to_string().replace(' ', "");
+            if body.starts_with("serde(") && body.contains("skip") {
+                skip = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push("<".into());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+                current.push(">".into());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                params.push(current.join(" "));
+                current = Vec::new();
+            }
+            t => current.push(t.to_string()),
+        }
+        *i += 1;
+    }
+    if !current.is_empty() {
+        params.push(current.join(" "));
+    }
+    params
+        .into_iter()
+        .map(|p| {
+            let (name, bounds) = match p.split_once(':') {
+                Some((n, b)) => (n.trim().to_string(), b.trim().to_string()),
+                None => (p.trim().to_string(), String::new()),
+            };
+            GenericParam { name, bounds }
+        })
+        .collect()
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Shape {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Named(parse_named_fields(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Tuple(count_tuple_slots(&inner))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde derive: unexpected struct body {other:?}"),
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let name = expect_ident(tokens, &mut i);
+        // ':'
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected ':' after field '{name}', got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_slots(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut slots = 1;
+    let mut depth = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => slots += 1,
+            _ => {}
+        }
+    }
+    slots
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: &mut usize) -> Vec<Variant> {
+    let group = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde derive: expected enum body, got {other:?}"),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        skip_attrs(&inner, &mut j);
+        if j >= inner.len() {
+            break;
+        }
+        let name = expect_ident(&inner, &mut j);
+        let shape = match inner.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                j += 1;
+                Shape::Named(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                j += 1;
+                Shape::Tuple(count_tuple_slots(&body))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to the next variant (past the separating comma).
+        while j < inner.len() {
+            if let TokenTree::Punct(p) = &inner[j] {
+                if p.as_char() == ',' {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str, extra_bound: &str) -> String {
+    let ty_args = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<{}>",
+            item.generics
+                .iter()
+                .map(|g| g.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let impl_args = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<{}>",
+            item.generics
+                .iter()
+                .map(|g| {
+                    if g.bounds.is_empty() {
+                        format!("{}: {extra_bound}", g.name)
+                    } else {
+                        format!("{}: {} + {extra_bound}", g.name, g.bounds)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    format!("impl{impl_args} {trait_path} for {}{ty_args}", item.name)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let mut s =
+                String::from("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), ::serde::ser::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(fields)");
+            s
+        }
+        Kind::Struct(Shape::Tuple(1)) => "::serde::ser::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::ser::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "Self::{name} => ::serde::Value::Str(\"{name}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "Self::{name}(x0) => ::serde::Value::Object(vec![(\"{name}\".to_string(), ::serde::ser::Serialize::to_value(x0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::ser::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{name}({}) => ::serde::Value::Object(vec![(\"{name}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut vfields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "vfields.push((\"{0}\".to_string(), ::serde::ser::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{name} {{ {} }} => {{ {inner} ::serde::Value::Object(vec![(\"{name}\".to_string(), ::serde::Value::Object(vfields))]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        impl_header(item, "::serde::ser::Serialize", "::serde::ser::Serialize")
+    )
+}
+
+/// Deserialization of one named field from an object binding.  An absent
+/// key first tries `Value::Null` (so `Option<T>` fields default to `None`,
+/// matching serde_json's external representation); only if that also fails
+/// is the missing-field error reported.
+fn field_from_object(field: &str, obj_binding: &str, ty: &str, variant: Option<&str>) -> String {
+    let context = match variant {
+        Some(v) => format!("{ty}::{v}"),
+        None => ty.to_string(),
+    };
+    format!(
+        "{field}: match ::serde::get_field({obj_binding}, \"{field}\") {{\n\
+         Some(v) => ::serde::de::Deserialize::from_value(v)?,\n\
+         None => ::serde::de::Deserialize::from_value(&::serde::Value::Null)\n\
+         .map_err(|_| ::serde::Error::new(\"missing field '{field}' in {context}\"))?,\n\
+         }},\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object for {name}\", v))?;\n"
+            );
+            s.push_str("Ok(Self {\n");
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!("{}: Default::default(),\n", f.name));
+                } else {
+                    s.push_str(&field_from_object(&f.name, "obj", &item.name, None));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            "Ok(Self(::serde::de::Deserialize::from_value(v)?))".to_string()
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let mut s = format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array for {name}\", v))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::new(\"wrong arity for {name}\")); }}\n"
+            );
+            let slots: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::de::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            s.push_str(&format!("Ok(Self({}))", slots.join(", ")));
+            s
+        }
+        Kind::Struct(Shape::Unit) => "Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok(Self::{vn}),\n"));
+                        // Also accept the tagged-object form {"Variant": null}.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok(Self::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok(Self::{vn}(::serde::de::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let slots: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::de::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| ::serde::Error::expected(\"array for {name}::{vn}\", payload))?;\n\
+                             if items.len() != {n} {{ return Err(::serde::Error::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                             return Ok(Self::{vn}({}));\n}}\n",
+                            slots.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner = format!(
+                            "let vobj = payload.as_object().ok_or_else(|| ::serde::Error::expected(\"object for {name}::{vn}\", payload))?;\n"
+                        );
+                        inner.push_str(&format!("return Ok(Self::{vn} {{\n"));
+                        for f in fields {
+                            if f.skip {
+                                inner.push_str(&format!("{}: Default::default(),\n", f.name));
+                            } else {
+                                inner.push_str(&field_from_object(
+                                    &f.name,
+                                    "vobj",
+                                    name,
+                                    Some(vn),
+                                ));
+                            }
+                        }
+                        inner.push_str("});\n");
+                        tagged_arms.push_str(&format!("\"{vn}\" => {{\n{inner}}}\n"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(tag) => {{\n\
+                 match tag.as_str() {{\n{unit_arms}\
+                 other => return Err(::serde::Error::new(format!(\"unknown variant '{{other}}' of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, payload) = &fields[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => return Err(::serde::Error::new(format!(\"unknown variant '{{other}}' of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 other => Err(::serde::Error::expected(\"enum {name} (string or single-key object)\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{} {{\n fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}",
+        impl_header(item, "::serde::de::Deserialize", "::serde::de::Deserialize")
+    )
+}

@@ -3,7 +3,7 @@
 
 use atrapos_core::{AdaptiveInterval, ControllerConfig};
 use atrapos_engine::{
-    AtraposConfig, AtraposDesign, ExecutorConfig, SystemDesign, VirtualExecutor,
+    AtraposConfig, AtraposDesign, ExecutorConfig, SystemDesign, VirtualExecutor, WorkloadChange,
 };
 use atrapos_numa::{CostModel, Machine, SocketId, Topology};
 use atrapos_workloads::{KeyDistribution, ReadOneRow, Tatp, TatpConfig, TatpTxn};
@@ -20,8 +20,7 @@ fn adaptive_executor(adaptive: bool) -> VirtualExecutor {
         },
         ..AtraposConfig::default()
     };
-    let design: Box<dyn SystemDesign> =
-        Box::new(AtraposDesign::new(&machine, &workload, config));
+    let design: Box<dyn SystemDesign> = Box::new(AtraposDesign::new(&machine, &workload, config));
     VirtualExecutor::new(
         machine,
         design,
@@ -39,14 +38,13 @@ fn skew_triggers_repartitioning_and_recovers_throughput() {
     let mut ex = adaptive_executor(true);
     let uniform = ex.run_for(0.01);
     // Introduce a heavy hotspot: 60% of accesses on 10% of the data.
-    {
-        let any = ex.workload_mut().as_any_mut().expect("reconfigurable");
-        let w = any.downcast_mut::<ReadOneRow>().expect("read-one-row");
-        w.set_distribution(KeyDistribution::Hotspot {
+    ex.reconfigure_workload(&WorkloadChange::Distribution {
+        distribution: KeyDistribution::Hotspot {
             data_fraction: 0.1,
             access_fraction: 0.6,
-        });
-    }
+        },
+    })
+    .expect("read-one-row supports distribution changes");
     let skew_first = ex.run_for(0.01);
     let skew_later = ex.run_for(0.02);
     assert!(uniform.committed > 0 && skew_first.committed > 0);
@@ -64,14 +62,13 @@ fn skew_triggers_repartitioning_and_recovers_throughput() {
 fn static_configuration_never_repartitions() {
     let mut ex = adaptive_executor(false);
     let a = ex.run_for(0.01);
-    {
-        let any = ex.workload_mut().as_any_mut().expect("reconfigurable");
-        let w = any.downcast_mut::<ReadOneRow>().expect("read-one-row");
-        w.set_distribution(KeyDistribution::Hotspot {
+    ex.reconfigure_workload(&WorkloadChange::Distribution {
+        distribution: KeyDistribution::Hotspot {
             data_fraction: 0.1,
             access_fraction: 0.6,
-        });
-    }
+        },
+    })
+    .expect("read-one-row supports distribution changes");
     let b = ex.run_for(0.02);
     assert_eq!(a.repartitions + b.repartitions, 0);
 }
@@ -88,8 +85,7 @@ fn socket_failure_is_survived_and_adapted_to() {
         },
         ..AtraposConfig::default()
     };
-    let design: Box<dyn SystemDesign> =
-        Box::new(AtraposDesign::new(&machine, &workload, config));
+    let design: Box<dyn SystemDesign> = Box::new(AtraposDesign::new(&machine, &workload, config));
     let mut ex = VirtualExecutor::new(
         machine,
         design,
@@ -104,7 +100,10 @@ fn socket_failure_is_survived_and_adapted_to() {
     ex.fail_socket(SocketId(1));
     let after = ex.run_for(0.02);
     assert!(before.committed > 0);
-    assert!(after.committed > 0, "system must keep running after the failure");
+    assert!(
+        after.committed > 0,
+        "system must keep running after the failure"
+    );
     assert!(
         after.repartitions >= 1,
         "the controller should repartition for the surviving cores"

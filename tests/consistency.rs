@@ -2,9 +2,7 @@
 //! engine, the database contents satisfy the workloads' consistency
 //! conditions on every design (TPC-C consistency condition 1-style checks).
 
-use atrapos_engine::{
-    AtraposConfig, AtraposDesign, CentralizedDesign, SystemDesign, Workload,
-};
+use atrapos_engine::{AtraposConfig, AtraposDesign, CentralizedDesign, SystemDesign, Workload};
 use atrapos_numa::{CoreId, CostModel, Machine, Topology};
 use atrapos_storage::{Database, Key, TableId};
 use atrapos_workloads::{Tpcc, TpccConfig, TpccTxn};

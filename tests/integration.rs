@@ -2,7 +2,8 @@
 //! workload end-to-end on the simulated multisocket machine, and the
 //! headline qualitative results of the paper hold at test scale.
 
-use atrapos_bench::harness::{measure, DesignKind, Scale};
+use atrapos_bench::harness::{measure, Scale};
+use atrapos_engine::DesignSpec;
 use atrapos_engine::Workload;
 use atrapos_workloads::{
     MultiSiteUpdate, ReadOneRow, SimpleAb, Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig,
@@ -24,29 +25,29 @@ fn test_scale() -> Scale {
     }
 }
 
-fn all_designs() -> Vec<DesignKind> {
+fn all_designs() -> Vec<DesignSpec> {
     vec![
-        DesignKind::Centralized,
-        DesignKind::ExtremeSharedNothing { locking: true },
-        DesignKind::CoarseSharedNothing,
-        DesignKind::Plp,
-        DesignKind::Atrapos,
+        DesignSpec::Centralized,
+        DesignSpec::extreme_shared_nothing(true),
+        DesignSpec::coarse_shared_nothing(),
+        DesignSpec::Plp,
+        DesignSpec::atrapos(),
     ]
 }
 
 #[test]
 fn every_design_runs_the_read_microbenchmark() {
     let s = test_scale();
-    for kind in all_designs() {
+    for spec in all_designs() {
         let stats = measure(
             2,
             2,
-            kind,
+            &spec,
             Box::new(ReadOneRow::with_rows(s.micro_rows)),
             s.measure_secs,
         );
-        assert!(stats.committed > 0, "{} committed nothing", kind.label());
-        assert_eq!(stats.aborted, 0, "{} aborted reads", kind.label());
+        assert!(stats.committed > 0, "{} committed nothing", spec.label());
+        assert_eq!(stats.aborted, 0, "{} aborted reads", spec.label());
         assert!(stats.ipc > 0.0);
     }
 }
@@ -54,35 +55,35 @@ fn every_design_runs_the_read_microbenchmark() {
 #[test]
 fn every_design_runs_the_multi_site_update_benchmark() {
     let s = test_scale();
-    for kind in all_designs() {
+    for spec in all_designs() {
         let stats = measure(
             2,
             2,
-            kind,
+            &spec,
             Box::new(MultiSiteUpdate::new(s.micro_rows, 4, 1, 50)),
             s.measure_secs,
         );
-        assert!(stats.committed > 0, "{} committed nothing", kind.label());
+        assert!(stats.committed > 0, "{} committed nothing", spec.label());
     }
 }
 
 #[test]
 fn every_design_runs_tatp_and_tpcc() {
     let s = test_scale();
-    for kind in all_designs() {
+    for spec in all_designs() {
         let tatp = Tatp::new(TatpConfig::scaled(s.tatp_subscribers));
-        let stats = measure(2, 2, kind, Box::new(tatp), s.measure_secs);
+        let stats = measure(2, 2, &spec, Box::new(tatp), s.measure_secs);
         assert!(
             stats.committed > 0,
             "{} committed no TATP transactions",
-            kind.label()
+            spec.label()
         );
         let tpcc = Tpcc::new(TpccConfig::scaled(s.tpcc_warehouses));
-        let stats = measure(2, 2, kind, Box::new(tpcc), s.measure_secs);
+        let stats = measure(2, 2, &spec, Box::new(tpcc), s.measure_secs);
         assert!(
             stats.committed > 0,
             "{} committed no TPC-C transactions",
-            kind.label()
+            spec.label()
         );
     }
 }
@@ -93,20 +94,20 @@ fn shared_nothing_scales_on_partitionable_work_centralized_does_not() {
     // The paper's Figure 2 workload is *perfectly partitionable*: every
     // client draws keys from its own site, so shared-nothing instances never
     // communicate (one site per core in the extreme configuration).
-    let run = |kind, sockets: usize| {
+    let run = |spec: &DesignSpec, sockets: usize| {
         measure(
             sockets,
             2,
-            kind,
+            spec,
             Box::new(ReadOneRow::partitionable(s.micro_rows, sockets * 2, 1)),
             s.measure_secs,
         )
         .throughput_tps
     };
-    let sn1 = run(DesignKind::ExtremeSharedNothing { locking: false }, 1);
-    let sn4 = run(DesignKind::ExtremeSharedNothing { locking: false }, 4);
-    let ce1 = run(DesignKind::Centralized, 1);
-    let ce4 = run(DesignKind::Centralized, 4);
+    let sn1 = run(&DesignSpec::extreme_shared_nothing(false), 1);
+    let sn4 = run(&DesignSpec::extreme_shared_nothing(false), 4);
+    let ce1 = run(&DesignSpec::Centralized, 1);
+    let ce4 = run(&DesignSpec::Centralized, 4);
     // Shared-nothing gains substantially from 4x the cores; the centralized
     // design gains much less (paper Figure 2's shape).
     let sn_speedup = sn4 / sn1;
@@ -129,8 +130,8 @@ fn atrapos_beats_plp_on_tatp_at_multisocket_scale() {
     // The PLP penalty comes from centralized structures whose cache line
     // serializes cross-socket CAS traffic; the effect needs enough cores
     // hammering the line to show (the paper uses 80 cores, we use 16 here).
-    let plp = measure(8, 2, DesignKind::Plp, tatp(), s.measure_secs);
-    let atr = measure(8, 2, DesignKind::Atrapos, tatp(), s.measure_secs);
+    let plp = measure(8, 2, &DesignSpec::Plp, tatp(), s.measure_secs);
+    let atr = measure(8, 2, &DesignSpec::atrapos(), tatp(), s.measure_secs);
     assert!(
         atr.throughput_tps > plp.throughput_tps * 1.3,
         "ATraPos {} vs PLP {}",
@@ -146,7 +147,7 @@ fn multi_site_transactions_hurt_shared_nothing_throughput() {
         measure(
             2,
             2,
-            DesignKind::CoarseSharedNothing,
+            &DesignSpec::coarse_shared_nothing(),
             Box::new(MultiSiteUpdate::new(s.micro_rows, 2, 2, pct)),
             s.measure_secs,
         )
@@ -163,11 +164,11 @@ fn multi_site_transactions_hurt_shared_nothing_throughput() {
 #[test]
 fn simple_ab_workload_runs_on_partitioned_designs() {
     let s = test_scale();
-    for kind in [DesignKind::Plp, DesignKind::Atrapos] {
+    for spec in [DesignSpec::Plp, DesignSpec::atrapos()] {
         let stats = measure(
             2,
             2,
-            kind,
+            &spec,
             Box::new(SimpleAb::new(s.micro_rows / 4)),
             s.measure_secs,
         );

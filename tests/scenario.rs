@@ -1,0 +1,266 @@
+//! The scenario layer end to end: serde round-trips for the declarative
+//! experiment vocabulary (property-based), and equivalence between a
+//! scenario-driven run and the hand-rolled phase loop it replaced.
+
+use atrapos_core::{AdaptiveInterval, ControllerConfig, KeyDistribution};
+use atrapos_engine::scenario::{Scenario, ScenarioEvent, TimedEvent};
+use atrapos_engine::{AtraposConfig, DesignSpec, ExecutorConfig, VirtualExecutor, WorkloadChange};
+use atrapos_numa::{CostModel, Machine, Topology};
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Serde round-trips (property-based)
+// ---------------------------------------------------------------------
+
+fn distribution_strategy() -> impl Strategy<Value = KeyDistribution> {
+    prop_oneof![
+        1 => (0u32..1).prop_map(|_| KeyDistribution::Uniform),
+        2 => (0.05f64..0.95, 0.05f64..0.95).prop_map(|(d, a)| KeyDistribution::Hotspot {
+            data_fraction: d,
+            access_fraction: a,
+        }),
+    ]
+}
+
+fn change_strategy() -> impl Strategy<Value = WorkloadChange> {
+    let txn = prop::sample::select(vec![
+        "GetSubData".to_string(),
+        "GetNewDest".to_string(),
+        "UpdSubData".to_string(),
+        "NewOrder".to_string(),
+    ]);
+    prop_oneof![
+        2 => txn.prop_map(|txn| WorkloadChange::SingleTransaction { txn }),
+        1 => (0u32..1).prop_map(|_| WorkloadChange::StandardMix),
+        2 => distribution_strategy()
+            .prop_map(|distribution| WorkloadChange::Distribution { distribution }),
+        1 => (0u32..=100).prop_map(|percent| WorkloadChange::MultiSitePercent { percent }),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = ScenarioEvent> {
+    prop_oneof![
+        2 => change_strategy().prop_map(|change| ScenarioEvent::ChangeWorkload { change }),
+        2 => prop::sample::select(vec!["GetNewDest".to_string(), "UpdSubData".to_string()])
+            .prop_map(|txn| ScenarioEvent::SetWorkloadPhase { txn }),
+        1 => (0u32..1).prop_map(|_| ScenarioEvent::SetMix),
+        2 => distribution_strategy()
+            .prop_map(|distribution| ScenarioEvent::SetSkew { distribution }),
+        1 => (0u16..8).prop_map(|socket| ScenarioEvent::FailSocket { socket }),
+        1 => (0u16..8).prop_map(|socket| ScenarioEvent::RestoreSocket { socket }),
+        1 => (0.001f64..0.5).prop_map(|secs| ScenarioEvent::SetInterval { secs }),
+        1 => (0u32..1).prop_map(|_| ScenarioEvent::Measure),
+    ]
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec((0.0f64..1.0, event_strategy(), any::<bool>()), 0..8),
+        0.05f64..2.0,
+    )
+        .prop_map(|(raw, extra)| {
+            // Sort offsets so the timeline is valid by construction.
+            let mut raw = raw;
+            raw.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let duration = 1.0 + extra;
+            let events = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at_secs, event, labelled))| TimedEvent {
+                    at_secs,
+                    label: labelled.then(|| format!("phase{i}")),
+                    event,
+                })
+                .collect();
+            Scenario {
+                name: "prop-scenario".to_string(),
+                initial_label: "start".to_string(),
+                duration_secs: duration,
+                events,
+            }
+        })
+}
+
+proptest! {
+    /// Every `WorkloadChange` survives a JSON round-trip bit-exactly.
+    #[test]
+    fn workload_changes_round_trip(change in change_strategy()) {
+        let text = serde::json::to_string(&change);
+        let back: WorkloadChange = serde::json::from_str(&text).unwrap();
+        prop_assert_eq!(back, change);
+    }
+
+    /// Every generated scenario is valid and survives a JSON round-trip.
+    #[test]
+    fn scenarios_round_trip(scenario in scenario_strategy()) {
+        prop_assert!(scenario.validate().is_ok());
+        let json = scenario.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        prop_assert_eq!(back, scenario);
+    }
+
+    /// Design specs re-serialize to identical JSON after a round-trip
+    /// (AtraposConfig has no PartialEq, so the text form is the witness).
+    #[test]
+    fn design_specs_round_trip(
+        locking in any::<bool>(),
+        monitoring in any::<bool>(),
+        adaptive in any::<bool>(),
+        sub_per in 1usize..40,
+        which in 0usize..4,
+    ) {
+        let spec = match which {
+            0 => DesignSpec::Centralized,
+            1 => DesignSpec::extreme_shared_nothing(locking),
+            2 => DesignSpec::Plp,
+            _ => DesignSpec::atrapos_with(AtraposConfig {
+                monitoring,
+                adaptive: monitoring && adaptive,
+                sub_per_partition: sub_per,
+                ..AtraposConfig::default()
+            }),
+        };
+        let text = serde::json::to_string(&spec);
+        let back: DesignSpec = serde::json::from_str(&text).unwrap();
+        prop_assert_eq!(serde::json::to_string(&back), text);
+        prop_assert_eq!(back.label(), spec.label());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario-driven vs. hand-rolled equivalence
+// ---------------------------------------------------------------------
+
+/// A reduced Figure-10 setup: small TATP, short phases, but still several
+/// monitoring intervals per phase so the adaptation behaviour is exercised.
+const PHASE_SECS: f64 = 0.03;
+const INTERVAL_MIN_SECS: f64 = 0.005;
+const INTERVAL_MAX_SECS: f64 = 0.04;
+
+fn tatp_executor(adaptive: bool) -> VirtualExecutor {
+    let machine = Machine::new(Topology::multisocket(4, 2), CostModel::westmere());
+    let mut workload = Tatp::new(TatpConfig::scaled(4_000));
+    workload.set_single(TatpTxn::UpdateSubscriberData);
+    let spec = DesignSpec::atrapos_named(
+        if adaptive { "atrapos" } else { "static" },
+        AtraposConfig {
+            monitoring: adaptive,
+            adaptive,
+            controller: ControllerConfig {
+                interval: AdaptiveInterval::new(INTERVAL_MIN_SECS, INTERVAL_MAX_SECS, 0.10),
+                ..ControllerConfig::default()
+            },
+            ..AtraposConfig::default()
+        },
+    );
+    let design = spec.build(&machine, &workload);
+    VirtualExecutor::new(
+        machine,
+        design,
+        Box::new(workload),
+        ExecutorConfig {
+            seed: 42,
+            default_interval_secs: INTERVAL_MIN_SECS,
+            time_series_bucket_secs: INTERVAL_MIN_SECS,
+        },
+    )
+}
+
+fn fig10_like_scenario(phase_secs: f64) -> Scenario {
+    Scenario::new("equivalence", 3.0 * phase_secs)
+        .starting_as("UpdSubData")
+        .at(
+            phase_secs,
+            "GetNewDest",
+            ScenarioEvent::SetWorkloadPhase {
+                txn: "GetNewDest".to_string(),
+            },
+        )
+        .at(2.0 * phase_secs, "TATP-Mix", ScenarioEvent::SetMix)
+}
+
+/// The scenario runner is a pure reformulation of the old hand-rolled phase
+/// loop: same segments, same reconfigurations, same committed counts.
+#[test]
+fn scenario_run_matches_hand_rolled_loop() {
+    let phase = PHASE_SECS;
+    let outcome = tatp_executor(true)
+        .run_scenario(&fig10_like_scenario(phase))
+        .expect("scenario runs");
+
+    // The hand-rolled loop the scenario API replaced.
+    let mut manual = tatp_executor(true);
+    let mut manual_segments = Vec::new();
+    manual_segments.push(manual.run_for(phase));
+    manual
+        .reconfigure_workload(&WorkloadChange::SingleTransaction {
+            txn: "GetNewDest".to_string(),
+        })
+        .unwrap();
+    manual_segments.push(manual.run_for(phase));
+    manual
+        .reconfigure_workload(&WorkloadChange::StandardMix)
+        .unwrap();
+    manual_segments.push(manual.run_for(phase));
+
+    assert_eq!(outcome.segments.len(), manual_segments.len());
+    for (s, m) in outcome.segments.iter().zip(&manual_segments) {
+        assert_eq!(s.stats.committed, m.committed, "segment '{}'", s.label);
+        assert_eq!(s.stats.aborted, m.aborted, "segment '{}'", s.label);
+        assert_eq!(
+            s.stats.repartitions, m.repartitions,
+            "segment '{}'",
+            s.label
+        );
+    }
+}
+
+/// The paper's Figure 10 claim at test scale: after each workload switch
+/// the adaptive system keeps committing and ends at least as fast as the
+/// static configuration over the post-switch phases.
+#[test]
+fn adaptive_tatp_recovers_after_phase_change() {
+    let phase = PHASE_SECS;
+    let scenario = fig10_like_scenario(phase);
+    let adaptive = tatp_executor(true).run_scenario(&scenario).unwrap();
+    let static_ = tatp_executor(false).run_scenario(&scenario).unwrap();
+
+    for segment in &adaptive.segments {
+        assert!(
+            segment.stats.committed > 0,
+            "adaptive run stalled in segment '{}'",
+            segment.label
+        );
+    }
+    let post_switch = |o: &atrapos_engine::ScenarioOutcome| {
+        o.segments[1].stats.committed + o.segments[2].stats.committed
+    };
+    let a = post_switch(&adaptive);
+    let s = post_switch(&static_);
+    assert!(
+        a as f64 >= s as f64 * 0.95,
+        "adaptive ({a}) should not trail static ({s}) after the switches"
+    );
+}
+
+/// The shipped replay file parses and its timeline is valid — scenarios
+/// really are data on disk.
+#[test]
+fn shipped_replay_scenario_parses() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scenarios/adaptive_tatp.json"
+    );
+    let text = std::fs::read_to_string(path).expect("sample replay file exists");
+    let value = serde::json::parse(&text).expect("sample is valid JSON");
+    let scenario: Scenario =
+        serde::de::Deserialize::from_value(value.get("scenario").expect("has scenario"))
+            .expect("scenario parses");
+    scenario.validate().expect("scenario is valid");
+    assert_eq!(scenario.events.len(), 2);
+    let design: DesignSpec =
+        serde::de::Deserialize::from_value(value.get("design").expect("has design"))
+            .expect("design parses");
+    assert_eq!(design.label(), "ATraPos");
+}
