@@ -1,0 +1,296 @@
+//! Wall-clock benchmark of the simulator itself.
+//!
+//! Times a fixed scenario bundle — the adaptive TATP figure timelines
+//! (Figures 10–13) plus TATP and TPC-C design sweeps on the paper's
+//! 4-socket machine across all four system designs — and records the
+//! result in `reports/BENCH_wallclock.json`.  Successive runs with
+//! different labels append to the same file, so the repo accumulates a
+//! wall-clock trajectory (e.g. a `pre-refactor` and a `post-refactor`
+//! entry per optimization PR) and the speedup between the first and the
+//! last run is computed automatically.
+//!
+//! ```text
+//! cargo run --release -p atrapos-bench --bin wallclock -- --label pre-refactor
+//! cargo run --release -p atrapos-bench --bin wallclock -- --label post-refactor
+//! cargo run --release -p atrapos-bench --bin wallclock -- --smoke   # CI-sized
+//! ```
+//!
+//! The bundle is fixed (no `ATRAPOS_PAPER` dependence) so that entries
+//! written at different times stay comparable.  `total_committed` is the
+//! total number of simulated transactions the bundle commits; it must be
+//! identical across runs of the same source revision *and* across
+//! behaviour-preserving optimizations (same seed ⇒ same simulated work),
+//! so it doubles as a cheap cross-run determinism check.
+
+use atrapos_bench::figures::{
+    fig10_scenario, fig11_scenario, fig12_scenario, fig13_scenario, figure_executor,
+};
+use atrapos_bench::harness::{machine, Scale};
+use atrapos_bench::report::report_dir;
+use atrapos_engine::{DesignSpec, ExecutorConfig, Scenario, VirtualExecutor, Workload};
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One timed component of the bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ComponentTiming {
+    /// Component name (e.g. `fig10/atrapos`, `tpcc/Centralized`).
+    name: String,
+    /// Wall-clock milliseconds spent simulating this component.
+    wall_ms: f64,
+    /// Transactions committed inside the simulation.
+    committed: u64,
+}
+
+/// One labelled run of the whole bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WallclockRun {
+    /// Run label (`pre-refactor`, `post-refactor`, `smoke`, …).
+    label: String,
+    /// Seconds since the Unix epoch when the run finished.
+    unix_secs: u64,
+    /// Whether this was the reduced CI smoke bundle.
+    smoke: bool,
+    /// Per-component timings.
+    components: Vec<ComponentTiming>,
+    /// Total wall-clock milliseconds over all components.
+    total_ms: f64,
+    /// Total committed transactions over all components (cross-run
+    /// determinism check: identical for behaviour-preserving changes).
+    total_committed: u64,
+}
+
+/// The whole report file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WallclockReport {
+    /// Schema tag.
+    schema: String,
+    /// Accumulated runs, oldest first.
+    runs: Vec<WallclockRun>,
+    /// `first.total_ms / last.total_ms` over full (non-smoke) runs —
+    /// > 1.0 means the latest run is faster than the baseline.
+    speedup_vs_first: Option<f64>,
+}
+
+/// Fixed bundle scale (matches `Scale::quick` where relevant; pinned here
+/// so the bundle cannot drift with harness defaults).
+fn bundle_scale(smoke: bool) -> Scale {
+    let mut s = Scale::quick();
+    if smoke {
+        s.tatp_subscribers /= 10;
+        s.tpcc_warehouses = 4;
+        s.measure_secs /= 10.0;
+        s.phase_secs /= 10.0;
+    }
+    s
+}
+
+/// The four designs of the sweep components.
+fn sweep_designs() -> Vec<DesignSpec> {
+    vec![
+        DesignSpec::Centralized,
+        DesignSpec::coarse_shared_nothing(),
+        DesignSpec::Plp,
+        DesignSpec::atrapos(),
+    ]
+}
+
+fn time_scenario(
+    name: &str,
+    scale: &Scale,
+    adaptive: bool,
+    initial: TatpTxn,
+    scenario: &Scenario,
+    out: &mut Vec<ComponentTiming>,
+) {
+    let mut ex = figure_executor(scale, adaptive, initial);
+    let start = Instant::now();
+    let outcome = ex.run_scenario(scenario).expect("figure scenario runs");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    out.push(ComponentTiming {
+        name: name.to_string(),
+        wall_ms,
+        committed: outcome.total_committed(),
+    });
+}
+
+fn time_sweep(
+    workload_name: &str,
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    secs: f64,
+    out: &mut Vec<ComponentTiming>,
+) {
+    for spec in sweep_designs() {
+        let m = machine(4, 10);
+        let workload = make_workload();
+        let design = spec.build(&m, workload.as_ref());
+        let mut ex = VirtualExecutor::new(
+            m,
+            design,
+            workload,
+            ExecutorConfig {
+                seed: 42,
+                default_interval_secs: secs.max(0.01),
+                time_series_bucket_secs: secs.max(0.01),
+            },
+        );
+        let start = Instant::now();
+        let stats = ex.run_for(secs);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        out.push(ComponentTiming {
+            name: format!("{workload_name}/{}", spec.label()),
+            wall_ms,
+            committed: stats.committed,
+        });
+    }
+}
+
+fn run_bundle(scale: &Scale) -> Vec<ComponentTiming> {
+    let mut out = Vec::new();
+    // The four adaptive-figure timelines, under both variants where the
+    // figure compares them.
+    for (name, adaptive, initial, scenario) in [
+        (
+            "fig10/static",
+            false,
+            TatpTxn::UpdateSubscriberData,
+            fig10_scenario(scale),
+        ),
+        (
+            "fig10/atrapos",
+            true,
+            TatpTxn::UpdateSubscriberData,
+            fig10_scenario(scale),
+        ),
+        (
+            "fig11/static",
+            false,
+            TatpTxn::GetSubscriberData,
+            fig11_scenario(scale),
+        ),
+        (
+            "fig11/atrapos",
+            true,
+            TatpTxn::GetSubscriberData,
+            fig11_scenario(scale),
+        ),
+        (
+            "fig12/static",
+            false,
+            TatpTxn::GetSubscriberData,
+            fig12_scenario(scale),
+        ),
+        (
+            "fig12/atrapos",
+            true,
+            TatpTxn::GetSubscriberData,
+            fig12_scenario(scale),
+        ),
+        (
+            "fig13/atrapos",
+            true,
+            TatpTxn::GetNewDestination,
+            fig13_scenario(scale),
+        ),
+    ] {
+        time_scenario(name, scale, adaptive, initial, &scenario, &mut out);
+    }
+    // Design sweeps on the 4-socket, 10-cores-per-socket machine.
+    let tatp_subs = scale.tatp_subscribers;
+    time_sweep(
+        "tatp",
+        &|| Box::new(Tatp::new(TatpConfig::scaled(tatp_subs))),
+        scale.measure_secs,
+        &mut out,
+    );
+    let warehouses = scale.tpcc_warehouses;
+    time_sweep(
+        "tpcc",
+        &|| Box::new(Tpcc::new(TpccConfig::scaled(warehouses))),
+        scale.measure_secs,
+        &mut out,
+    );
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| if smoke { "smoke".into() } else { "run".into() });
+
+    let scale = bundle_scale(smoke);
+    eprintln!(
+        "running wallclock bundle '{label}'{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let total_start = Instant::now();
+    let components = run_bundle(&scale);
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    let total_committed = components.iter().map(|c| c.committed).sum();
+
+    for c in &components {
+        eprintln!(
+            "  {:<28} {:>9.1} ms  {:>9} committed",
+            c.name, c.wall_ms, c.committed
+        );
+    }
+    eprintln!(
+        "  {:<28} {:>9.1} ms  {:>9} committed",
+        "TOTAL", total_ms, total_committed
+    );
+
+    let run = WallclockRun {
+        label,
+        unix_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        smoke,
+        components,
+        total_ms,
+        total_committed,
+    };
+
+    let dir = report_dir();
+    let path = dir.join("BENCH_wallclock.json");
+    let mut report = match std::fs::read_to_string(&path) {
+        Ok(text) => match serde::json::from_str::<WallclockReport>(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                // Never silently wipe an accumulated trajectory: an
+                // unparseable file is a bug or a merge accident, and the
+                // baseline entries in it are irreplaceable.
+                eprintln!("error: existing {} is unreadable: {e}", path.display());
+                eprintln!("fix or remove the file, then re-run");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => WallclockReport {
+            schema: "atrapos-wallclock-v1".to_string(),
+            runs: Vec::new(),
+            speedup_vs_first: None,
+        },
+    };
+    report.runs.push(run);
+    let full: Vec<&WallclockRun> = report.runs.iter().filter(|r| !r.smoke).collect();
+    report.speedup_vs_first = match (full.first(), full.last()) {
+        (Some(first), Some(last)) if full.len() >= 2 && last.total_ms > 0.0 => {
+            Some(first.total_ms / last.total_ms)
+        }
+        _ => None,
+    };
+    if let Some(s) = report.speedup_vs_first {
+        eprintln!("  speedup vs first full run: {s:.2}x");
+    }
+    if std::fs::create_dir_all(&dir).is_ok() {
+        std::fs::write(&path, serde::json::to_string_pretty(&report))
+            .unwrap_or_else(|e| eprintln!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -141,6 +141,19 @@ fn variant_spec(scale: &Scale, variant: Variant) -> DesignSpec {
     }
 }
 
+/// Build the executor the adaptive figure timelines (Figures 10–13) run
+/// on: a 4×4 machine with TATP pinned to an initial transaction type.
+/// Public so the wallclock harness and the golden-figure regression tests
+/// reuse the exact figure configuration.
+pub fn figure_executor(scale: &Scale, adaptive: bool, initial: TatpTxn) -> VirtualExecutor {
+    let variant = if adaptive {
+        Variant::Adaptive
+    } else {
+        Variant::Static
+    };
+    adaptive_executor(scale, variant, initial)
+}
+
 /// Build a scaled-down executor for the time-series experiments.
 fn adaptive_executor(scale: &Scale, variant: Variant, initial: TatpTxn) -> VirtualExecutor {
     // A smaller machine keeps the per-second transaction counts tractable

@@ -33,7 +33,7 @@ use crate::stats::{SubPartitionId, WorkloadStats};
 use atrapos_numa::Topology;
 use atrapos_storage::TableId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Cost parameters of the shared-nothing variant of the ATraPos model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,8 +77,9 @@ pub struct ShardingPlan {
     /// Number of shared-nothing instances.
     pub n_instances: usize,
     /// For each table: its key domain and the instance owning each of its
-    /// sub-partitions.
-    tables: HashMap<TableId, (KeyDomain, Vec<usize>)>,
+    /// sub-partitions.  A BTreeMap so iteration (and therefore every
+    /// decision derived from a plan) is deterministic across runs.
+    tables: BTreeMap<TableId, (KeyDomain, Vec<usize>)>,
     /// Machine (NUMA node / host) hosting each instance; instance `i` lives
     /// on machine `instance_machine[i]`.  For the coarse-grained deployment
     /// of the paper this is the identity (one instance per socket); for

@@ -44,8 +44,14 @@ pub struct SyncObservation {
 /// matching the determinism guarantee of the virtual-time simulator.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WorkloadStats {
-    /// Work (cycles) performed by actions on each sub-partition.
-    sub_partition_load: BTreeMap<TableId, Vec<f64>>,
+    /// Work (cycles) performed by actions on each sub-partition, indexed
+    /// by `TableId` (an empty inner vector means the table was never
+    /// seen).  Dense so that `record_action` — which runs once per
+    /// simulated action when monitoring is on — is an array indexing, not
+    /// a map probe; iteration over the occupied slots is still in
+    /// ascending `TableId` order, preserving the determinism the old
+    /// `BTreeMap` provided.
+    sub_partition_load: Vec<Vec<f64>>,
     /// Pairwise synchronization observations.
     sync_pairs: BTreeMap<(SubPartitionId, SubPartitionId), SyncObservation>,
     /// Number of transactions observed.
@@ -58,18 +64,28 @@ impl WorkloadStats {
         Self::default()
     }
 
+    #[inline]
+    fn slot_mut(&mut self, table: TableId) -> &mut Vec<f64> {
+        let idx = table.index();
+        if self.sub_partition_load.len() <= idx {
+            self.sub_partition_load.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.sub_partition_load[idx]
+    }
+
     /// Declare a table with `n_sub` sub-partitions (idempotent; resizes if
     /// the sub-partition count grew).
     pub fn declare_table(&mut self, table: TableId, n_sub: usize) {
-        let v = self.sub_partition_load.entry(table).or_default();
+        let v = self.slot_mut(table);
         if v.len() < n_sub {
             v.resize(n_sub, 0.0);
         }
     }
 
     /// Record `cycles` of action work on a sub-partition.
+    #[inline]
     pub fn record_action(&mut self, sub: SubPartitionId, cycles: f64) {
-        let v = self.sub_partition_load.entry(sub.table).or_default();
+        let v = self.slot_mut(sub.table);
         if v.len() <= sub.index {
             v.resize(sub.index + 1, 0.0);
         }
@@ -93,7 +109,7 @@ impl WorkloadStats {
     /// Load vector of one table (empty slice if unknown).
     pub fn table_load(&self, table: TableId) -> &[f64] {
         self.sub_partition_load
-            .get(&table)
+            .get(table.index())
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
@@ -101,14 +117,18 @@ impl WorkloadStats {
     /// Total load across all tables.
     pub fn total_load(&self) -> f64 {
         self.sub_partition_load
-            .values()
+            .iter()
             .map(|v| v.iter().sum::<f64>())
             .sum()
     }
 
-    /// Tables with recorded load.
+    /// Tables with recorded load, in ascending id order.
     pub fn tables(&self) -> impl Iterator<Item = TableId> + '_ {
-        self.sub_partition_load.keys().copied()
+        self.sub_partition_load
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, _)| TableId(i as u32))
     }
 
     /// All pairwise synchronization observations.
@@ -125,8 +145,11 @@ impl WorkloadStats {
 
     /// Merge another trace into this one.
     pub fn merge(&mut self, other: &WorkloadStats) {
-        for (table, loads) in &other.sub_partition_load {
-            let v = self.sub_partition_load.entry(*table).or_default();
+        for (idx, loads) in other.sub_partition_load.iter().enumerate() {
+            if loads.is_empty() {
+                continue;
+            }
+            let v = self.slot_mut(TableId(idx as u32));
             if v.len() < loads.len() {
                 v.resize(loads.len(), 0.0);
             }
@@ -145,7 +168,7 @@ impl WorkloadStats {
     /// Discard all observations (the paper discards traces after each
     /// evaluation to bound memory).
     pub fn clear(&mut self) {
-        for v in self.sub_partition_load.values_mut() {
+        for v in &mut self.sub_partition_load {
             v.iter_mut().for_each(|x| *x = 0.0);
         }
         self.sync_pairs.clear();

@@ -179,6 +179,31 @@ pub struct TransactionSpec {
 }
 
 impl TransactionSpec {
+    /// An empty spec, for use as a reusable generation buffer (see
+    /// [`TransactionSpec::refill`]).
+    pub fn empty() -> Self {
+        Self {
+            class: "",
+            phases: Vec::new(),
+        }
+    }
+
+    /// Begin refilling this spec in place for a new transaction.
+    ///
+    /// Workload generators run once per simulated transaction, which made
+    /// their nested `Vec<Phase>` / `Vec<Action>` construction one of the
+    /// executor's main allocation sources.  Refilling reuses the buffers
+    /// of the previous transaction: phases are overwritten slot by slot
+    /// (their action vectors keep their capacity) and unused trailing
+    /// phases are dropped by [`SpecRefill::finish`].
+    pub fn refill(&mut self, class: &'static str) -> SpecRefill<'_> {
+        self.class = class;
+        SpecRefill {
+            spec: self,
+            used: 0,
+        }
+    }
+
     /// A transaction with a single phase.
     pub fn single_phase(class: &'static str, actions: Vec<Action>) -> Self {
         Self {
@@ -223,6 +248,40 @@ impl TransactionSpec {
             }
         }
         out
+    }
+}
+
+/// In-place refiller for a reusable [`TransactionSpec`] buffer (created by
+/// [`TransactionSpec::refill`]).
+pub struct SpecRefill<'a> {
+    spec: &'a mut TransactionSpec,
+    used: usize,
+}
+
+impl SpecRefill<'_> {
+    /// Start the next phase and return its action buffer, cleared but with
+    /// capacity preserved.
+    pub fn phase(&mut self) -> &mut Vec<Action> {
+        if self.used == self.spec.phases.len() {
+            self.spec.phases.push(Phase {
+                actions: Vec::new(),
+                sync_bytes: 0,
+            });
+        }
+        let p = &mut self.spec.phases[self.used];
+        self.used += 1;
+        p.actions.clear();
+        &mut p.actions
+    }
+
+    /// Finish the refill: drop unused trailing phases and give every phase
+    /// the default synchronization payload of one cache line per action,
+    /// exactly as [`Phase::new`] would.
+    pub fn finish(self) {
+        self.spec.phases.truncate(self.used);
+        for p in &mut self.spec.phases {
+            p.sync_bytes = 64 * p.actions.len() as u64;
+        }
     }
 }
 

@@ -31,14 +31,11 @@ use atrapos_core::{
     apply_plan, AdaptationOutcome, AdaptiveController, ControllerConfig, Monitor,
     PartitioningScheme, SubPartitionId,
 };
-use atrapos_numa::{
-    micros_to_cycles, Component, CoreId, Cycles, Machine, SocketId, Tally, Topology,
-};
+use atrapos_numa::{micros_to_cycles, Component, CoreId, Cycles, Machine, SocketId, Topology};
 use atrapos_storage::{
     Database, LockManager, LogManager, LogRecordKind, StateRwLock, Table, TableId, Txn, TxnId,
     TxnList,
 };
-use std::collections::HashMap;
 
 /// Configuration of the partitioned shared-everything engine.
 ///
@@ -118,7 +115,14 @@ pub struct AtraposDesign {
     scheme: PartitioningScheme,
     controller: AdaptiveController,
     monitor: Monitor,
-    partition_locks: HashMap<(TableId, usize), LockManager>,
+    /// Partition-local lock tables, indexed `[table slot][partition]` in
+    /// scheme order (rebuilt on repartition).
+    partition_locks: Vec<Vec<LockManager>>,
+    /// Dense map from `TableId` to its slot in `scheme.tables()` /
+    /// `partition_locks` (rebuilt on repartition), replacing the
+    /// per-action linear scheme scan and hash-map lookups of the routing
+    /// path.
+    table_slots: Vec<usize>,
     log: LogManager,
     txn_list: TxnList,
     state_lock: StateRwLock,
@@ -131,6 +135,14 @@ pub struct AtraposDesign {
     /// Pending monitoring sync observations waiting for a context to be
     /// charged to.
     pending_syncs: Vec<(SubPartitionId, SubPartitionId, u64)>,
+    /// Reusable per-action transaction descriptor (partition-local locks
+    /// are acquired and released within one action, so one descriptor
+    /// serves every action without allocating).
+    action_txn: Txn,
+    /// Scratch: sockets that participated in the current phase.
+    phase_sockets: Vec<SocketId>,
+    /// Scratch: sockets of the previous phase (sync-point participants).
+    prev_sockets: Vec<SocketId>,
 }
 
 impl AtraposDesign {
@@ -153,7 +165,7 @@ impl AtraposDesign {
             PartitioningScheme::naive(&workload.table_domains(), topo, config.sub_per_partition)
         });
         let db = Self::build_database(topo, workload, &scheme);
-        let partition_locks = Self::build_partition_locks(topo, &scheme);
+        let (table_slots, partition_locks) = Self::build_routing(topo, &scheme);
         let partitions_per_core = scheme.partitions_per_core(topo);
         let n_sockets = topo.num_sockets();
         let (log, txn_list, state_lock) = if config.numa_aware_internals {
@@ -179,6 +191,7 @@ impl AtraposDesign {
             controller,
             monitor,
             partition_locks,
+            table_slots,
             log,
             txn_list,
             state_lock,
@@ -188,6 +201,9 @@ impl AtraposDesign {
             aborted: 0,
             repartitions: 0,
             pending_syncs: Vec::new(),
+            action_txn: Txn::begin(TxnId(0)),
+            phase_sockets: Vec::new(),
+            prev_sockets: Vec::new(),
         }
     }
 
@@ -223,20 +239,45 @@ impl AtraposDesign {
         db
     }
 
-    fn build_partition_locks(
+    /// Build the dense routing structures for `scheme`: the
+    /// `TableId → slot` map and the per-slot, per-partition lock tables.
+    /// Called at construction and after every repartitioning — the hot
+    /// path then routes with two array indexings instead of a linear
+    /// table scan plus two hash-map probes per action.
+    fn build_routing(
         topo: &Topology,
         scheme: &PartitioningScheme,
-    ) -> HashMap<(TableId, usize), LockManager> {
-        let mut locks = HashMap::new();
-        for t in scheme.tables() {
-            for (idx, p) in t.partitions.iter().enumerate() {
-                locks.insert(
-                    (t.table, idx),
-                    LockManager::partition_local(topo.socket_of(p.core)),
-                );
-            }
+    ) -> (Vec<usize>, Vec<Vec<LockManager>>) {
+        let max_id = scheme
+            .tables()
+            .iter()
+            .map(|t| t.table.0 as usize)
+            .max()
+            .unwrap_or(0);
+        let mut slots = vec![usize::MAX; max_id + 1];
+        let mut locks = Vec::with_capacity(scheme.tables().len());
+        for (i, t) in scheme.tables().iter().enumerate() {
+            slots[t.table.0 as usize] = i;
+            locks.push(
+                t.partitions
+                    .iter()
+                    .map(|p| LockManager::partition_local(topo.socket_of(p.core)))
+                    .collect(),
+            );
         }
-        locks
+        (slots, locks)
+    }
+
+    /// Slot of `table` in the routing structures.
+    #[inline]
+    fn table_slot(&self, table: TableId) -> usize {
+        let slot = self
+            .table_slots
+            .get(table.0 as usize)
+            .copied()
+            .unwrap_or(usize::MAX);
+        assert!(slot != usize::MAX, "table {table} not in scheme");
+        slot
     }
 
     /// The partitioning scheme currently in force.
@@ -273,8 +314,15 @@ impl AtraposDesign {
     }
 
     fn flush_pending_syncs(&mut self, ctx: &mut atrapos_numa::SimCtx<'_>) {
-        for (a, b, bytes) in std::mem::take(&mut self.pending_syncs) {
-            self.monitor.record_sync(ctx, a, b, bytes);
+        // Drain in place: the buffer keeps its capacity across
+        // transactions instead of reallocating per commit.
+        let Self {
+            pending_syncs,
+            monitor,
+            ..
+        } = self;
+        for (a, b, bytes) in pending_syncs.drain(..) {
+            monitor.record_sync(ctx, a, b, bytes);
         }
     }
 }
@@ -294,25 +342,25 @@ impl SystemDesign for AtraposDesign {
         let txn_id = TxnId(self.next_txn);
         self.next_txn += 1;
         let txn = Txn::begin(txn_id);
-        let mut tallies: Vec<(CoreId, Tally)> = Vec::with_capacity(spec.num_actions() + 1);
         let mut failed = false;
         let mut phase_start = start;
-        let mut prev_sockets: Vec<SocketId> = Vec::new();
         let mut prev_sync_bytes = 0u64;
         let mut first_action_of_txn = true;
         let mut last_core = None;
+        self.prev_sockets.clear();
 
         for phase in &spec.phases {
             if failed {
                 break;
             }
-            let mut completions: Vec<(CoreId, Cycles)> = Vec::with_capacity(phase.actions.len());
-            let mut sockets: Vec<SocketId> = Vec::with_capacity(phase.actions.len());
+            let mut phase_end = phase_start;
+            self.phase_sockets.clear();
             let mut first_sub: Option<SubPartitionId> = None;
             for (ai, action) in phase.actions.iter().enumerate() {
                 let table = action.op.table();
                 let head = action.op.routing_key_head();
-                let tpart = self.scheme.table(table);
+                let slot = self.table_slot(table);
+                let tpart = &self.scheme.tables()[slot];
                 let pidx = tpart.partition_of_key(head);
                 let core = Self::effective_core(&machine.topology, tpart.partitions[pidx].core);
                 let sub = SubPartitionId::new(
@@ -333,18 +381,17 @@ impl SystemDesign for AtraposDesign {
                 }
                 // The first action of a later phase receives the data from
                 // the previous phase's synchronization point.
-                if ai == 0 && !prev_sockets.is_empty() {
-                    sync_point(&mut actx, &prev_sockets, prev_sync_bytes);
+                if ai == 0 && !self.prev_sockets.is_empty() {
+                    sync_point(&mut actx, &self.prev_sockets, prev_sync_bytes);
                 }
                 // Partition-local locking: owned by this worker only, so the
                 // acquisition is local and conflict-free; conflicts on hot
-                // keys surface as worker-queue serialization instead.
-                let mut local_txn = Txn::begin(txn_id);
-                let lm = self
-                    .partition_locks
-                    .get_mut(&(table, pidx))
-                    .expect("partition lock table exists");
-                acquire_action_locks(&mut actx, lm, &mut local_txn, action);
+                // keys surface as worker-queue serialization instead.  The
+                // per-action descriptor is reused across actions, so lock
+                // bookkeeping allocates nothing.
+                self.action_txn.reset(txn_id);
+                let lm = &mut self.partition_locks[slot][pidx];
+                acquire_action_locks(&mut actx, lm, &mut self.action_txn, action);
                 let work_begin = actx.now();
                 match storage_op(&mut actx, &mut self.db, action) {
                     Ok(bytes) => {
@@ -354,11 +401,8 @@ impl SystemDesign for AtraposDesign {
                     }
                     Err(_) => failed = true,
                 }
-                let lm = self
-                    .partition_locks
-                    .get_mut(&(table, pidx))
-                    .expect("partition lock table exists");
-                lm.release_all(&mut actx, &mut local_txn);
+                let lm = &mut self.partition_locks[slot][pidx];
+                lm.release_all(&mut actx, &mut self.action_txn);
                 let action_cost = actx.now() - work_begin;
                 // Oversubscription: a core hosting several partitions (and
                 // thus several worker threads) pays scheduling and cache
@@ -383,22 +427,23 @@ impl SystemDesign for AtraposDesign {
                     _ => {}
                 }
                 self.workers.occupy(core, avail, actx.now());
-                completions.push((core, actx.now()));
-                sockets.push(machine.topology.socket_of(core));
+                phase_end = phase_end.max(actx.now());
                 last_core = Some(core);
-                tallies.push((core, actx.finish()));
+                // Committing each action's tally immediately (instead of
+                // collecting them in a per-transaction vector) keeps the
+                // loop allocation-free; the machine counters are additive,
+                // so commit order does not affect any observable.
+                let tally = actx.finish();
+                machine.commit(core, &tally);
+                self.phase_sockets.push(machine.topology.socket_of(core));
                 if failed {
                     break;
                 }
             }
             // The phase's synchronization point: everyone waits for the
             // slowest participant.
-            phase_start = completions
-                .iter()
-                .map(|&(_, t)| t)
-                .max()
-                .unwrap_or(phase_start);
-            prev_sockets = sockets;
+            phase_start = phase_end;
+            std::mem::swap(&mut self.prev_sockets, &mut self.phase_sockets);
             prev_sync_bytes = phase.sync_bytes;
         }
 
@@ -409,8 +454,8 @@ impl SystemDesign for AtraposDesign {
         );
         let mut cctx = machine.ctx(commit_core, phase_start);
         // The commit joins the final phase's participants.
-        if prev_sockets.len() > 1 {
-            sync_point(&mut cctx, &prev_sockets, prev_sync_bytes);
+        if self.prev_sockets.len() > 1 {
+            sync_point(&mut cctx, &self.prev_sockets, prev_sync_bytes);
         }
         cctx.work(Component::XctManagement, COMMIT_INSTRUCTIONS);
         if failed {
@@ -427,10 +472,8 @@ impl SystemDesign for AtraposDesign {
         self.monitor.record_transaction();
         let end = cctx.now();
         self.workers.occupy(commit_core, phase_start, end);
-        tallies.push((commit_core, cctx.finish()));
-        for (core, tally) in tallies {
-            machine.commit(core, &tally);
-        }
+        let tally = cctx.finish();
+        machine.commit(commit_core, &tally);
         TxnOutcome {
             committed: !failed,
             start,
@@ -473,7 +516,10 @@ impl SystemDesign for AtraposDesign {
                     };
                 }
                 self.scheme = new_scheme;
-                self.partition_locks = Self::build_partition_locks(&machine.topology, &self.scheme);
+                let (table_slots, partition_locks) =
+                    Self::build_routing(&machine.topology, &self.scheme);
+                self.table_slots = table_slots;
+                self.partition_locks = partition_locks;
                 self.partitions_per_core = self.scheme.partitions_per_core(&machine.topology);
                 self.repartitions += 1;
                 let pause = micros_to_cycles(

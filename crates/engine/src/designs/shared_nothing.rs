@@ -22,7 +22,7 @@ use atrapos_storage::{
     Database, LockManager, LogManager, LogRecordKind, MemoryPolicy, StateRwLock, Table, TableId,
     TwoPhaseCommit, Txn, TxnId, TxnList,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Granularity of the shared-nothing deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -283,8 +283,12 @@ impl SystemDesign for SharedNothingDesign {
         let txn_id = TxnId(self.next_txn);
         self.next_txn += 1;
         // One transaction branch per participating instance (the coordinator
-        // keeps a descriptor in each so locks can be released there).
-        let mut branches: HashMap<usize, Txn> = HashMap::new();
+        // keeps a descriptor in each so locks can be released there).  A
+        // BTreeMap so that participant iteration order — and therefore the
+        // simulated two-phase-commit message sequence — is deterministic
+        // across process runs (a HashMap here made distributed-transaction
+        // timings depend on the process's hash seed).
+        let mut branches: BTreeMap<usize, Txn> = BTreeMap::new();
         branches.insert(home, Txn::begin(txn_id));
 
         let mut ctx = machine.ctx(client, start);

@@ -8,7 +8,7 @@
 //! paper's Figures 10–13).  At monitoring-interval boundaries it hands
 //! control to the design, which may repartition and pause execution.
 
-use crate::action::TxnOutcome;
+use crate::action::{TransactionSpec, TxnOutcome};
 use crate::designs::{DesignStats, SystemDesign};
 use crate::workload::{ReconfigureError, Workload, WorkloadChange};
 use atrapos_numa::{
@@ -109,6 +109,10 @@ pub struct VirtualExecutor {
     interval_len: Cycles,
     interval_committed: u64,
     total_committed: u64,
+    /// Reusable transaction-spec buffer: the workload refills it in place
+    /// once per transaction, so generation does not allocate per
+    /// transaction.
+    spec_buf: TransactionSpec,
 }
 
 impl VirtualExecutor {
@@ -146,6 +150,7 @@ impl VirtualExecutor {
             interval_len,
             interval_committed: 0,
             total_committed: 0,
+            spec_buf: TransactionSpec::empty(),
         }
     }
 
@@ -278,10 +283,11 @@ impl VirtualExecutor {
             }
 
             let client_core = self.clients[ci].core;
-            let spec = self.workload.next_transaction(&mut self.rng, client_core);
-            let out: TxnOutcome = self
-                .design
-                .execute(&mut self.machine, &spec, client_core, t);
+            self.workload
+                .next_transaction_into(&mut self.rng, client_core, &mut self.spec_buf);
+            let out: TxnOutcome =
+                self.design
+                    .execute(&mut self.machine, &self.spec_buf, client_core, t);
             self.clients[ci].next_free = out.end;
             self.clock = self.clock.max(out.end.min(end_at));
             latency_sum += u128::from(out.latency());

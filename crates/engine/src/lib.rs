@@ -47,7 +47,7 @@ pub mod scenario;
 pub mod workers;
 pub mod workload;
 
-pub use action::{Action, ActionOp, Phase, TransactionSpec, TxnOutcome};
+pub use action::{Action, ActionOp, Phase, SpecRefill, TransactionSpec, TxnOutcome};
 pub use designs::atrapos::{AtraposConfig, AtraposDesign};
 pub use designs::centralized::CentralizedDesign;
 pub use designs::plp::PlpDesign;

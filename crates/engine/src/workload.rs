@@ -137,6 +137,24 @@ pub trait Workload {
     /// "local" to the submitting site).
     fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec;
 
+    /// Generate the next transaction into a reusable spec buffer.
+    ///
+    /// The executor calls this once per simulated transaction with the
+    /// same buffer, so workloads that implement it via
+    /// [`TransactionSpec::refill`] generate specs without allocating.
+    /// Implementations must draw from `rng` in exactly the same order as
+    /// `next_transaction` — the simulator's bit-for-bit reproducibility
+    /// (and the golden-figure regression suite) depends on it.  The
+    /// default simply overwrites the buffer with `next_transaction`.
+    fn next_transaction_into(
+        &mut self,
+        rng: &mut SmallRng,
+        client: CoreId,
+        spec: &mut TransactionSpec,
+    ) {
+        *spec = self.next_transaction(rng, client);
+    }
+
     /// Table ids and key domains (convenience for building partitioning
     /// schemes).
     fn table_domains(&self) -> Vec<(TableId, KeyDomain)> {

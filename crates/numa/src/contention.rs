@@ -69,6 +69,11 @@ impl Timeline {
     /// Earliest time `>= at` at which a busy span of `duration` cycles fits
     /// without overlapping existing intervals.
     pub fn earliest_fit(&self, at: Cycles, duration: Cycles) -> Cycles {
+        // Past the horizon nothing can interfere (intervals are disjoint
+        // and sorted): the common case returns without scanning.
+        if self.intervals.back().is_none_or(|&(_, e)| at >= e) {
+            return at;
+        }
         let mut start = at;
         for &(s, e) in &self.intervals {
             if e <= start {
@@ -84,8 +89,34 @@ impl Timeline {
 
     /// Book a busy span of `duration` cycles at the earliest opportunity at
     /// or after `at`.  Returns the granted start time.
+    ///
+    /// `earliest_fit` guarantees the new span overlaps no existing
+    /// interval, so keeping the set coalesced only requires merging with
+    /// the (at most two) adjacent neighbours — in place, with no
+    /// allocation.  This runs on every simulated cache-line access, which
+    /// made the previous full rebuild-and-coalesce one of the hottest
+    /// allocation sites of the simulator.
     pub fn book(&mut self, at: Cycles, duration: Cycles) -> Cycles {
         let duration = duration.max(1);
+        // Fast path: requests at or beyond the horizon (the overwhelmingly
+        // common case — the executor hands out work in roughly increasing
+        // virtual time) append at the back without scanning.
+        if let Some(back) = self.intervals.back_mut() {
+            if at >= back.1 {
+                if at == back.1 {
+                    back.1 = at + duration;
+                } else {
+                    self.intervals.push_back((at, at + duration));
+                    if self.intervals.len() > TIMELINE_CAPACITY {
+                        self.intervals.pop_front();
+                    }
+                }
+                return at;
+            }
+        } else {
+            self.intervals.push_back((at, at + duration));
+            return at;
+        }
         let start = self.earliest_fit(at, duration);
         let end = start + duration;
         let pos = self
@@ -93,8 +124,25 @@ impl Timeline {
             .iter()
             .position(|&(s, _)| s > start)
             .unwrap_or(self.intervals.len());
-        self.intervals.insert(pos, (start, end));
-        self.coalesce();
+        let touches_prev = pos > 0 && self.intervals[pos - 1].1 == start;
+        let touches_next = pos < self.intervals.len() && self.intervals[pos].0 == end;
+        match (touches_prev, touches_next) {
+            (true, true) => {
+                let next_end = self.intervals[pos].1;
+                self.intervals[pos - 1].1 = next_end;
+                self.intervals.remove(pos);
+            }
+            (true, false) => self.intervals[pos - 1].1 = end,
+            (false, true) => self.intervals[pos].0 = start,
+            (false, false) => {
+                self.intervals.insert(pos, (start, end));
+                // Bound the window: drop the oldest interval once over
+                // capacity.
+                if self.intervals.len() > TIMELINE_CAPACITY {
+                    self.intervals.pop_front();
+                }
+            }
+        }
         start
     }
 
@@ -111,24 +159,6 @@ impl Timeline {
     /// Clear all bookings.
     pub fn clear(&mut self) {
         self.intervals.clear();
-    }
-
-    fn coalesce(&mut self) {
-        // Merge adjacent/overlapping intervals.
-        let mut merged: VecDeque<(Cycles, Cycles)> = VecDeque::with_capacity(self.intervals.len());
-        for &(s, e) in &self.intervals {
-            match merged.back_mut() {
-                Some((_, pe)) if s <= *pe => {
-                    *pe = (*pe).max(e);
-                }
-                _ => merged.push_back((s, e)),
-            }
-        }
-        // Bound the window: drop the oldest intervals once over capacity.
-        while merged.len() > TIMELINE_CAPACITY {
-            merged.pop_front();
-        }
-        self.intervals = merged;
     }
 }
 

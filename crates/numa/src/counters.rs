@@ -135,6 +135,106 @@ impl Breakdown {
     }
 }
 
+/// One interconnect transfer: (from socket, to socket, bytes).
+pub type Transfer = (SocketId, SocketId, u64);
+
+/// Inline capacity of [`TrafficList`].  A single simulated step rarely
+/// generates more than a couple of cross-socket transfers (one line
+/// transfer plus a synchronization message or two), so four inline slots
+/// keep the hot path allocation-free.
+const TRAFFIC_INLINE: usize = 4;
+
+/// The interconnect transfers of one step: a small-vector that stores the
+/// common case inline and spills to the heap only for unusually chatty
+/// steps.
+#[derive(Debug, Clone)]
+pub struct TrafficList {
+    len: u8,
+    inline: [Transfer; TRAFFIC_INLINE],
+    spill: Vec<Transfer>,
+}
+
+impl Default for TrafficList {
+    fn default() -> Self {
+        Self {
+            len: 0,
+            inline: [(SocketId(0), SocketId(0), 0); TRAFFIC_INLINE],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl TrafficList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a transfer.
+    #[inline]
+    pub fn push(&mut self, t: Transfer) {
+        let i = self.len as usize;
+        if i < TRAFFIC_INLINE {
+            self.inline[i] = t;
+            self.len += 1;
+        } else {
+            self.spill.push(t);
+        }
+    }
+
+    /// Number of transfers recorded.
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    /// Whether no transfer was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over the transfers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transfer> {
+        self.inline[..self.len as usize]
+            .iter()
+            .chain(self.spill.iter())
+    }
+
+    /// Drop all transfers (keeps the spill capacity).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a TrafficList {
+    type Item = &'a Transfer;
+    type IntoIter =
+        std::iter::Chain<std::slice::Iter<'a, Transfer>, std::slice::Iter<'a, Transfer>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline[..self.len as usize]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+impl serde::ser::Serialize for TrafficList {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.iter().map(serde::ser::Serialize::to_value).collect())
+    }
+}
+
+impl serde::de::Deserialize for TrafficList {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let items = <Vec<Transfer> as serde::de::Deserialize>::from_value(v)?;
+        let mut out = TrafficList::new();
+        for t in items {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
 /// Everything a single simulated step (action, transaction, or background
 /// task) accrues.  Produced by [`crate::SimCtx::finish`] and merged into the
 /// machine-wide counters.
@@ -156,7 +256,7 @@ pub struct Tally {
     /// Per-component breakdown of all cycles.
     pub breakdown: Breakdown,
     /// Interconnect traffic generated: (from socket, to socket, bytes).
-    pub traffic: Vec<(SocketId, SocketId, u64)>,
+    pub traffic: TrafficList,
     /// Bytes served from the local memory controller.
     pub local_memory_bytes: u64,
     /// Number of times this step had to wait for a contended line or

@@ -48,7 +48,9 @@ pub mod topology;
 pub use clock::{cycles_to_micros, cycles_to_secs, micros_to_cycles, secs_to_cycles, Cycles};
 pub use contention::{AccessKind, ContendedLine, SimResource, WaitMode};
 pub use cost::CostModel;
-pub use counters::{Breakdown, Component, CoreCounters, Tally, COMPONENT_COUNT};
+pub use counters::{
+    Breakdown, Component, CoreCounters, Tally, TrafficList, Transfer, COMPONENT_COUNT,
+};
 pub use ctx::SimCtx;
 pub use interconnect::Interconnect;
 pub use machine::Machine;

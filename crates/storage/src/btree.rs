@@ -27,6 +27,12 @@ const ORDER: usize = 64;
 pub struct BTree {
     root: Node,
     len: usize,
+    /// Cached height (1 = a single leaf).  Index-probe costs are charged
+    /// per level on every simulated access, so the height is maintained
+    /// incrementally instead of walked each time: it only changes on a
+    /// root split or a bulk rebuild (deletion is lazy and never shrinks
+    /// the tree).
+    height: usize,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,6 +67,7 @@ impl BTree {
         Self {
             root: Node::Leaf(Leaf::default()),
             len: 0,
+            height: 1,
         }
     }
 
@@ -76,7 +83,14 @@ impl BTree {
 
     /// Height of the tree (1 = a single leaf).  Index-probe costs charged by
     /// the table layer scale with this.
+    #[inline]
     pub fn height(&self) -> usize {
+        debug_assert_eq!(self.height, self.walk_height());
+        self.height
+    }
+
+    /// Height computed by walking the leftmost path (invariant check).
+    fn walk_height(&self) -> usize {
         let mut h = 1;
         let mut node = &self.root;
         while let Node::Internal(internal) = node {
@@ -135,6 +149,7 @@ impl BTree {
                 keys: vec![sep],
                 children: vec![old_root, right],
             });
+            self.height += 1;
         }
         if replaced.is_none() {
             self.len += 1;
@@ -226,8 +241,10 @@ impl BTree {
             leaves.push((first, Node::Leaf(Leaf { keys, values })));
         }
         // Build internal levels bottom-up.
+        let mut height = 1;
         let mut level = leaves;
         while level.len() > 1 {
+            height += 1;
             let per_node = (ORDER * 3 / 4).max(2);
             let mut next = Vec::with_capacity(level.len() / per_node + 1);
             let mut it = level.into_iter().peekable();
@@ -247,7 +264,7 @@ impl BTree {
             level = next;
         }
         let root = level.into_iter().next().map(|(_, n)| n).unwrap();
-        Self { root, len }
+        Self { root, len, height }
     }
 
     /// Split the tree at `boundary`: entries with keys `>= boundary` are
@@ -302,6 +319,13 @@ impl BTree {
             return Err(format!(
                 "len mismatch: counted {count}, stored {}",
                 self.len
+            ));
+        }
+        if self.height != self.walk_height() {
+            return Err(format!(
+                "height mismatch: cached {}, actual {}",
+                self.height,
+                self.walk_height()
             ));
         }
         self.root.check(None, None)

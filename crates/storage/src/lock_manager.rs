@@ -15,6 +15,74 @@ use crate::txn::{Txn, TxnId};
 use atrapos_numa::{Component, ContendedLine, Cycles, SimCtx, SocketId, WaitMode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, deterministic multiply-xor hasher (FxHash-style) for the lock
+/// tables.  Lock entries are probed four times per simulated action, and
+/// nothing observable depends on the map's iteration order, so trading
+/// SipHash's DoS resistance for speed is free here.  (The *bucket* hash of
+/// [`LockId::bucket_hash`] is unchanged — it feeds the simulation model.)
+#[derive(Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher64>;
 
 /// Instruction cost of a lock-table probe + queue manipulation.
 const LOCK_TABLE_WORK: u64 = 120;
@@ -45,7 +113,7 @@ struct LockEntry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Bucket {
     latch: ContendedLine,
-    entries: HashMap<LockId, LockEntry>,
+    entries: HashMap<LockId, LockEntry, FxBuild>,
 }
 
 /// A lock manager instance.
@@ -72,7 +140,7 @@ impl LockManager {
         let buckets = (0..n_buckets)
             .map(|i| Bucket {
                 latch: ContendedLine::new(SocketId((i % n_sockets.max(1)) as u16)),
-                entries: HashMap::new(),
+                entries: HashMap::default(),
             })
             .collect();
         Self {
@@ -90,7 +158,7 @@ impl LockManager {
             kind: LockManagerKind::PartitionLocal,
             buckets: vec![Bucket {
                 latch: ContendedLine::new(home),
-                entries: HashMap::new(),
+                entries: HashMap::default(),
             }],
             wait_mode: WaitMode::Stall,
             acquisitions: 0,
@@ -157,11 +225,14 @@ impl LockManager {
 
     /// Release every lock held by `txn` (strict two-phase locking at
     /// commit/abort).  Returns the cycles spent.
+    ///
+    /// The held-lock list is cleared in place (not taken), so a reused
+    /// transaction descriptor keeps its capacity and the next
+    /// transaction's lock bookkeeping is allocation-free.
     pub fn release_all(&mut self, ctx: &mut SimCtx<'_>, txn: &mut Txn) -> Cycles {
         let before = ctx.now();
-        let held = std::mem::take(&mut txn.held_locks);
-        for (id, mode) in held {
-            let b = self.bucket_index(&id);
+        for (id, mode) in &txn.held_locks {
+            let b = self.bucket_index(id);
             let bucket = &mut self.buckets[b];
             ctx.critical_section(
                 Component::Locking,
@@ -169,11 +240,11 @@ impl LockManager {
                 self.wait_mode,
                 LOCK_RELEASE_WORK,
             );
-            if let Some(entry) = bucket.entries.get_mut(&id) {
+            if let Some(entry) = bucket.entries.get_mut(id) {
                 if let Some(pos) = entry
                     .holders
                     .iter()
-                    .position(|(t, m)| *t == txn.id && *m == mode)
+                    .position(|(t, m)| *t == txn.id && *m == *mode)
                 {
                     entry.holders.swap_remove(pos);
                 }
@@ -185,6 +256,7 @@ impl LockManager {
                 }
             }
         }
+        txn.held_locks.clear();
         ctx.now() - before
     }
 

@@ -113,17 +113,33 @@ impl MrBTree {
     }
 
     /// The partition index responsible for `key`.
+    ///
+    /// Partition 0 is unbounded below and partitions 1.. carry strictly
+    /// increasing lower bounds (enforced at construction and by
+    /// `split_partition` / `merge_with_next`), so the last partition whose
+    /// lower bound is `<= key` is found by binary search rather than the
+    /// O(partitions) scan this used to be — `partition_for` runs twice per
+    /// simulated storage operation, which made it one of the hottest spots
+    /// of the whole simulator on many-core machines.
+    #[inline]
     pub fn partition_for(&self, key: &Key) -> usize {
-        // Find the last partition whose lower bound is <= key.
-        let mut idx = 0;
-        for (i, p) in self.partitions.iter().enumerate() {
-            match &p.lower {
-                None => idx = i.max(idx),
-                Some(lower) if lower <= key => idx = i,
-                Some(_) => break,
+        // First index in 1.. whose lower bound exceeds `key`; the owner is
+        // the partition just before it.
+        let mut lo = 1usize;
+        let mut hi = self.partitions.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let above = match &self.partitions[mid].lower {
+                Some(lower) => lower > key,
+                None => false,
+            };
+            if above {
+                hi = mid;
+            } else {
+                lo = mid + 1;
             }
         }
-        idx
+        lo - 1
     }
 
     /// Inclusive lower bound of partition `idx` (`None` = unbounded).
@@ -138,12 +154,25 @@ impl MrBTree {
 
     /// Look up a key.
     pub fn get(&self, key: &Key) -> Option<&Record> {
-        self.partitions[self.partition_for(key)].tree.get(key)
+        self.get_in(self.partition_for(key), key)
+    }
+
+    /// Look up a key within a known partition (callers that already routed
+    /// the key avoid a second `partition_for`).
+    #[inline]
+    pub fn get_in(&self, idx: usize, key: &Key) -> Option<&Record> {
+        self.partitions[idx].tree.get(key)
     }
 
     /// Mutable lookup.
     pub fn get_mut(&mut self, key: &Key) -> Option<&mut Record> {
         let idx = self.partition_for(key);
+        self.get_mut_in(idx, key)
+    }
+
+    /// Mutable lookup within a known partition.
+    #[inline]
+    pub fn get_mut_in(&mut self, idx: usize, key: &Key) -> Option<&mut Record> {
         self.partitions[idx].tree.get_mut(key)
     }
 
@@ -155,7 +184,21 @@ impl MrBTree {
     /// Insert a key/record pair, returning the replaced record if any.
     pub fn insert(&mut self, key: Key, record: Record) -> Option<Record> {
         let idx = self.partition_for(&key);
+        self.insert_in(idx, key, record)
+    }
+
+    /// Insert within a known partition (must be `partition_for(&key)`).
+    #[inline]
+    pub fn insert_in(&mut self, idx: usize, key: Key, record: Record) -> Option<Record> {
+        debug_assert_eq!(idx, self.partition_for(&key));
         self.partitions[idx].tree.insert(key, record)
+    }
+
+    /// Remove within a known partition (must be `partition_for(key)`).
+    #[inline]
+    pub fn remove_in(&mut self, idx: usize, key: &Key) -> Option<Record> {
+        debug_assert_eq!(idx, self.partition_for(key));
+        self.partitions[idx].tree.remove(key)
     }
 
     /// Remove a key, returning the removed record if any.

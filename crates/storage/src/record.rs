@@ -123,8 +123,42 @@ impl fmt::Display for Value {
 }
 
 /// A (possibly composite) key: the primary-key column values in key order.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
-pub struct Key(Vec<KeyValue>);
+///
+/// All-integer keys of up to four components — every key of the built-in
+/// workloads, from TATP subscriber ids to TPC-C's
+/// `(w_id, d_id, o_id, ol_number)` order-line range bounds — are stored
+/// inline with no heap allocation, so constructing, cloning, and hashing
+/// them on the per-action hot path is allocation-free.
+/// Anything else (text components, wider composites) falls back to a
+/// general heap-backed representation.  Constructors normalize, so equal
+/// keys always use the same representation.
+#[derive(Debug, Clone)]
+pub struct Key(KeyRepr);
+
+#[derive(Debug, Clone)]
+enum KeyRepr {
+    /// Up to four integer components, stored inline.
+    Ints { len: u8, vals: [i64; INLINE_INTS] },
+    /// General composite key.
+    General(Vec<KeyValue>),
+}
+
+/// Maximum number of components of the inline all-integer representation.
+/// Four covers every key of the built-in workloads (the widest are TPC-C's
+/// `(w_id, d_id, o_id, ol_number)` order-line range bounds).
+const INLINE_INTS: usize = 4;
+
+/// A borrowed view of one key component, used to compare and hash keys
+/// uniformly across representations.  The variant order matches
+/// [`KeyValue`] so ordering agrees with the historical derived order
+/// (integers sort before text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum CompRef<'a> {
+    /// Integer component.
+    Int(i64),
+    /// Text component.
+    Text(&'a str),
+}
 
 /// Key-safe value (hashable); floats are not allowed in keys.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
@@ -158,51 +192,106 @@ impl Key {
     /// Build a key from raw values.
     pub fn from(values: Vec<Value>) -> Self {
         assert!(!values.is_empty(), "keys must have at least one component");
-        Key(values.into_iter().map(KeyValue::from).collect())
+        if values.len() <= INLINE_INTS && values.iter().all(|v| matches!(v, Value::Int(_))) {
+            let mut vals = [0i64; INLINE_INTS];
+            for (i, v) in values.iter().enumerate() {
+                vals[i] = match v {
+                    Value::Int(x) => *x,
+                    _ => unreachable!(),
+                };
+            }
+            return Key(KeyRepr::Ints {
+                len: values.len() as u8,
+                vals,
+            });
+        }
+        Key(KeyRepr::General(
+            values.into_iter().map(KeyValue::from).collect(),
+        ))
     }
 
     /// A single-integer key (the common case for the microbenchmarks and
-    /// TATP).
+    /// TATP).  Allocation-free.
+    #[inline]
     pub fn int(v: i64) -> Self {
-        Key(vec![KeyValue::Int(v)])
+        let mut vals = [0i64; INLINE_INTS];
+        vals[0] = v;
+        Key(KeyRepr::Ints { len: 1, vals })
     }
 
     /// A composite integer key (e.g. TPC-C `(w_id, d_id, o_id)`).
+    /// Allocation-free up to four components.
     pub fn ints(vs: &[i64]) -> Self {
         assert!(!vs.is_empty());
-        Key(vs.iter().map(|&v| KeyValue::Int(v)).collect())
+        if vs.len() <= INLINE_INTS {
+            let mut vals = [0i64; INLINE_INTS];
+            vals[..vs.len()].copy_from_slice(vs);
+            Key(KeyRepr::Ints {
+                len: vs.len() as u8,
+                vals,
+            })
+        } else {
+            Key(KeyRepr::General(
+                vs.iter().map(|&v| KeyValue::Int(v)).collect(),
+            ))
+        }
     }
 
-    /// Key components.
-    pub fn components(&self) -> &[KeyValue] {
-        &self.0
+    /// Key components, materialized (keys with inline integer storage have
+    /// no `KeyValue` slice to borrow).
+    pub fn components(&self) -> Vec<KeyValue> {
+        (0..self.len())
+            .map(|i| match self.comp(i) {
+                CompRef::Int(v) => KeyValue::Int(v),
+                CompRef::Text(s) => KeyValue::Text(s.to_string()),
+            })
+            .collect()
+    }
+
+    /// Borrow component `i`.
+    #[inline]
+    fn comp(&self, i: usize) -> CompRef<'_> {
+        match &self.0 {
+            KeyRepr::Ints { len, vals } => {
+                assert!(i < *len as usize, "key component out of range");
+                CompRef::Int(vals[i])
+            }
+            KeyRepr::General(vs) => match &vs[i] {
+                KeyValue::Int(v) => CompRef::Int(*v),
+                KeyValue::Text(s) => CompRef::Text(s),
+            },
+        }
     }
 
     /// First component as an integer (panics if not an int key).
+    #[inline]
     pub fn head_int(&self) -> i64 {
-        match &self.0[0] {
-            KeyValue::Int(v) => *v,
-            other => panic!("expected Int key head, got {other:?}"),
+        match self.comp(0) {
+            CompRef::Int(v) => v,
+            CompRef::Text(s) => panic!("expected Int key head, got Text({s:?})"),
         }
     }
 
     /// Number of components.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            KeyRepr::Ints { len, .. } => *len as usize,
+            KeyRepr::General(vs) => vs.len(),
+        }
     }
 
     /// Whether the key has no components (never true for constructed keys).
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Approximate encoded size in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.0
-            .iter()
-            .map(|v| match v {
-                KeyValue::Int(_) => 8,
-                KeyValue::Text(s) => s.len() as u64,
+        (0..self.len())
+            .map(|i| match self.comp(i) {
+                CompRef::Int(_) => 8,
+                CompRef::Text(s) => s.len() as u64,
             })
             .sum()
     }
@@ -210,16 +299,16 @@ impl Key {
     /// Serialize into an order-preserving byte string (useful for debugging
     /// and for hashing keys across instance boundaries).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 * self.0.len());
-        for v in &self.0 {
-            match v {
-                KeyValue::Int(i) => {
+        let mut buf = BytesMut::with_capacity(16 * self.len());
+        for i in 0..self.len() {
+            match self.comp(i) {
+                CompRef::Int(i) => {
                     buf.put_u8(0x01);
                     // Flip the sign bit so that the byte order matches the
                     // numeric order.
-                    buf.put_u64((*i as u64) ^ (1 << 63));
+                    buf.put_u64((i as u64) ^ (1 << 63));
                 }
-                KeyValue::Text(s) => {
+                CompRef::Text(s) => {
                     buf.put_u8(0x02);
                     buf.put_slice(s.as_bytes());
                     buf.put_u8(0x00);
@@ -230,16 +319,115 @@ impl Key {
     }
 }
 
+impl PartialEq for Key {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // The all-int inline × inline case is the hot path (B-tree probes,
+        // lock-table lookups); compare it without the component indirection.
+        match (&self.0, &other.0) {
+            (KeyRepr::Ints { len: la, vals: va }, KeyRepr::Ints { len: lb, vals: vb }) => {
+                la == lb && va[..*la as usize] == vb[..*lb as usize]
+            }
+            _ => {
+                self.len() == other.len() && (0..self.len()).all(|i| self.comp(i) == other.comp(i))
+            }
+        }
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lexicographic over components, exactly as the historical
+        // `Vec<KeyValue>` derive ordered keys.
+        match (&self.0, &other.0) {
+            (KeyRepr::Ints { len: la, vals: va }, KeyRepr::Ints { len: lb, vals: vb }) => {
+                va[..*la as usize].cmp(&vb[..*lb as usize])
+            }
+            _ => {
+                let (n, m) = (self.len(), other.len());
+                for i in 0..n.min(m) {
+                    match self.comp(i).cmp(&other.comp(i)) {
+                        Ordering::Equal => continue,
+                        ne => return ne,
+                    }
+                }
+                n.cmp(&m)
+            }
+        }
+    }
+}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Feed the hasher exactly the bytes the historical
+        // `derive(Hash)` over `Vec<KeyValue>` fed it: the length prefix
+        // followed by each component's derived hash.  Lock-manager bucket
+        // assignment is derived from this hash with a fixed-key hasher, so
+        // preserving the byte stream preserves the simulated bucket
+        // contention (and therefore the simulation results) bit for bit.
+        match &self.0 {
+            KeyRepr::General(vs) => vs.hash(state),
+            KeyRepr::Ints { len, vals } => {
+                let n = *len as usize;
+                // `<[T]>::hash` length prefix (`write_length_prefix`
+                // defaults to `write_usize`; the std hashers don't
+                // override it).
+                state.write_usize(n);
+                for v in &vals[..n] {
+                    KeyValue::Int(*v).hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl serde::ser::Serialize for Key {
+    fn to_value(&self) -> serde::Value {
+        // Same external shape as the historical transparent newtype over
+        // `Vec<KeyValue>`: an array of externally tagged components.
+        serde::Value::Array(
+            (0..self.len())
+                .map(|i| match self.comp(i) {
+                    CompRef::Int(v) => serde::ser::Serialize::to_value(&KeyValue::Int(v)),
+                    CompRef::Text(s) => {
+                        serde::ser::Serialize::to_value(&KeyValue::Text(s.to_string()))
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+impl serde::de::Deserialize for Key {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let comps = <Vec<KeyValue> as serde::de::Deserialize>::from_value(v)?;
+        if comps.is_empty() {
+            return Err(serde::Error::new("keys must have at least one component"));
+        }
+        Ok(Key::from(comps.into_iter().map(Value::from).collect()))
+    }
+}
+
 impl fmt::Display for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for i in 0..self.len() {
             if i > 0 {
                 write!(f, ",")?;
             }
-            match v {
-                KeyValue::Int(x) => write!(f, "{x}")?,
-                KeyValue::Text(s) => write!(f, "'{s}'")?,
+            match self.comp(i) {
+                CompRef::Int(x) => write!(f, "{x}")?,
+                CompRef::Text(s) => write!(f, "'{s}'")?,
             }
         }
         write!(f, ")")

@@ -124,14 +124,15 @@ impl Table {
         );
     }
 
-    /// Read a record by primary key.
-    pub fn read(&self, ctx: &mut SimCtx<'_>, key: &Key) -> StorageResult<Record> {
+    /// Read a record by primary key.  Returns a borrow — the hot path only
+    /// inspects the record (sizes, column values); callers that need an
+    /// owned copy clone at the call site.
+    pub fn read(&self, ctx: &mut SimCtx<'_>, key: &Key) -> StorageResult<&Record> {
         let partition = self.index.partition_for(key);
         self.charge_probe(ctx, partition);
         ctx.work(Component::XctExecution, TUPLE_WORK_INSTRUCTIONS);
         self.index
-            .get(key)
-            .cloned()
+            .get_in(partition, key)
             .ok_or_else(|| StorageError::KeyNotFound {
                 table: self.id,
                 key: key.clone(),
@@ -151,13 +152,13 @@ impl Table {
             Component::XctExecution,
             TUPLE_WORK_INSTRUCTIONS + 30 * changes.len() as u64,
         );
-        let record = self
-            .index
-            .get_mut(key)
-            .ok_or_else(|| StorageError::KeyNotFound {
-                table: self.id,
-                key: key.clone(),
-            })?;
+        let record =
+            self.index
+                .get_mut_in(partition, key)
+                .ok_or_else(|| StorageError::KeyNotFound {
+                    table: self.id,
+                    key: key.clone(),
+                })?;
         for (col, value) in changes {
             record.set(*col, value.clone());
         }
@@ -180,7 +181,11 @@ impl Table {
             Component::XctExecution,
             TUPLE_WORK_INSTRUCTIONS + STRUCTURE_CHANGE_INSTRUCTIONS,
         );
-        if self.index.insert(key.clone(), record).is_some() {
+        if self
+            .index
+            .insert_in(partition, key.clone(), record)
+            .is_some()
+        {
             return Err(StorageError::DuplicateKey {
                 table: self.id,
                 key,
@@ -198,27 +203,28 @@ impl Table {
             TUPLE_WORK_INSTRUCTIONS + STRUCTURE_CHANGE_INSTRUCTIONS,
         );
         self.index
-            .remove(key)
+            .remove_in(partition, key)
             .ok_or_else(|| StorageError::KeyNotFound {
                 table: self.id,
                 key: key.clone(),
             })
     }
 
-    /// Read up to `limit` records with keys in `[from, to)`.
+    /// Read up to `limit` records with keys in `[from, to)`.  Returns
+    /// borrows for the same reason as [`Table::read`].
     pub fn range_read(
         &self,
         ctx: &mut SimCtx<'_>,
         from: Option<&Key>,
         to: Option<&Key>,
         limit: usize,
-    ) -> Vec<Record> {
-        let rows: Vec<Record> = self
+    ) -> Vec<&Record> {
+        let rows: Vec<&Record> = self
             .index
             .range(from, to)
             .into_iter()
             .take(limit)
-            .map(|(_, r)| r.clone())
+            .map(|(_, r)| r)
             .collect();
         // Charge a probe on the first relevant partition plus streaming cost
         // for the scanned rows.

@@ -47,6 +47,18 @@ impl Txn {
         }
     }
 
+    /// Reset this descriptor for reuse as a fresh, active transaction.
+    /// Keeps the held-lock list's capacity, so executors that pump many
+    /// transactions through one descriptor allocate nothing per
+    /// transaction.
+    pub fn reset(&mut self, id: TxnId) {
+        self.id = id;
+        self.state = TxnState::Active;
+        self.held_locks.clear();
+        self.log_bytes = 0;
+        self.distributed = false;
+    }
+
     /// Record a granted lock.
     pub fn add_lock(&mut self, id: LockId, mode: LockMode) {
         self.held_locks.push((id, mode));

@@ -1,0 +1,269 @@
+//! Model-based property tests: the storage structures against naive
+//! oracles.
+//!
+//! * The B+-tree (and its repartitioning actions `split_off` /
+//!   `merge_from`) is driven against a `std::collections::BTreeMap` under
+//!   random operation sequences that include range scans and structural
+//!   splits/merges — if the tree and the ordered map ever disagree on any
+//!   observable, the sequence shrinks to a minimal reproducer.
+//! * The lock manager is driven against a naive lock-table oracle that
+//!   tracks, per lock, exactly which transactions hold it in which mode,
+//!   and per transaction the set of grants — verifying holder sets, the
+//!   upgrade fast path, release-all semantics, and the grant-compatibility
+//!   invariant after every step.
+
+use atrapos_numa::{CoreId, CostModel, SimCtx, Topology};
+use atrapos_storage::{
+    BTree, Key, LockId, LockManager, LockMode, Record, TableId, Txn, TxnId, Value,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+fn record_for(key: i64, payload: i64) -> Record {
+    Record::new(vec![Value::Int(key), Value::Int(payload)])
+}
+
+/// Operations of the B+-tree model workload.  `SplitMerge` performs the
+/// physical repartitioning round-trip (split at a boundary, then merge the
+/// right half back), which must be a no-op on the logical contents.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(i64, i64),
+    Remove(i64),
+    Get(i64),
+    Range(i64, i64),
+    SplitMerge(i64),
+}
+
+fn tree_op_strategy(key_range: i64) -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        4 => (0..key_range, any::<i64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        2 => (0..key_range).prop_map(TreeOp::Remove),
+        2 => (0..key_range).prop_map(TreeOp::Get),
+        1 => (0..key_range, 0..key_range).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+        1 => (0..key_range).prop_map(TreeOp::SplitMerge),
+    ]
+}
+
+proptest! {
+    /// The tree agrees with the ordered-map model on every lookup, range
+    /// scan, and iteration — even with structural splits and merges
+    /// interleaved.
+    #[test]
+    fn btree_with_splits_matches_ordered_map(
+        ops in prop::collection::vec(tree_op_strategy(256), 1..300),
+    ) {
+        let mut tree = BTree::new();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let a = tree.insert(Key::int(k), record_for(k, v)).is_some();
+                    let b = model.insert(k, v).is_some();
+                    prop_assert_eq!(a, b);
+                }
+                TreeOp::Remove(k) => {
+                    let a = tree.remove(&Key::int(k)).is_some();
+                    let b = model.remove(&k).is_some();
+                    prop_assert_eq!(a, b);
+                }
+                TreeOp::Get(k) => {
+                    let a = tree.get(&Key::int(k)).map(|r| r.get(1).as_int());
+                    let b = model.get(&k).copied();
+                    prop_assert_eq!(a, b);
+                }
+                TreeOp::Range(lo, hi) => {
+                    let a: Vec<(i64, i64)> = tree
+                        .range(Some(&Key::int(lo)), Some(&Key::int(hi)))
+                        .into_iter()
+                        .map(|(k, r)| (k.head_int(), r.get(1).as_int()))
+                        .collect();
+                    let b: Vec<(i64, i64)> =
+                        model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(a, b);
+                }
+                TreeOp::SplitMerge(boundary) => {
+                    let right = tree.split_off(&Key::int(boundary));
+                    // Both halves are well-formed and partition the keys.
+                    prop_assert!(tree.iter().all(|(k, _)| k < &Key::int(boundary)));
+                    prop_assert!(right.iter().all(|(k, _)| k >= &Key::int(boundary)));
+                    tree.merge_from(right);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        let a: Vec<(i64, i64)> = tree
+            .iter()
+            .map(|(k, r)| (k.head_int(), r.get(1).as_int()))
+            .collect();
+        let b: Vec<(i64, i64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lock manager vs. naive oracle
+// ----------------------------------------------------------------------
+
+/// The naive oracle: per lock the exact multiset of (txn, mode) grants,
+/// per transaction its grant list in acquisition order.
+#[derive(Debug, Default)]
+struct LockOracle {
+    holders: HashMap<LockId, Vec<(TxnId, LockMode)>>,
+    held: BTreeMap<TxnId, Vec<(LockId, LockMode)>>,
+}
+
+impl LockOracle {
+    /// Whether `txn` already holds `id` in a mode at least as strong as
+    /// `mode` (the upgrade fast path must skip the acquisition).
+    fn holds(&self, txn: TxnId, id: &LockId, mode: LockMode) -> bool {
+        self.held
+            .get(&txn)
+            .map(|locks| {
+                locks.iter().any(|(held, m)| {
+                    held == id && (*m == mode || (m.is_exclusive() && !mode.is_exclusive()))
+                })
+            })
+            .unwrap_or(false)
+    }
+
+    fn grant(&mut self, txn: TxnId, id: LockId, mode: LockMode) {
+        self.holders
+            .entry(id.clone())
+            .or_default()
+            .push((txn, mode));
+        self.held.entry(txn).or_default().push((id, mode));
+    }
+
+    fn release_all(&mut self, txn: TxnId) {
+        for (id, mode) in self.held.remove(&txn).unwrap_or_default() {
+            if let Some(hs) = self.holders.get_mut(&id) {
+                if let Some(pos) = hs.iter().position(|(t, m)| *t == txn && *m == mode) {
+                    hs.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    fn sorted_holders(&self, id: &LockId) -> Vec<(TxnId, LockMode)> {
+        let mut v = self.holders.get(id).cloned().unwrap_or_default();
+        v.sort_by_key(|(t, m)| (*t, format!("{m:?}")));
+        v
+    }
+}
+
+fn lock_id(l: u8) -> LockId {
+    if l < 3 {
+        LockId::Table(TableId(u32::from(l)))
+    } else {
+        LockId::Record(TableId(u32::from(l % 3)), Key::int(i64::from(l)))
+    }
+}
+
+fn lock_mode(m: u8) -> LockMode {
+    match m {
+        0 => LockMode::IS,
+        1 => LockMode::IX,
+        2 => LockMode::S,
+        _ => LockMode::X,
+    }
+}
+
+proptest! {
+    /// Transactions acquire batches of locks and release them all at
+    /// commit — the exact pattern the execution designs use (strict 2PL,
+    /// with each `execute` call fully releasing before the next begins).
+    /// The lock manager's observable state — holder sets, per-transaction
+    /// grant lists, the upgrade fast path, acquisition counts, wait
+    /// accounting, and the grant-compatibility invariant — must match the
+    /// naive oracle at every step.
+    #[test]
+    fn lock_manager_matches_naive_oracle(
+        centralized in any::<bool>(),
+        txn_batches in prop::collection::vec(
+            prop::collection::vec((0..12u8, 0..4u8), 1..10),
+            1..40,
+        ),
+    ) {
+        let topo = Topology::multisocket(4, 2);
+        let cost = CostModel::westmere();
+        let mut lm = if centralized {
+            LockManager::centralized(16, 4)
+        } else {
+            LockManager::partition_local(atrapos_numa::SocketId(0))
+        };
+        let mut oracle = LockOracle::default();
+        // Locks a previous transaction has held exclusively (or at all, for
+        // X requests): the only locks a later request may ever wait on.
+        let mut ever_exclusive: Vec<bool> = vec![false; 12];
+        let mut ever_held: Vec<bool> = vec![false; 12];
+        let mut now = 0;
+
+        for (i, batch) in txn_batches.iter().enumerate() {
+            let mut txn = Txn::begin(TxnId(i as u64 + 1));
+            let core = CoreId(((i % 4) * 2) as u32);
+            for &(l, m) in batch {
+                let id = lock_id(l);
+                let mode = lock_mode(m);
+                let expect_fast_path = oracle.holds(txn.id, &id, mode);
+                prop_assert_eq!(
+                    expect_fast_path,
+                    txn.holds(&id, mode),
+                    "oracle and Txn::holds disagree"
+                );
+                let acquisitions_before = lm.acquisitions;
+                let waits_before = lm.logical_waits;
+                let mut ctx = SimCtx::new(&topo, &cost, core, now);
+                lm.acquire(&mut ctx, &mut txn, id.clone(), mode);
+                now = ctx.now();
+                if expect_fast_path {
+                    prop_assert_eq!(lm.acquisitions, acquisitions_before,
+                        "upgrade fast path re-acquired");
+                    prop_assert_eq!(lm.logical_waits, waits_before);
+                } else {
+                    prop_assert_eq!(lm.acquisitions, acquisitions_before + 1);
+                    oracle.grant(txn.id, id.clone(), mode);
+                    // A request can only wait on occupancy a previous
+                    // holder left behind.
+                    let could_wait = if mode == LockMode::X {
+                        ever_held[l as usize]
+                    } else {
+                        ever_exclusive[l as usize]
+                    };
+                    if !could_wait {
+                        prop_assert_eq!(lm.logical_waits, waits_before,
+                            "waited on a never-contended lock");
+                    }
+                }
+                // Holder multisets agree.
+                let mut got = lm.holders_of(&id);
+                got.sort_by_key(|(t, m)| (*t, format!("{m:?}")));
+                prop_assert_eq!(got, oracle.sorted_holders(&id));
+                // The transaction's grant list agrees exactly (order
+                // preserved).
+                let want = oracle.held.get(&txn.id).cloned().unwrap_or_default();
+                prop_assert_eq!(&txn.held_locks, &want);
+                lm.check_grant_invariants().map_err(TestCaseError::fail)?;
+            }
+            // Commit: strict 2PL releases everything.
+            for (l, m) in batch {
+                ever_held[*l as usize] = true;
+                if lock_mode(*m).is_exclusive() {
+                    ever_exclusive[*l as usize] = true;
+                }
+            }
+            let mut ctx = SimCtx::new(&topo, &cost, core, now);
+            lm.release_all(&mut ctx, &mut txn);
+            now = ctx.now();
+            oracle.release_all(txn.id);
+            prop_assert!(txn.held_locks.is_empty());
+            for l in 0..12u8 {
+                prop_assert!(
+                    lm.holders_of(&lock_id(l)).is_empty(),
+                    "holders survive release_all"
+                );
+            }
+        }
+    }
+}

@@ -2,7 +2,6 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 // The distribution type moved to `atrapos-core` so the engine's typed
 // reconfiguration channel (`WorkloadChange`) can carry it; re-exported here
@@ -10,19 +9,65 @@ use serde::{Deserialize, Serialize};
 pub use atrapos_core::KeyDistribution;
 
 /// A weighted transaction mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The cumulative-weight table is precomputed once per mix change, so
+/// drawing is a binary search instead of the per-transaction linear walk
+/// over the entries it used to be — the selection logic runs once per
+/// mix, not once per transaction.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mix<T: Clone> {
     entries: Vec<(T, f64)>,
+    /// `cumulative[i]` = sum of the first `i + 1` weights.  Derived from
+    /// `entries`; rebuilt (never trusted from a file) on deserialization.
+    cumulative: Vec<f64>,
     total: f64,
+}
+
+impl<T: Clone + serde::ser::Serialize> serde::ser::Serialize for Mix<T> {
+    fn to_value(&self) -> serde::Value {
+        // Only the entries go on the wire (the historical format); the
+        // cumulative table and total are derived state.
+        serde::Value::Object(vec![(
+            "entries".to_string(),
+            serde::ser::Serialize::to_value(&self.entries),
+        )])
+    }
+}
+
+impl<T: Clone + serde::de::Deserialize> serde::de::Deserialize for Mix<T> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .get("entries")
+            .ok_or_else(|| serde::Error::new("Mix: missing field 'entries'"))?;
+        let entries: Vec<(T, f64)> = serde::de::Deserialize::from_value(entries)?;
+        if entries.is_empty() {
+            return Err(serde::Error::new("Mix: needs at least one entry"));
+        }
+        if entries.iter().map(|(_, w)| w).sum::<f64>() <= 0.0 {
+            return Err(serde::Error::new(
+                "Mix: weights must sum to a positive value",
+            ));
+        }
+        Ok(Mix::new(entries))
+    }
 }
 
 impl<T: Clone> Mix<T> {
     /// Build a mix from `(item, weight)` pairs.
     pub fn new(entries: Vec<(T, f64)>) -> Self {
         assert!(!entries.is_empty(), "a mix needs at least one entry");
-        let total = entries.iter().map(|(_, w)| w).sum();
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut total = 0.0;
+        for (_, w) in &entries {
+            total += w;
+            cumulative.push(total);
+        }
         assert!(total > 0.0, "mix weights must sum to a positive value");
-        Self { entries, total }
+        Self {
+            entries,
+            cumulative,
+            total,
+        }
     }
 
     /// A mix that always picks `item`.
@@ -30,16 +75,12 @@ impl<T: Clone> Mix<T> {
         Self::new(vec![(item, 1.0)])
     }
 
-    /// Draw one item.
+    /// Draw one item: the first entry whose cumulative weight exceeds the
+    /// draw (identical selection to walking the weights in order).
     pub fn pick(&self, rng: &mut SmallRng) -> T {
-        let mut x = rng.gen_range(0.0..self.total);
-        for (item, w) in &self.entries {
-            if x < *w {
-                return item.clone();
-            }
-            x -= w;
-        }
-        self.entries.last().expect("non-empty").0.clone()
+        let x = rng.gen_range(0.0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        self.entries[idx.min(self.entries.len() - 1)].0.clone()
     }
 
     /// The entries of the mix.

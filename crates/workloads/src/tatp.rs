@@ -16,7 +16,7 @@
 use crate::generator::{KeyDistribution, Mix};
 use atrapos_core::KeyDomain;
 use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
-use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
+use atrapos_engine::{Action, ActionOp, TableSpec, TransactionSpec, Workload};
 use atrapos_numa::CoreId;
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
 use rand::rngs::SmallRng;
@@ -167,96 +167,104 @@ impl Tatp {
     }
 
     fn build(&self, txn: TatpTxn, rng: &mut SmallRng) -> TransactionSpec {
+        let mut spec = TransactionSpec::empty();
+        self.build_into(txn, rng, &mut spec);
+        spec
+    }
+
+    /// Build a transaction of type `txn` into a reusable spec buffer.
+    /// Draws from `rng` in the exact order the by-value builder always
+    /// did, so generation stays bit-for-bit reproducible.
+    fn build_into(&self, txn: TatpTxn, rng: &mut SmallRng, spec: &mut TransactionSpec) {
         let s = self.subscriber_id(rng);
         match txn {
-            TatpTxn::GetSubscriberData => TransactionSpec::single_phase(
-                "GetSubData",
-                vec![Action::new(ActionOp::Read {
+            TatpTxn::GetSubscriberData => {
+                let mut w = spec.refill("GetSubData");
+                w.phase().push(Action::new(ActionOp::Read {
                     table: SUBSCRIBER,
                     key: Key::int(s),
-                })],
-            ),
-            TatpTxn::GetAccessData => TransactionSpec::single_phase(
-                "GetAccData",
-                vec![Action::new(ActionOp::Read {
+                }));
+                w.finish();
+            }
+            TatpTxn::GetAccessData => {
+                let mut w = spec.refill("GetAccData");
+                w.phase().push(Action::new(ActionOp::Read {
                     table: ACCESS_INFO,
                     key: Key::ints(&[s, 1]),
-                })],
-            ),
-            TatpTxn::GetNewDestination => TransactionSpec::new(
-                "GetNewDest",
-                vec![
-                    Phase::new(vec![Action::new(ActionOp::Read {
-                        table: SPECIAL_FACILITY,
-                        key: Key::ints(&[s, 1]),
-                    })]),
-                    Phase::new(vec![Action::new(ActionOp::Read {
-                        table: CALL_FORWARDING,
-                        key: Key::ints(&[s, 1, 0]),
-                    })]),
-                ],
-            ),
-            TatpTxn::UpdateSubscriberData => TransactionSpec::new(
-                "UpdSubData",
-                vec![Phase::new(vec![
-                    Action::new(ActionOp::Update {
-                        table: SUBSCRIBER,
-                        key: Key::int(s),
-                        changes: vec![(2, Value::Int(rng.gen_range(0..2)))],
-                    }),
-                    Action::new(ActionOp::Update {
-                        table: SPECIAL_FACILITY,
-                        key: Key::ints(&[s, 1]),
-                        changes: vec![(3, Value::Int(rng.gen_range(0..256)))],
-                    }),
-                ])],
-            ),
-            TatpTxn::UpdateLocation => TransactionSpec::single_phase(
-                "UpdLocation",
-                vec![Action::new(ActionOp::Update {
+                }));
+                w.finish();
+            }
+            TatpTxn::GetNewDestination => {
+                let mut w = spec.refill("GetNewDest");
+                w.phase().push(Action::new(ActionOp::Read {
+                    table: SPECIAL_FACILITY,
+                    key: Key::ints(&[s, 1]),
+                }));
+                w.phase().push(Action::new(ActionOp::Read {
+                    table: CALL_FORWARDING,
+                    key: Key::ints(&[s, 1, 0]),
+                }));
+                w.finish();
+            }
+            TatpTxn::UpdateSubscriberData => {
+                let mut w = spec.refill("UpdSubData");
+                let phase = w.phase();
+                phase.push(Action::new(ActionOp::Update {
+                    table: SUBSCRIBER,
+                    key: Key::int(s),
+                    changes: vec![(2, Value::Int(rng.gen_range(0..2)))],
+                }));
+                phase.push(Action::new(ActionOp::Update {
+                    table: SPECIAL_FACILITY,
+                    key: Key::ints(&[s, 1]),
+                    changes: vec![(3, Value::Int(rng.gen_range(0..256)))],
+                }));
+                w.finish();
+            }
+            TatpTxn::UpdateLocation => {
+                let mut w = spec.refill("UpdLocation");
+                w.phase().push(Action::new(ActionOp::Update {
                     table: SUBSCRIBER,
                     key: Key::int(s),
                     changes: vec![(4, Value::Int(rng.gen_range(0..1 << 30)))],
-                })],
-            ),
-            TatpTxn::InsertCallForwarding => TransactionSpec::new(
-                "InsCallFwd",
-                vec![
-                    Phase::new(vec![
-                        Action::new(ActionOp::Read {
-                            table: SUBSCRIBER,
-                            key: Key::int(s),
-                        }),
-                        Action::new(ActionOp::Read {
-                            table: SPECIAL_FACILITY,
-                            key: Key::ints(&[s, 1]),
-                        }),
+                }));
+                w.finish();
+            }
+            TatpTxn::InsertCallForwarding => {
+                let mut w = spec.refill("InsCallFwd");
+                let phase = w.phase();
+                phase.push(Action::new(ActionOp::Read {
+                    table: SUBSCRIBER,
+                    key: Key::int(s),
+                }));
+                phase.push(Action::new(ActionOp::Read {
+                    table: SPECIAL_FACILITY,
+                    key: Key::ints(&[s, 1]),
+                }));
+                w.phase().push(Action::new(ActionOp::Insert {
+                    table: CALL_FORWARDING,
+                    record: Record::new(vec![
+                        Value::Int(s),
+                        Value::Int(1),
+                        Value::Int(8 * rng.gen_range(1i64..3)),
+                        Value::Int(24),
+                        Value::from("5551234"),
                     ]),
-                    Phase::new(vec![Action::new(ActionOp::Insert {
-                        table: CALL_FORWARDING,
-                        record: Record::new(vec![
-                            Value::Int(s),
-                            Value::Int(1),
-                            Value::Int(8 * rng.gen_range(1i64..3)),
-                            Value::Int(24),
-                            Value::from("5551234"),
-                        ]),
-                    })]),
-                ],
-            ),
-            TatpTxn::DeleteCallForwarding => TransactionSpec::new(
-                "DelCallFwd",
-                vec![
-                    Phase::new(vec![Action::new(ActionOp::Read {
-                        table: SUBSCRIBER,
-                        key: Key::int(s),
-                    })]),
-                    Phase::new(vec![Action::new(ActionOp::Delete {
-                        table: CALL_FORWARDING,
-                        key: Key::ints(&[s, 1, 8 * rng.gen_range(1i64..3)]),
-                    })]),
-                ],
-            ),
+                }));
+                w.finish();
+            }
+            TatpTxn::DeleteCallForwarding => {
+                let mut w = spec.refill("DelCallFwd");
+                w.phase().push(Action::new(ActionOp::Read {
+                    table: SUBSCRIBER,
+                    key: Key::int(s),
+                }));
+                w.phase().push(Action::new(ActionOp::Delete {
+                    table: CALL_FORWARDING,
+                    key: Key::ints(&[s, 1, 8 * rng.gen_range(1i64..3)]),
+                }));
+                w.finish();
+            }
         }
     }
 }
@@ -418,6 +426,16 @@ impl Workload for Tatp {
     fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
         let txn = self.mix.pick(rng);
         self.build(txn, rng)
+    }
+
+    fn next_transaction_into(
+        &mut self,
+        rng: &mut SmallRng,
+        _client: CoreId,
+        spec: &mut TransactionSpec,
+    ) {
+        let txn = self.mix.pick(rng);
+        self.build_into(txn, rng, spec);
     }
 
     fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {

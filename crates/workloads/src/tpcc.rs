@@ -139,6 +139,8 @@ pub struct Tpcc {
     undelivered: HashMap<(i64, i64), i64>,
     /// Next history sequence number per (warehouse, district).
     next_h_seq: HashMap<(i64, i64), i64>,
+    /// Reusable `(item, supply warehouse)` buffer for NewOrder generation.
+    item_scratch: Vec<(i64, i64)>,
 }
 
 impl Tpcc {
@@ -160,6 +162,7 @@ impl Tpcc {
             next_o_id,
             undelivered,
             next_h_seq,
+            item_scratch: Vec::new(),
         }
     }
 
@@ -207,9 +210,20 @@ impl Tpcc {
     }
 
     fn new_order(&mut self, rng: &mut SmallRng) -> TransactionSpec {
-        let w = self.pick_warehouse(rng);
-        let d = self.pick_district(rng);
-        let c = self.pick_customer(rng);
+        let mut spec = TransactionSpec::empty();
+        self.new_order_into(rng, &mut spec);
+        spec
+    }
+
+    /// Build a NewOrder into a reusable spec buffer (allocation-free apart
+    /// from the inserted records).  Draws from `rng` in the exact order
+    /// the by-value builder always did.
+    fn new_order_into(&mut self, rng: &mut SmallRng, spec: &mut TransactionSpec) {
+        let warehouses = self.config.warehouses;
+        let w = rng.gen_range(1..=warehouses);
+        let d = rng.gen_range(1..=self.config.districts_per_warehouse);
+        let c = rng.gen_range(1..=self.config.customers_per_district);
+        let n_items = self.config.items;
         let ol_cnt = rng.gen_range(5..=15);
         let o_id = {
             let e = self.next_o_id.get_mut(&(w, d)).expect("district exists");
@@ -217,29 +231,30 @@ impl Tpcc {
             *e += 1;
             id
         };
+        let mut items = std::mem::take(&mut self.item_scratch);
+        items.clear();
+        let mut wtr = spec.refill("NewOrder");
         // Fixed part: read warehouse, district, customer, and the items.
-        let mut phase1 = vec![
-            Action::new(ActionOp::Read {
-                table: WAREHOUSE,
-                key: Key::int(w),
-            }),
-            Action::new(ActionOp::Read {
-                table: DISTRICT,
-                key: Key::ints(&[w, d]),
-            }),
-            Action::new(ActionOp::Read {
-                table: CUSTOMER,
-                key: Key::ints(&[w, d, c]),
-            }),
-        ];
-        let mut items = Vec::with_capacity(ol_cnt as usize);
+        let phase1 = wtr.phase();
+        phase1.push(Action::new(ActionOp::Read {
+            table: WAREHOUSE,
+            key: Key::int(w),
+        }));
+        phase1.push(Action::new(ActionOp::Read {
+            table: DISTRICT,
+            key: Key::ints(&[w, d]),
+        }));
+        phase1.push(Action::new(ActionOp::Read {
+            table: CUSTOMER,
+            key: Key::ints(&[w, d, c]),
+        }));
         for _ in 0..ol_cnt {
-            let i = self.pick_item(rng);
+            let i = rng.gen_range(1..=n_items);
             // 1% of the order lines come from a remote warehouse.
-            let supply_w = if self.config.warehouses > 1 && rng.gen_range(0..100) == 0 {
-                let mut other = self.pick_warehouse(rng);
+            let supply_w = if warehouses > 1 && rng.gen_range(0..100) == 0 {
+                let mut other = rng.gen_range(1..=warehouses);
                 if other == w {
-                    other = (other % self.config.warehouses) + 1;
+                    other = (other % warehouses) + 1;
                 }
                 other
             } else {
@@ -252,30 +267,29 @@ impl Tpcc {
             }));
         }
         // Advance the district's next order id.
-        let phase2 = vec![Action::new(ActionOp::Increment {
+        wtr.phase().push(Action::new(ActionOp::Increment {
             table: DISTRICT,
             key: Key::ints(&[w, d]),
             column: 3,
             delta: 1,
-        })];
+        }));
         // Insert the order and read the stock rows.
-        let mut phase3 = vec![
-            Action::new(ActionOp::Insert {
-                table: ORDER,
-                record: Record::new(vec![
-                    Value::Int(w),
-                    Value::Int(d),
-                    Value::Int(o_id),
-                    Value::Int(c),
-                    Value::Int(0),
-                    Value::Int(ol_cnt),
-                ]),
-            }),
-            Action::new(ActionOp::Insert {
-                table: NEW_ORDER,
-                record: Record::new(vec![Value::Int(w), Value::Int(d), Value::Int(o_id)]),
-            }),
-        ];
+        let phase3 = wtr.phase();
+        phase3.push(Action::new(ActionOp::Insert {
+            table: ORDER,
+            record: Record::new(vec![
+                Value::Int(w),
+                Value::Int(d),
+                Value::Int(o_id),
+                Value::Int(c),
+                Value::Int(0),
+                Value::Int(ol_cnt),
+            ]),
+        }));
+        phase3.push(Action::new(ActionOp::Insert {
+            table: NEW_ORDER,
+            record: Record::new(vec![Value::Int(w), Value::Int(d), Value::Int(o_id)]),
+        }));
         for &(i, supply_w) in &items {
             phase3.push(Action::new(ActionOp::Read {
                 table: STOCK,
@@ -283,7 +297,7 @@ impl Tpcc {
             }));
         }
         // Update the stock rows and insert the order lines.
-        let mut phase4 = Vec::with_capacity(2 * items.len());
+        let phase4 = wtr.phase();
         for (ol_number, &(i, supply_w)) in items.iter().enumerate() {
             phase4.push(Action::new(ActionOp::Increment {
                 table: STOCK,
@@ -304,18 +318,18 @@ impl Tpcc {
                 ]),
             }));
         }
-        TransactionSpec::new(
-            "NewOrder",
-            vec![
-                Phase::new(phase1),
-                Phase::new(phase2),
-                Phase::new(phase3),
-                Phase::new(phase4),
-            ],
-        )
+        wtr.finish();
+        self.item_scratch = items;
     }
 
     fn payment(&mut self, rng: &mut SmallRng) -> TransactionSpec {
+        let mut spec = TransactionSpec::empty();
+        self.payment_into(rng, &mut spec);
+        spec
+    }
+
+    /// Build a Payment into a reusable spec buffer.
+    fn payment_into(&mut self, rng: &mut SmallRng, spec: &mut TransactionSpec) {
         let w = self.pick_warehouse(rng);
         let d = self.pick_district(rng);
         // 15% of payments are made by a customer of a remote warehouse.
@@ -336,43 +350,38 @@ impl Tpcc {
             *e += 1;
             id
         };
-        TransactionSpec::new(
-            "Payment",
-            vec![
-                Phase::new(vec![
-                    Action::new(ActionOp::Increment {
-                        table: WAREHOUSE,
-                        key: Key::int(w),
-                        column: 2,
-                        delta: amount,
-                    }),
-                    Action::new(ActionOp::Increment {
-                        table: DISTRICT,
-                        key: Key::ints(&[w, d]),
-                        column: 2,
-                        delta: amount,
-                    }),
-                ]),
-                Phase::new(vec![
-                    Action::new(ActionOp::Increment {
-                        table: CUSTOMER,
-                        key: Key::ints(&[c_w, c_d, c]),
-                        column: 3,
-                        delta: -amount,
-                    }),
-                    Action::new(ActionOp::Insert {
-                        table: HISTORY,
-                        record: Record::new(vec![
-                            Value::Int(w),
-                            Value::Int(d),
-                            Value::Int(h_seq),
-                            Value::Int(c),
-                            Value::Int(amount),
-                        ]),
-                    }),
-                ]),
-            ],
-        )
+        let mut wtr = spec.refill("Payment");
+        let phase1 = wtr.phase();
+        phase1.push(Action::new(ActionOp::Increment {
+            table: WAREHOUSE,
+            key: Key::int(w),
+            column: 2,
+            delta: amount,
+        }));
+        phase1.push(Action::new(ActionOp::Increment {
+            table: DISTRICT,
+            key: Key::ints(&[w, d]),
+            column: 2,
+            delta: amount,
+        }));
+        let phase2 = wtr.phase();
+        phase2.push(Action::new(ActionOp::Increment {
+            table: CUSTOMER,
+            key: Key::ints(&[c_w, c_d, c]),
+            column: 3,
+            delta: -amount,
+        }));
+        phase2.push(Action::new(ActionOp::Insert {
+            table: HISTORY,
+            record: Record::new(vec![
+                Value::Int(w),
+                Value::Int(d),
+                Value::Int(h_seq),
+                Value::Int(c),
+                Value::Int(amount),
+            ]),
+        }));
+        wtr.finish();
     }
 
     fn order_status(&mut self, rng: &mut SmallRng) -> TransactionSpec {
@@ -751,6 +760,23 @@ impl Workload for Tpcc {
             TpccTxn::OrderStatus => self.order_status(rng),
             TpccTxn::Delivery => self.delivery(rng),
             TpccTxn::StockLevel => self.stock_level(rng),
+        }
+    }
+
+    fn next_transaction_into(
+        &mut self,
+        rng: &mut SmallRng,
+        _client: CoreId,
+        spec: &mut TransactionSpec,
+    ) {
+        // The two transaction types that dominate the mix (88%) refill the
+        // buffer in place; the long tail overwrites it.
+        match self.mix.pick(rng) {
+            TpccTxn::NewOrder => self.new_order_into(rng, spec),
+            TpccTxn::Payment => self.payment_into(rng, spec),
+            TpccTxn::OrderStatus => *spec = self.order_status(rng),
+            TpccTxn::Delivery => *spec = self.delivery(rng),
+            TpccTxn::StockLevel => *spec = self.stock_level(rng),
         }
     }
 

@@ -367,7 +367,41 @@ macro_rules! map_impl {
 }
 
 map_impl!(BTreeMap, Ord);
-map_impl!(HashMap, std::hash::Hash + Eq);
+
+// HashMap is implemented by hand (not via the macro) so custom hashers —
+// e.g. the storage crate's fast deterministic lock-table hasher — keep
+// working with derived Serialize/Deserialize.
+impl<K: Ser + std::hash::Hash + Eq, V: Ser, S: std::hash::BuildHasher> Ser for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: De + std::hash::Hash + Eq, V: De, S: std::hash::BuildHasher + Default> De
+    for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::expected("array (map)", v))?;
+        items
+            .iter()
+            .map(|pair| {
+                let kv = pair
+                    .as_array()
+                    .ok_or_else(|| Error::expected("[key, value] pair", pair))?;
+                if kv.len() != 2 {
+                    return Err(Error::new("expected [key, value] pair"));
+                }
+                Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+            })
+            .collect()
+    }
+}
 
 impl<T: Ser + ?Sized> Ser for &T {
     fn to_value(&self) -> Value {
