@@ -11,23 +11,28 @@
 //!
 //! ```text
 //! cargo run --release -p atrapos-bench --bin wallclock -- --label pre-refactor
-//! cargo run --release -p atrapos-bench --bin wallclock -- --label post-refactor
+//! cargo run --release -p atrapos-bench --bin wallclock -- --threads 8
 //! cargo run --release -p atrapos-bench --bin wallclock -- --smoke   # CI-sized
 //! ```
 //!
-//! The bundle is fixed (no `ATRAPOS_PAPER` dependence) so that entries
+//! The ~30 components of the bundle are independent deterministic
+//! simulations, so they run as one job list on the engine's parallel
+//! experiment lab (`--threads N`, default: all available cores).  The
+//! bundle is fixed (no `ATRAPOS_PAPER` dependence) so that entries
 //! written at different times stay comparable.  `total_committed` is the
 //! total number of simulated transactions the bundle commits; it must be
-//! identical across runs of the same source revision *and* across
-//! behaviour-preserving optimizations (same seed ⇒ same simulated work),
-//! so it doubles as a cheap cross-run determinism check.
+//! identical across runs of the same source revision, across
+//! behaviour-preserving optimizations, *and across thread counts* (same
+//! seed ⇒ same simulated work), so it doubles as a cheap cross-run
+//! determinism check.
 
 use atrapos_bench::figures::{
-    fig10_scenario, fig11_scenario, fig12_scenario, fig13_scenario, figure_executor,
+    fig10_scenario, fig11_scenario, fig12_scenario, fig13_scenario, figure_job,
 };
-use atrapos_bench::harness::{machine, Scale};
+use atrapos_bench::harness::{machine, measurement_config, Scale};
 use atrapos_bench::report::report_dir;
-use atrapos_engine::{DesignSpec, ExecutorConfig, Scenario, VirtualExecutor, Workload};
+use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
+use atrapos_engine::{DesignSpec, Workload};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -37,7 +42,10 @@ use std::time::Instant;
 struct ComponentTiming {
     /// Component name (e.g. `fig10/atrapos`, `tpcc/Centralized`).
     name: String,
-    /// Wall-clock milliseconds spent simulating this component.
+    /// Wall-clock milliseconds spent simulating this component, excluding
+    /// design build / data population (measured on its worker thread; with
+    /// more jobs than cores the per-component times overlap and their sum
+    /// exceeds `total_ms`).
     wall_ms: f64,
     /// Transactions committed inside the simulation.
     committed: u64,
@@ -52,12 +60,16 @@ struct WallclockRun {
     unix_secs: u64,
     /// Whether this was the reduced CI smoke bundle.
     smoke: bool,
+    /// OS threads the bundle ran on (`null` in entries recorded before the
+    /// parallel lab existed, which were serial).
+    threads: Option<usize>,
     /// Per-component timings.
     components: Vec<ComponentTiming>,
     /// Total wall-clock milliseconds over all components.
     total_ms: f64,
     /// Total committed transactions over all components (cross-run
-    /// determinism check: identical for behaviour-preserving changes).
+    /// determinism check: identical for behaviour-preserving changes and
+    /// for every `--threads` value).
     total_committed: u64,
 }
 
@@ -96,58 +108,30 @@ fn sweep_designs() -> Vec<DesignSpec> {
     ]
 }
 
-fn time_scenario(
-    name: &str,
-    scale: &Scale,
-    adaptive: bool,
-    initial: TatpTxn,
-    scenario: &Scenario,
-    out: &mut Vec<ComponentTiming>,
-) {
-    let mut ex = figure_executor(scale, adaptive, initial);
-    let start = Instant::now();
-    let outcome = ex.run_scenario(scenario).expect("figure scenario runs");
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    out.push(ComponentTiming {
-        name: name.to_string(),
-        wall_ms,
-        committed: outcome.total_committed(),
-    });
-}
-
-fn time_sweep(
+/// Design-sweep jobs: `workload` against each of the four designs on the
+/// 4-socket, 10-cores-per-socket machine.
+fn sweep_jobs(
     workload_name: &str,
     make_workload: &dyn Fn() -> Box<dyn Workload>,
     secs: f64,
-    out: &mut Vec<ComponentTiming>,
+    out: &mut Vec<SweepJob>,
 ) {
     for spec in sweep_designs() {
-        let m = machine(4, 10);
-        let workload = make_workload();
-        let design = spec.build(&m, workload.as_ref());
-        let mut ex = VirtualExecutor::new(
-            m,
-            design,
-            workload,
-            ExecutorConfig {
-                seed: 42,
-                default_interval_secs: secs.max(0.01),
-                time_series_bucket_secs: secs.max(0.01),
-            },
-        );
-        let start = Instant::now();
-        let stats = ex.run_for(secs);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        out.push(ComponentTiming {
-            name: format!("{workload_name}/{}", spec.label()),
-            wall_ms,
-            committed: stats.committed,
-        });
+        out.push(SweepJob::measurement(
+            format!("{workload_name}/{}", spec.label()),
+            machine(4, 10),
+            spec,
+            make_workload(),
+            secs,
+            measurement_config(secs),
+        ));
     }
 }
 
-fn run_bundle(scale: &Scale) -> Vec<ComponentTiming> {
-    let mut out = Vec::new();
+/// Every component of the bundle as one lab job list, in the fixed
+/// historical order (entry comparability depends on it).
+fn bundle_jobs(scale: &Scale) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
     // The four adaptive-figure timelines, under both variants where the
     // figure compares them.
     for (name, adaptive, initial, scenario) in [
@@ -194,24 +178,40 @@ fn run_bundle(scale: &Scale) -> Vec<ComponentTiming> {
             fig13_scenario(scale),
         ),
     ] {
-        time_scenario(name, scale, adaptive, initial, &scenario, &mut out);
+        jobs.push(figure_job(name, scale, adaptive, initial, &scenario));
     }
     // Design sweeps on the 4-socket, 10-cores-per-socket machine.
     let tatp_subs = scale.tatp_subscribers;
-    time_sweep(
+    sweep_jobs(
         "tatp",
         &|| Box::new(Tatp::new(TatpConfig::scaled(tatp_subs))),
         scale.measure_secs,
-        &mut out,
+        &mut jobs,
     );
     let warehouses = scale.tpcc_warehouses;
-    time_sweep(
+    sweep_jobs(
         "tpcc",
         &|| Box::new(Tpcc::new(TpccConfig::scaled(warehouses))),
         scale.measure_secs,
-        &mut out,
+        &mut jobs,
     );
-    out
+    jobs
+}
+
+fn run_bundle(scale: &Scale, threads: usize) -> Vec<ComponentTiming> {
+    run_sweep(bundle_jobs(scale), threads)
+        .into_iter()
+        .map(|r| {
+            let outcome = r
+                .outcome
+                .unwrap_or_else(|e| panic!("bundle component '{}' failed: {e}", r.name));
+            ComponentTiming {
+                name: r.name,
+                wall_ms: r.wall_ms,
+                committed: outcome.total_committed(),
+            }
+        })
+        .collect()
 }
 
 fn main() {
@@ -223,14 +223,25 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| if smoke { "smoke".into() } else { "run".into() });
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --threads needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => default_threads(),
+    };
 
     let scale = bundle_scale(smoke);
     eprintln!(
-        "running wallclock bundle '{label}'{}",
+        "running wallclock bundle '{label}' on {threads} thread{}{}",
+        if threads == 1 { "" } else { "s" },
         if smoke { " (smoke)" } else { "" }
     );
     let total_start = Instant::now();
-    let components = run_bundle(&scale);
+    let components = run_bundle(&scale, threads);
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
     let total_committed = components.iter().map(|c| c.committed).sum();
 
@@ -252,6 +263,7 @@ fn main() {
             .map(|d| d.as_secs())
             .unwrap_or(0),
         smoke,
+        threads: Some(threads),
         components,
         total_ms,
         total_committed,

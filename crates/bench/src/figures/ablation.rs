@@ -15,17 +15,18 @@
 //!   with shifted cross-table correlation, the advisor's plan turns almost
 //!   every distributed transaction into a single-instance transaction.
 
-use crate::harness::{executor, Scale};
+use crate::harness::{measure_jobs, measurement_config, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_core::{
-    advise_sharding, evaluate_sharding, KeyDomain, ShardingConfig, ShardingPlan, SubPartitionId,
-    WorkloadStats,
+    advise_sharding, evaluate_sharding, KeyDistribution, KeyDomain, ShardingConfig, ShardingPlan,
+    SubPartitionId, WorkloadStats,
 };
+use atrapos_engine::scenario::{Scenario, ScenarioEvent};
+use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
 use atrapos_engine::workload::ensure_tables;
 use atrapos_engine::{
-    Action, ActionOp, AtraposConfig, DesignSpec, ExecutorConfig, Phase, SharedNothingDesign,
-    SharedNothingGranularity, SystemDesign, TableSpec, TransactionSpec, VirtualExecutor, Workload,
-    WorkloadChange,
+    Action, ActionOp, AtraposConfig, DesignSpec, ExecutorConfig, Phase, TableSpec, TransactionSpec,
+    Workload,
 };
 use atrapos_numa::{CoreId, CostModel, Machine, Topology};
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
@@ -49,23 +50,34 @@ pub fn abl01_uniform_interconnect(scale: &Scale) -> FigureResult {
     );
     let sockets = scale.max_sockets;
     let cores = scale.cores_per_socket.min(4);
-    for (label, cost) in [
-        ("westmere", CostModel::westmere()),
-        ("uniform", CostModel::uniform()),
-    ] {
-        let mut throughputs = Vec::new();
+    let labels = ["westmere", "uniform"];
+    let mut jobs = Vec::new();
+    for (label, cost) in labels
+        .iter()
+        .zip([CostModel::westmere(), CostModel::uniform()])
+    {
         for spec in [DesignSpec::Plp, DesignSpec::atrapos()] {
             let machine = Machine::new(Topology::multisocket(sockets, cores), cost.clone());
             let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 4));
             workload.set_single(TatpTxn::GetSubscriberData);
-            let mut ex = executor(machine, &spec, Box::new(workload), scale.measure_secs);
-            throughputs.push(ex.run_for(scale.measure_secs).throughput_tps);
+            jobs.push(SweepJob::measurement(
+                format!("abl01/{label}/{}", spec.label()),
+                machine,
+                spec,
+                Box::new(workload),
+                scale.measure_secs,
+                measurement_config(scale.measure_secs),
+            ));
         }
+    }
+    let results = measure_jobs(jobs);
+    for (label, pair) in labels.iter().zip(results.chunks_exact(2)) {
+        let (plp, atrapos) = (pair[0].throughput_tps, pair[1].throughput_tps);
         fig.push_row(vec![
             label.to_string(),
-            fmt(throughputs[0] / 1e3),
-            fmt(throughputs[1] / 1e3),
-            fmt(throughputs[1] / throughputs[0]),
+            fmt(plp / 1e3),
+            fmt(atrapos / 1e3),
+            fmt(atrapos / plp),
         ]);
     }
     fig.note(
@@ -87,8 +99,10 @@ pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
     );
     let sockets = scale.max_sockets.min(4);
     let cores = scale.cores_per_socket.min(4);
-    for penalty in [0.0f64, 0.2, 0.35, 0.5] {
-        let run = |adaptive: bool| {
+    let penalties = [0.0f64, 0.2, 0.35, 0.5];
+    let mut jobs = Vec::new();
+    for penalty in penalties {
+        for adaptive in [false, true] {
             let machine =
                 Machine::new(Topology::multisocket(sockets, cores), CostModel::westmere());
             let workload = SimpleAb::new(scale.micro_rows / 8);
@@ -98,25 +112,28 @@ pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
                 adaptive,
                 ..AtraposConfig::default()
             };
-            let design: Box<dyn SystemDesign> = Box::new(atrapos_engine::AtraposDesign::new(
-                &machine, &workload, config,
-            ));
-            let mut ex = VirtualExecutor::new(
+            jobs.push(SweepJob::measurement(
+                format!(
+                    "abl02/penalty-{penalty}/{}",
+                    if adaptive { "atrapos" } else { "naive" }
+                ),
                 machine,
-                design,
+                DesignSpec::atrapos_with(config),
                 Box::new(workload),
+                scale.measure_secs,
                 ExecutorConfig {
                     seed: 42,
                     default_interval_secs: scale.interval_min_secs,
                     time_series_bucket_secs: scale.measure_secs,
                 },
-            );
-            ex.run_for(scale.measure_secs).throughput_tps
-        };
-        let naive = run(false);
-        let adaptive = run(true);
+            ));
+        }
+    }
+    let results = measure_jobs(jobs);
+    for (penalty, pair) in penalties.iter().zip(results.chunks_exact(2)) {
+        let (naive, adaptive) = (pair[0].throughput_tps, pair[1].throughput_tps);
         fig.push_row(vec![
-            fmt(penalty),
+            fmt(*penalty),
             fmt(naive / 1e3),
             fmt(adaptive / 1e3),
             fmt(adaptive / naive),
@@ -144,47 +161,61 @@ pub fn abl03_sub_partition_granularity(scale: &Scale) -> FigureResult {
             "repartitions",
         ],
     );
-    for sub_per in [2usize, 10, 40] {
-        let machine = Machine::new(
-            Topology::multisocket(scale.max_sockets.min(4), scale.cores_per_socket.min(4)),
-            CostModel::westmere(),
-        );
-        let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 4));
-        workload.set_single(TatpTxn::GetSubscriberData);
-        let config = AtraposConfig {
-            sub_per_partition: sub_per,
-            ..AtraposConfig::default()
-        };
-        let design: Box<dyn SystemDesign> = Box::new(atrapos_engine::AtraposDesign::new(
-            &machine, &workload, config,
-        ));
-        let mut ex = VirtualExecutor::new(
-            machine,
-            design,
-            Box::new(workload),
-            ExecutorConfig {
-                seed: 42,
-                default_interval_secs: scale.interval_min_secs,
-                time_series_bucket_secs: scale.interval_min_secs,
-            },
-        );
-        let before = ex.run_for(scale.phase_secs).throughput_tps;
-        // Introduce the Figure 11 hotspot: 50% of the requests on 20% of the
-        // data.
-        ex.reconfigure_workload(&WorkloadChange::Distribution {
-            distribution: atrapos_workloads::KeyDistribution::Hotspot {
-                data_fraction: 0.2,
-                access_fraction: 0.5,
-            },
+    // One lab job per granularity; the skew arrives as a timeline event
+    // after the first phase, and the three post-skew phases are measurement
+    // boundaries (the same run_for/reconfigure sequence the hand-rolled
+    // loop performed).
+    let p = scale.phase_secs;
+    let sub_pers = [2usize, 10, 40];
+    let jobs = sub_pers
+        .iter()
+        .map(|&sub_per| {
+            let machine = Machine::new(
+                Topology::multisocket(scale.max_sockets.min(4), scale.cores_per_socket.min(4)),
+                CostModel::westmere(),
+            );
+            let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 4));
+            workload.set_single(TatpTxn::GetSubscriberData);
+            let config = AtraposConfig {
+                sub_per_partition: sub_per,
+                ..AtraposConfig::default()
+            };
+            // The Figure 11 hotspot: 50% of the requests on 20% of the data.
+            let scenario = Scenario::new(format!("abl03-sub-{sub_per}"), 4.0 * p)
+                .starting_as("before")
+                .at(
+                    p,
+                    "skewed",
+                    ScenarioEvent::SetSkew {
+                        distribution: KeyDistribution::Hotspot {
+                            data_fraction: 0.2,
+                            access_fraction: 0.5,
+                        },
+                    },
+                )
+                .at(2.0 * p, "skewed", ScenarioEvent::Measure)
+                .at(3.0 * p, "skewed", ScenarioEvent::Measure);
+            SweepJob {
+                name: format!("abl03/sub-{sub_per}"),
+                machine,
+                design: DesignSpec::atrapos_with(config),
+                workload: Box::new(workload),
+                scenario,
+                config: ExecutorConfig {
+                    seed: 42,
+                    default_interval_secs: scale.interval_min_secs,
+                    time_series_bucket_secs: scale.interval_min_secs,
+                },
+            }
         })
-        .expect("TATP supports distribution changes");
-        let mut repartitions = 0;
-        let mut after = 0.0;
-        for _ in 0..3 {
-            let seg = ex.run_for(scale.phase_secs);
-            repartitions += seg.repartitions;
-            after = seg.throughput_tps;
-        }
+        .collect();
+    let results = run_sweep(jobs, default_threads());
+    for (sub_per, result) in sub_pers.iter().zip(results) {
+        let outcome = result.outcome.expect("TATP supports distribution changes");
+        let before = outcome.segments[0].stats.throughput_tps;
+        let post_skew = &outcome.segments[1..];
+        let after = post_skew.last().map_or(0.0, |s| s.stats.throughput_tps);
+        let repartitions: u64 = post_skew.iter().map(|s| s.stats.repartitions).sum();
         fig.push_row(vec![
             sub_per.to_string(),
             fmt(before / 1e3),
@@ -342,33 +373,40 @@ pub fn abl04_sharding_advisor(scale: &Scale) -> FigureResult {
         &trace,
         &ShardingConfig::default(),
     );
-    for (label, plan) in [("range", range_plan), ("advisor", advised_plan)] {
-        let estimated = evaluate_sharding(&plan, &trace).total_distributed();
-        let machine = Machine::new(Topology::multisocket(sockets, cores), CostModel::westmere());
-        let workload = ShiftedAb { rows };
-        let design = SharedNothingDesign::with_sharding_plan(
-            &machine,
-            &workload,
-            SharedNothingGranularity::PerSocket,
-            plan,
-        );
-        let mut ex = VirtualExecutor::new(
-            machine,
-            Box::new(design),
-            Box::new(workload),
-            ExecutorConfig {
-                seed: 42,
-                default_interval_secs: scale.measure_secs,
-                time_series_bucket_secs: scale.measure_secs,
-            },
-        );
-        let stats = ex.run_for(scale.measure_secs);
-        let distributed = ex.design_stats().distributed_txns.unwrap_or(0);
+    let cases = [("range", range_plan), ("advisor", advised_plan)];
+    let estimates: Vec<f64> = cases
+        .iter()
+        .map(|(_, plan)| evaluate_sharding(plan, &trace).total_distributed())
+        .collect();
+    let jobs = cases
+        .iter()
+        .map(|(label, plan)| {
+            let machine =
+                Machine::new(Topology::multisocket(sockets, cores), CostModel::westmere());
+            SweepJob::measurement(
+                format!("abl04/{label}"),
+                machine,
+                DesignSpec::shared_nothing_with_plan(plan.clone()),
+                Box::new(ShiftedAb { rows }),
+                scale.measure_secs,
+                ExecutorConfig {
+                    seed: 42,
+                    default_interval_secs: scale.measure_secs,
+                    time_series_bucket_secs: scale.measure_secs,
+                },
+            )
+        })
+        .collect();
+    let results = run_sweep(jobs, default_threads());
+    for (((label, _), estimated), result) in cases.iter().zip(estimates).zip(results) {
+        let outcome = result.outcome.expect("sharding measurement runs");
+        let distributed = outcome.design_stats.distributed_txns.unwrap_or(0);
+        let tps = outcome.segments[0].stats.throughput_tps;
         fig.push_row(vec![
             label.to_string(),
             fmt(estimated),
             distributed.to_string(),
-            fmt(stats.throughput_tps / 1e3),
+            fmt(tps / 1e3),
         ]);
     }
     fig.note("expected shape: the advisor removes nearly all distributed transactions and raises throughput");

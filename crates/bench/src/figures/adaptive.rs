@@ -16,8 +16,9 @@ use crate::harness::{machine, Scale};
 use crate::report::{fmt, write_scenario_json, FigureResult};
 use atrapos_core::{AdaptiveInterval, ControllerConfig, KeyDistribution};
 use atrapos_engine::scenario::{Scenario, ScenarioEvent, ScenarioOutcome};
+use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
 use atrapos_engine::{AtraposConfig, DesignSpec, ExecutorConfig, TimePoint, VirtualExecutor};
-use atrapos_numa::SocketId;
+use atrapos_numa::{Machine, SocketId};
 use atrapos_storage::{Key, Record, Schema, Table, TableId, Value};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
 use std::time::Instant;
@@ -141,6 +142,27 @@ fn variant_spec(scale: &Scale, variant: Variant) -> DesignSpec {
     }
 }
 
+/// The machine, workload, design, and executor parameters of one adaptive
+/// figure variant: a 4×4 machine with TATP pinned to an initial transaction
+/// type.  Everything else (executor, sweep job) derives from this.
+fn figure_parts(
+    scale: &Scale,
+    variant: Variant,
+    initial: TatpTxn,
+) -> (Machine, Box<Tatp>, DesignSpec, ExecutorConfig) {
+    // A smaller machine keeps the per-second transaction counts tractable
+    // while preserving the multi-socket structure.
+    let m = machine(4, 4);
+    let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 2));
+    workload.set_single(initial);
+    let config = ExecutorConfig {
+        seed: 42,
+        default_interval_secs: scale.interval_min_secs,
+        time_series_bucket_secs: scale.interval_min_secs,
+    };
+    (m, Box::new(workload), variant_spec(scale, variant), config)
+}
+
 /// Build the executor the adaptive figure timelines (Figures 10–13) run
 /// on: a 4×4 machine with TATP pinned to an initial transaction type.
 /// Public so the wallclock harness and the golden-figure regression tests
@@ -151,41 +173,58 @@ pub fn figure_executor(scale: &Scale, adaptive: bool, initial: TatpTxn) -> Virtu
     } else {
         Variant::Static
     };
-    adaptive_executor(scale, variant, initial)
+    let (m, workload, spec, config) = figure_parts(scale, variant, initial);
+    let design = spec.build(&m, workload.as_ref());
+    VirtualExecutor::new(m, design, workload, config)
 }
 
-/// Build a scaled-down executor for the time-series experiments.
-fn adaptive_executor(scale: &Scale, variant: Variant, initial: TatpTxn) -> VirtualExecutor {
-    // A smaller machine keeps the per-second transaction counts tractable
-    // while preserving the multi-socket structure.
-    let m = machine(4, 4);
-    let mut workload = Tatp::new(TatpConfig::scaled(scale.tatp_subscribers / 2));
-    workload.set_single(initial);
-    let design = variant_spec(scale, variant).build(&m, &workload);
-    VirtualExecutor::new(
-        m,
+/// Package one adaptive figure variant as a lab job (the exact simulation
+/// [`figure_executor`] + `run_scenario` would perform).  Public so the
+/// wallclock harness sweeps the figure bundle on the same jobs the figure
+/// runners use.
+pub fn figure_job(
+    name: impl Into<String>,
+    scale: &Scale,
+    adaptive: bool,
+    initial: TatpTxn,
+    scenario: &Scenario,
+) -> SweepJob {
+    let variant = if adaptive {
+        Variant::Adaptive
+    } else {
+        Variant::Static
+    };
+    let (machine, workload, design, config) = figure_parts(scale, variant, initial);
+    SweepJob {
+        name: name.into(),
+        machine,
         design,
-        Box::new(workload),
-        ExecutorConfig {
-            seed: 42,
-            default_interval_secs: scale.interval_min_secs,
-            time_series_bucket_secs: scale.interval_min_secs,
-        },
-    )
+        workload,
+        scenario: scenario.clone(),
+        config,
+    }
 }
 
-/// Run a scenario under both variants and return (static, adaptive).
+/// Run a scenario under both variants — in parallel, one lab job each —
+/// and return (static, adaptive).
 fn run_both(
     scale: &Scale,
     initial: TatpTxn,
     scenario: &Scenario,
 ) -> (ScenarioOutcome, ScenarioOutcome) {
-    let s = adaptive_executor(scale, Variant::Static, initial)
-        .run_scenario(scenario)
-        .expect("scenario runs on the static variant");
-    let a = adaptive_executor(scale, Variant::Adaptive, initial)
-        .run_scenario(scenario)
+    let jobs = vec![
+        figure_job("static", scale, false, initial, scenario),
+        figure_job("atrapos", scale, true, initial, scenario),
+    ];
+    let mut results = run_sweep(jobs, default_threads());
+    let a = results
+        .remove(1)
+        .outcome
         .expect("scenario runs on the adaptive variant");
+    let s = results
+        .remove(0)
+        .outcome
+        .expect("scenario runs on the static variant");
     (s, a)
 }
 
@@ -329,9 +368,19 @@ pub fn fig13_adapt_frequency(scale: &Scale) -> FigureResult {
         vec!["time (s)", "ATraPos", "phase"],
     );
     let scenario = fig13_scenario(scale);
-    let outcome = adaptive_executor(scale, Variant::Adaptive, TatpTxn::GetNewDestination)
-        .run_scenario(&scenario)
-        .expect("scenario runs");
+    let outcome = run_sweep(
+        vec![figure_job(
+            "atrapos",
+            scale,
+            true,
+            TatpTxn::GetNewDestination,
+            &scenario,
+        )],
+        default_threads(),
+    )
+    .remove(0)
+    .outcome
+    .expect("scenario runs");
     for segment in &outcome.segments {
         for p in &segment.stats.time_series {
             fig.push_row(vec![
@@ -384,7 +433,7 @@ mod tests {
     fn fig10_runs_three_labelled_segments() {
         let scale = tiny_scale();
         let scenario = fig10_scenario(&scale);
-        let outcome = adaptive_executor(&scale, Variant::Adaptive, TatpTxn::UpdateSubscriberData)
+        let outcome = figure_executor(&scale, true, TatpTxn::UpdateSubscriberData)
             .run_scenario(&scenario)
             .unwrap();
         let labels: Vec<&str> = outcome.segments.iter().map(|s| s.label.as_str()).collect();

@@ -16,6 +16,7 @@ pub use ablation::{
 pub use adaptive::{
     fig09_repartitioning, fig10_adapt_workload, fig10_scenario, fig11_adapt_skew, fig11_scenario,
     fig12_adapt_hardware, fig12_scenario, fig13_adapt_frequency, fig13_scenario, figure_executor,
+    figure_job,
 };
 pub use motivation::{
     fig01_ipc, fig02_scaleup, fig03_multisite, fig04_breakdown, fig05_atrapos_scaleup,

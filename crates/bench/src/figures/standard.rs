@@ -1,7 +1,11 @@
 //! The standard-benchmark experiments: Figure 8 (TATP and TPC-C throughput
 //! normalized to PLP) and Table II (monitoring overhead).
+//!
+//! Both experiments are design sweeps — a list of independent
+//! (design × workload) measurements — so they fan out over the parallel
+//! experiment lab and the rows are assembled from the in-order results.
 
-use crate::harness::{measure, Scale};
+use crate::harness::{measure_jobs, measurement_job, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_engine::{AtraposConfig, DesignSpec, Workload};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig, TpccTxn};
@@ -57,15 +61,23 @@ pub fn fig08_standard_benchmarks(scale: &Scale) -> FigureResult {
         ),
         ("TPCC-Mix", Box::new(|| tpcc_workload(scale, None))),
     ];
-    for (label, make) in cases {
-        let plp = measure(sockets, cores, &DesignSpec::Plp, make(), scale.measure_secs);
-        let atrapos = measure(
-            sockets,
-            cores,
-            &DesignSpec::atrapos(),
-            make(),
-            scale.measure_secs,
-        );
+    // Two jobs per case (PLP, ATraPos), swept in parallel.
+    let mut jobs = Vec::new();
+    for (label, make) in &cases {
+        for spec in [DesignSpec::Plp, DesignSpec::atrapos()] {
+            jobs.push(measurement_job(
+                format!("{label}/{}", spec.label()),
+                sockets,
+                cores,
+                spec,
+                make(),
+                scale.measure_secs,
+            ));
+        }
+    }
+    let results = measure_jobs(jobs);
+    for ((label, _), pair) in cases.iter().zip(results.chunks_exact(2)) {
+        let (plp, atrapos) = (&pair[0], &pair[1]);
         let ratio = if plp.throughput_tps > 0.0 {
             atrapos.throughput_tps / plp.throughput_tps
         } else {
@@ -114,21 +126,22 @@ pub fn tab02_monitoring_overhead(scale: &Scale) -> FigureResult {
         ("UpdSubData", Some(TatpTxn::UpdateSubscriberData)),
         ("TATP-Mix", None),
     ];
-    for (label, txn) in cases {
-        let off = measure(
-            sockets,
-            cores,
-            &DesignSpec::atrapos_with(monitoring_off()),
-            tatp_workload(scale, txn),
-            scale.measure_secs,
-        );
-        let on = measure(
-            sockets,
-            cores,
-            &DesignSpec::atrapos_with(monitoring_on()),
-            tatp_workload(scale, txn),
-            scale.measure_secs,
-        );
+    let mut jobs = Vec::new();
+    for (label, txn) in &cases {
+        for (tag, config) in [("off", monitoring_off()), ("on", monitoring_on())] {
+            jobs.push(measurement_job(
+                format!("{label}/monitoring-{tag}"),
+                sockets,
+                cores,
+                DesignSpec::atrapos_with(config),
+                tatp_workload(scale, *txn),
+                scale.measure_secs,
+            ));
+        }
+    }
+    let results = measure_jobs(jobs);
+    for ((label, _), pair) in cases.iter().zip(results.chunks_exact(2)) {
+        let (off, on) = (&pair[0], &pair[1]);
         let overhead = if off.throughput_tps > 0.0 {
             (1.0 - on.throughput_tps / off.throughput_tps) * 100.0
         } else {

@@ -3,7 +3,14 @@
 //! Designs are instantiated from the engine's serializable
 //! [`DesignSpec`] — plain data, no function pointers — so any measurement
 //! the harness can run can also be described in a replay file.
+//!
+//! Multi-point figures run their measurements through the engine's
+//! parallel experiment lab ([`atrapos_engine::sweep`]): each measurement
+//! becomes an eventless scenario job, the job list fans out over the
+//! available cores, and results come back in job order, so the figures are
+//! identical to a serial run.
 
+use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
 use atrapos_engine::{DesignSpec, ExecutorConfig, RunStats, VirtualExecutor, Workload};
 use atrapos_numa::{CostModel, Machine, Topology};
 use atrapos_storage::MemoryPolicy;
@@ -130,6 +137,59 @@ pub fn measure(
     ex.run_for(secs)
 }
 
+/// The [`ExecutorConfig`] every harness measurement uses: fixed seed, the
+/// monitoring interval and time-series bucket equal to the measurement
+/// length (floored at 10 ms of virtual time).
+pub fn measurement_config(interval_secs: f64) -> ExecutorConfig {
+    let interval_secs = interval_secs.max(0.01);
+    ExecutorConfig {
+        seed: 42,
+        default_interval_secs: interval_secs,
+        time_series_bucket_secs: interval_secs,
+    }
+}
+
+/// A [`SweepJob`] equivalent to one [`measure`] call: an eventless scenario
+/// of `secs` virtual seconds on the standard machine.
+pub fn measurement_job(
+    name: impl Into<String>,
+    sockets: usize,
+    cores_per_socket: usize,
+    spec: DesignSpec,
+    workload: Box<dyn Workload>,
+    secs: f64,
+) -> SweepJob {
+    SweepJob::measurement(
+        name,
+        machine(sockets, cores_per_socket),
+        spec,
+        workload,
+        secs,
+        measurement_config(secs),
+    )
+}
+
+/// Run a list of measurement jobs on the lab's thread pool and return each
+/// job's [`RunStats`] in job order.  Panics if a job fails — harness jobs
+/// are built from valid eventless scenarios, so a failure is a bug.
+pub fn measure_jobs(jobs: Vec<SweepJob>) -> Vec<RunStats> {
+    run_sweep(jobs, default_threads())
+        .into_iter()
+        .map(|r| {
+            let name = r.name;
+            let mut outcome = r
+                .outcome
+                .unwrap_or_else(|e| panic!("measurement job '{name}' failed: {e}"));
+            assert_eq!(
+                outcome.segments.len(),
+                1,
+                "measurement job '{name}' is a single eventless segment"
+            );
+            outcome.segments.remove(0).stats
+        })
+        .collect()
+}
+
 /// Build a shared-nothing (per socket) executor with an explicit memory
 /// policy (Table I).
 pub fn measure_with_memory_policy(
@@ -160,6 +220,26 @@ mod tests {
         assert!(p.micro_rows > q.micro_rows);
         assert!(p.phase_secs > q.phase_secs);
         assert!(q.time_compression() > 1.0);
+    }
+
+    #[test]
+    fn measurement_jobs_reproduce_serial_measure_exactly() {
+        let spec = DesignSpec::atrapos();
+        let serial = measure(1, 2, &spec, Box::new(ReadOneRow::with_rows(2_000)), 0.002);
+        let jobs = vec![measurement_job(
+            "read-one-row/ATraPos",
+            1,
+            2,
+            spec,
+            Box::new(ReadOneRow::with_rows(2_000)),
+            0.002,
+        )];
+        let via_lab = measure_jobs(jobs).remove(0);
+        assert_eq!(
+            serde::json::to_string_pretty(&serial),
+            serde::json::to_string_pretty(&via_lab),
+            "the lab's eventless-scenario measurement must be a pure reformulation of measure()"
+        );
     }
 
     #[test]

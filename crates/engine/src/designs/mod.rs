@@ -43,7 +43,11 @@ pub struct DesignStats {
 }
 
 /// A transaction-processing system design under evaluation.
-pub trait SystemDesign {
+///
+/// Designs are `Send`: each one owns its whole state (database instances,
+/// lock tables, controllers), so a `Box<dyn SystemDesign>` can move to a
+/// worker thread of the [`crate::sweep`] experiment lab.
+pub trait SystemDesign: Send {
     /// Human-readable name used in benchmark output.
     fn name(&self) -> &str;
 

@@ -78,7 +78,7 @@ impl SharedNothingDesign {
         granularity: SharedNothingGranularity,
         policy: MemoryPolicy,
     ) -> Self {
-        Self::with_routing(machine, workload, granularity, policy, None)
+        Self::with_routing_spec(machine, workload, granularity, policy, None)
     }
 
     /// Like [`SharedNothingDesign::with_memory_policy`] but routing every key
@@ -91,7 +91,7 @@ impl SharedNothingDesign {
         granularity: SharedNothingGranularity,
         plan: ShardingPlan,
     ) -> Self {
-        Self::with_routing(
+        Self::with_routing_spec(
             machine,
             workload,
             granularity,
@@ -100,7 +100,10 @@ impl SharedNothingDesign {
         )
     }
 
-    fn with_routing(
+    /// The fully general constructor [`crate::designs::spec::DesignSpec`]
+    /// builds through: explicit memory policy plus an optional advisor
+    /// sharding plan.
+    pub fn with_routing_spec(
         machine: &Machine,
         workload: &dyn Workload,
         granularity: SharedNothingGranularity,

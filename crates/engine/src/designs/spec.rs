@@ -13,6 +13,7 @@ use crate::designs::plp::PlpDesign;
 use crate::designs::shared_nothing::{SharedNothingDesign, SharedNothingGranularity};
 use crate::designs::SystemDesign;
 use crate::workload::Workload;
+use atrapos_core::ShardingPlan;
 use atrapos_numa::Machine;
 use atrapos_storage::MemoryPolicy;
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,10 @@ pub enum DesignSpec {
         locking: bool,
         /// Memory-placement policy of the instances (Table I).
         memory_policy: MemoryPolicy,
+        /// Optional advisor-produced sharding (§VII); `None` uses classic
+        /// range sharding.  Serializable like everything else in the spec,
+        /// so an advised deployment can sit in a replay file too.
+        plan: Option<ShardingPlan>,
     },
     /// PLP (physiological partitioning), the state-of-the-art baseline.
     Plp,
@@ -73,6 +78,7 @@ impl DesignSpec {
             granularity: SharedNothingGranularity::PerCore,
             locking,
             memory_policy: MemoryPolicy::Local,
+            plan: None,
         }
     }
 
@@ -82,6 +88,7 @@ impl DesignSpec {
             granularity: SharedNothingGranularity::PerSocket,
             locking: true,
             memory_policy: MemoryPolicy::Local,
+            plan: None,
         }
     }
 
@@ -92,6 +99,18 @@ impl DesignSpec {
             granularity: SharedNothingGranularity::PerSocket,
             locking: false,
             memory_policy: policy,
+            plan: None,
+        }
+    }
+
+    /// Coarse shared-nothing routing every key through an advisor-produced
+    /// [`ShardingPlan`] (the §VII extension).
+    pub fn shared_nothing_with_plan(plan: ShardingPlan) -> Self {
+        DesignSpec::SharedNothing {
+            granularity: SharedNothingGranularity::PerSocket,
+            locking: true,
+            memory_policy: MemoryPolicy::Local,
+            plan: Some(plan),
         }
     }
 
@@ -121,12 +140,14 @@ impl DesignSpec {
                 granularity,
                 locking,
                 memory_policy,
+                plan,
             } => Box::new(
-                SharedNothingDesign::with_memory_policy(
+                SharedNothingDesign::with_routing_spec(
                     machine,
                     workload,
                     *granularity,
                     *memory_policy,
+                    plan.clone(),
                 )
                 .with_locking(*locking),
             ),

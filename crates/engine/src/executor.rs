@@ -12,7 +12,8 @@ use crate::action::{TransactionSpec, TxnOutcome};
 use crate::designs::{DesignStats, SystemDesign};
 use crate::workload::{ReconfigureError, Workload, WorkloadChange};
 use atrapos_numa::{
-    cycles_to_micros, secs_to_cycles, Breakdown, CoreId, Cycles, Machine, SocketId,
+    cycles_to_micros, frac_cycles_to_micros, secs_to_cycles, Breakdown, CoreId, Cycles,
+    Interconnect, Machine, SocketId,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -240,6 +241,7 @@ impl VirtualExecutor {
         let instr0 = self.machine.total_instructions();
         let cycles0 = self.machine.total_occupied_cycles();
         let breakdown0 = self.machine.breakdown();
+        let qpi_bytes0 = self.machine.interconnect.total_cross_socket_bytes();
         let mut committed = 0u64;
         let mut aborted = 0u64;
         let mut latency_sum: u128 = 0;
@@ -317,14 +319,23 @@ impl VirtualExecutor {
         let d_instr = self.machine.total_instructions() - instr0;
         let d_cycles = self.machine.total_occupied_cycles() - cycles0;
         let breakdown = self.machine.breakdown().saturating_sub(&breakdown0);
+        // The last bucket may be truncated by the segment end
+        // (`seg_len % bucket_len != 0`); normalize each bucket's count by
+        // the bucket's actual width, not the configured width.
         let time_series = buckets
             .iter()
             .enumerate()
-            .map(|(i, &n)| TimePoint {
-                secs: self.machine.secs(seg_start + (i as u64 + 1) * bucket_len),
-                tps: n as f64 / self.config.time_series_bucket_secs,
+            .map(|(i, &n)| {
+                let bucket_start = seg_start + i as u64 * bucket_len;
+                let bucket_end = (bucket_start + bucket_len).min(end_at);
+                let width_secs = self.machine.secs(bucket_end - bucket_start).max(1e-12);
+                TimePoint {
+                    secs: self.machine.secs(bucket_end),
+                    tps: n as f64 / width_secs,
+                }
             })
             .collect();
+        let d_qpi_bytes = self.machine.interconnect.total_cross_socket_bytes() - qpi_bytes0;
         RunStats {
             committed,
             aborted,
@@ -333,7 +344,7 @@ impl VirtualExecutor {
             avg_latency_us: if executed == 0 {
                 0.0
             } else {
-                cycles_to_micros((latency_sum / u128::from(executed.max(1))) as u64, ghz)
+                frac_cycles_to_micros(latency_sum as f64 / executed as f64, ghz)
             },
             ipc: if d_cycles == 0 {
                 0.0
@@ -342,10 +353,11 @@ impl VirtualExecutor {
             },
             breakdown,
             qpi_imc_ratio: self.machine.interconnect.qpi_to_imc_ratio(),
-            interconnect_gbps: self
-                .machine
-                .interconnect
-                .total_bandwidth_gbps(self.clock.max(1), &self.machine.topology),
+            interconnect_gbps: Interconnect::bandwidth_gbps(
+                d_qpi_bytes,
+                seg_len.max(1),
+                &self.machine.topology,
+            ),
             time_series,
             repartitions,
             committed_by_socket,
@@ -419,6 +431,101 @@ mod tests {
         assert!(stats.committed > 0);
         ex.restore_socket(SocketId(1));
         assert_eq!(ex.machine().topology.num_active_cores(), before);
+    }
+
+    #[test]
+    fn partial_last_bucket_is_normalized_by_its_actual_width() {
+        // 0.025 s segment with 0.01 s buckets: two full buckets plus a
+        // 0.005 s partial one.  The partial bucket's tps must be normalized
+        // by 0.005 s, not the configured 0.01 s.
+        let machine = Machine::new(Topology::multisocket(2, 2), CostModel::westmere());
+        let workload = TinyWorkload { rows: 2000 };
+        let design: Box<dyn SystemDesign> = Box::new(AtraposDesign::new(
+            &machine,
+            &workload,
+            AtraposConfig::default(),
+        ));
+        let mut ex = VirtualExecutor::new(
+            machine,
+            design,
+            Box::new(workload),
+            ExecutorConfig {
+                seed: 42,
+                default_interval_secs: 0.01,
+                time_series_bucket_secs: 0.01,
+            },
+        );
+        let stats = ex.run_for(0.025);
+        let ts = &stats.time_series;
+        assert_eq!(ts.len(), 3);
+        assert!((ts[0].secs - 0.01).abs() < 1e-9);
+        assert!((ts[1].secs - 0.02).abs() < 1e-9);
+        // The last point ends at the segment end, not one full bucket later.
+        assert!((ts[2].secs - 0.025).abs() < 1e-9, "got {}", ts[2].secs);
+        // Per-bucket counts recovered from tps × actual width must be whole
+        // numbers that sum to (at most) the committed count.
+        let widths = [0.01, 0.01, 0.005];
+        let mut bucketed = 0.0;
+        for (p, w) in ts.iter().zip(widths) {
+            let count = p.tps * w;
+            assert!(
+                (count - count.round()).abs() < 1e-6,
+                "bucket at {} holds a fractional count {count}",
+                p.secs
+            );
+            bucketed += count;
+        }
+        assert!(bucketed.round() as u64 <= stats.committed);
+        // The workload is steady, so the partial bucket's *rate* must be in
+        // line with the full buckets — the old code understated it 2×.
+        let full_tps = (ts[0].tps + ts[1].tps) / 2.0;
+        assert!(
+            ts[2].tps > 0.75 * full_tps,
+            "partial bucket tps {} far below the steady rate {}",
+            ts[2].tps,
+            full_tps
+        );
+    }
+
+    #[test]
+    fn interconnect_gbps_is_per_segment_not_cumulative() {
+        // Centralized on two sockets generates steady cross-socket traffic.
+        // The metric must be computed from the segment's own traffic and
+        // time deltas: re-deriving each segment's byte delta from the
+        // machine's cumulative counter must reproduce the reported numbers
+        // for *every* segment, not only the first.
+        let mut ex = executor_with("centralized", 2, 2);
+        let ghz = ex.machine().topology.frequency_ghz();
+        let mut prev_bytes = ex.machine().interconnect.total_cross_socket_bytes();
+        for seg in 0..3 {
+            let stats = ex.run_for(0.01);
+            let now_bytes = ex.machine().interconnect.total_cross_socket_bytes();
+            let d_bytes = now_bytes - prev_bytes;
+            prev_bytes = now_bytes;
+            let seg_secs = atrapos_numa::secs_to_cycles(0.01, ghz) as f64 / (ghz * 1e9);
+            let expect = d_bytes as f64 * 8.0 / 1e9 / seg_secs;
+            assert!(d_bytes > 0, "segment {seg} moved no cross-socket bytes");
+            assert!(
+                (stats.interconnect_gbps - expect).abs() <= 1e-9 * expect.max(1.0),
+                "segment {seg}: reported {} Gbit/s, segment traffic implies {expect}",
+                stats.interconnect_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn avg_latency_keeps_sub_cycle_precision() {
+        let mut ex = executor_with("centralized", 1, 2);
+        let stats = ex.run_for(0.01);
+        assert!(stats.committed > 1);
+        // The mean latency in cycles is almost surely not an integer; the
+        // old u128 division truncated it to one.
+        let ghz = ex.machine().topology.frequency_ghz();
+        let cycles = stats.avg_latency_us * ghz * 1e3;
+        assert!(
+            (cycles - cycles.round()).abs() > 1e-6 || cycles == 0.0,
+            "avg latency {cycles} cycles looks truncated to a whole cycle"
+        );
     }
 
     #[test]

@@ -39,11 +39,22 @@
 //! labels on the timeline — the paper's Figures 10–13 are each a `Scenario`
 //! plus two `DesignSpec`s.  Scenarios round-trip through JSON (see the
 //! `scenario_replay` example).
+//!
+//! ## The parallel experiment lab
+//!
+//! Experiments are independent deterministic simulations, so bundles of
+//! them run on all cores: a [`sweep::SweepJob`] packages one
+//! (design × workload × scenario) simulation as data and
+//! [`sweep::run_sweep`] executes a job list on a pool of scoped OS threads,
+//! returning results in job order — the output is byte-identical whether
+//! one thread ran the list or sixteen did.  `SystemDesign` and `Workload`
+//! are `Send` so boxed trait objects can move to the worker threads.
 
 pub mod action;
 pub mod designs;
 pub mod executor;
 pub mod scenario;
+pub mod sweep;
 pub mod workers;
 pub mod workload;
 
@@ -56,5 +67,6 @@ pub use designs::spec::DesignSpec;
 pub use designs::{DesignStats, IntervalOutcome, SystemDesign};
 pub use executor::{ExecutorConfig, RunStats, TimePoint, VirtualExecutor};
 pub use scenario::{Scenario, ScenarioEvent, ScenarioOutcome, SegmentStats, TimedEvent};
+pub use sweep::{default_threads, parallel_map, run_sweep, SweepJob, SweepResult};
 pub use workers::WorkerPool;
 pub use workload::{ReconfigureError, TableSpec, Workload, WorkloadChange};

@@ -206,12 +206,17 @@ impl Scenario {
         serde::json::to_string_pretty(self)
     }
 
-    /// Parse a scenario from JSON text.
+    /// Parse a scenario from JSON text.  The parsed timeline is validated,
+    /// so a malformed file (unsorted or out-of-range offsets) is rejected at
+    /// load time with a typed error instead of misbehaving mid-run.
     pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
-        serde::json::from_str(text).map_err(|e| ScenarioError::BadTimeline {
-            scenario: "<json>".to_string(),
-            reason: e.to_string(),
-        })
+        let scenario: Self =
+            serde::json::from_str(text).map_err(|e| ScenarioError::BadTimeline {
+                scenario: "<json>".to_string(),
+                reason: e.to_string(),
+            })?;
+        scenario.validate()?;
+        Ok(scenario)
     }
 }
 
@@ -486,6 +491,28 @@ mod tests {
         let scenario = Scenario::from_json(json).unwrap();
         assert_eq!(scenario.events[0].label, None);
         scenario.validate().unwrap();
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_timelines_with_a_typed_error() {
+        // Parseable JSON, but the offsets are out of order and out of range:
+        // loading must fail up front, not mid-run.
+        let json = r#"{
+            "name": "bad-file", "initial_label": "start", "duration_secs": 1.0,
+            "events": [
+                {"at_secs": 0.9, "event": "Measure"},
+                {"at_secs": 0.1, "event": "Measure"}
+            ]
+        }"#;
+        match Scenario::from_json(json) {
+            Err(ScenarioError::BadTimeline { scenario, .. }) => assert_eq!(scenario, "bad-file"),
+            other => panic!("expected BadTimeline, got {other:?}"),
+        }
+        let out_of_range = r#"{
+            "name": "oor", "initial_label": "start", "duration_secs": 0.5,
+            "events": [{"at_secs": 2.0, "event": "Measure"}]
+        }"#;
+        assert!(Scenario::from_json(out_of_range).is_err());
     }
 
     #[test]

@@ -120,7 +120,11 @@ impl std::error::Error for ReconfigureError {}
 /// registered in the database* (designs pre-create them with their chosen
 /// physical partitioning); if a table is missing it is created as a
 /// single-partition table on socket 0.
-pub trait Workload {
+///
+/// Workloads are `Send`: generators own their state (configs, mixes,
+/// per-table domains), so a `Box<dyn Workload>` can move to a worker thread
+/// of the [`crate::sweep`] experiment lab.
+pub trait Workload: Send {
     /// Workload name (e.g. "TATP", "TPC-C", "read-one-row").
     fn name(&self) -> &str;
 

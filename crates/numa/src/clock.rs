@@ -28,6 +28,13 @@ pub fn cycles_to_micros(cycles: Cycles, ghz: f64) -> f64 {
     cycles as f64 / (ghz * 1e3)
 }
 
+/// Convert a fractional cycle count to microseconds at `ghz` GHz (for
+/// averages, where truncating to whole cycles first would lose precision).
+#[inline]
+pub fn frac_cycles_to_micros(cycles: f64, ghz: f64) -> f64 {
+    cycles / (ghz * 1e3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

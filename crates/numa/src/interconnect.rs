@@ -67,14 +67,18 @@ impl Interconnect {
         }
     }
 
-    /// Aggregate interconnect bandwidth in Gbit/s over `elapsed` cycles at
-    /// the topology's frequency.
-    pub fn total_bandwidth_gbps(&self, elapsed: Cycles, topo: &Topology) -> f64 {
+    /// Bandwidth in Gbit/s of `bytes` moved over `elapsed` cycles at the
+    /// topology's frequency.  Takes the byte count explicitly — pass a
+    /// *delta* of [`Interconnect::total_cross_socket_bytes`] to get the
+    /// bandwidth of a measurement window (dividing the cumulative counter
+    /// by the cumulative clock yields a running average, not the window's
+    /// bandwidth).
+    pub fn bandwidth_gbps(bytes: u64, elapsed: Cycles, topo: &Topology) -> f64 {
         if elapsed == 0 {
             return 0.0;
         }
         let secs = cycles_to_secs(elapsed, topo.frequency_ghz());
-        self.total_cross_socket_bytes() as f64 * 8.0 / 1e9 / secs
+        bytes as f64 * 8.0 / 1e9 / secs
     }
 
     /// Utilization (0..1) of the most-used directed link, given a per-link
@@ -139,8 +143,9 @@ mod tests {
         let mut ic = Interconnect::new(2);
         ic.record(SocketId(0), SocketId(1), 3_000_000_000); // 3 GB
         let one_sec = crate::clock::secs_to_cycles(1.0, topo.frequency_ghz());
-        let gbps = ic.total_bandwidth_gbps(one_sec, &topo);
+        let gbps = Interconnect::bandwidth_gbps(ic.total_cross_socket_bytes(), one_sec, &topo);
         assert!((gbps - 24.0).abs() < 0.1, "got {gbps}");
+        assert_eq!(Interconnect::bandwidth_gbps(123, 0, &topo), 0.0);
     }
 
     #[test]

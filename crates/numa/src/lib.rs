@@ -45,7 +45,10 @@ pub mod machine;
 pub mod placement;
 pub mod topology;
 
-pub use clock::{cycles_to_micros, cycles_to_secs, micros_to_cycles, secs_to_cycles, Cycles};
+pub use clock::{
+    cycles_to_micros, cycles_to_secs, frac_cycles_to_micros, micros_to_cycles, secs_to_cycles,
+    Cycles,
+};
 pub use contention::{AccessKind, ContendedLine, SimResource, WaitMode};
 pub use cost::CostModel;
 pub use counters::{

@@ -5,10 +5,15 @@
 //! cargo run --release -p atrapos-bench --example design_shootout
 //! ```
 //!
+//! The ten (socket count × design) measurements are independent, so they
+//! fan out over the parallel experiment lab and come back in submission
+//! order (set `ATRAPOS_THREADS` to pin the pool size).
+//!
 //! Expected shape (paper Figures 2 and 5): on one socket everything is
 //! within a small factor; on eight sockets the shared-nothing configurations
 //! and ATraPos scale while the centralized design and PLP collapse.
 
+use atrapos_bench::harness::{measure_jobs, measurement_job};
 use atrapos_bench::{DesignSpec, Scale};
 use atrapos_workloads::ReadOneRow;
 
@@ -21,23 +26,31 @@ fn main() {
         DesignSpec::Plp,
         DesignSpec::atrapos(),
     ];
-    for sockets in [1usize, 8] {
-        println!(
-            "== {sockets} socket(s) × {} cores ==",
-            scale.cores_per_socket
-        );
+    let socket_counts = [1usize, 8];
+    let mut jobs = Vec::new();
+    for sockets in socket_counts {
         for spec in &designs {
-            let stats = atrapos_bench::harness::measure(
+            jobs.push(measurement_job(
+                format!("{}-socket/{}", sockets, spec.label()),
                 sockets,
                 scale.cores_per_socket,
-                spec,
+                spec.clone(),
                 Box::new(ReadOneRow::partitionable(
                     scale.micro_rows,
                     sockets * scale.cores_per_socket,
                     1,
                 )),
                 scale.measure_secs,
-            );
+            ));
+        }
+    }
+    let results = measure_jobs(jobs);
+    for (sockets, chunk) in socket_counts.iter().zip(results.chunks(designs.len())) {
+        println!(
+            "== {sockets} socket(s) × {} cores ==",
+            scale.cores_per_socket
+        );
+        for (spec, stats) in designs.iter().zip(chunk) {
             println!(
                 "  {:<24} {:>10.2} KTPS   ipc {:>5.2}   avg latency {:>7.1} µs",
                 spec.label(),

@@ -1,0 +1,109 @@
+//! Parallel-lab determinism regression test.
+//!
+//! The experiment lab's contract: a job list produces byte-identical
+//! serialized reports no matter how many OS threads run it.  This test
+//! builds a miniature wallclock bundle — adaptive figure timelines plus a
+//! TATP design sweep, the same job constructors the harness uses — and
+//! runs it with 1 thread and with 4, comparing the full serialized
+//! `ScenarioOutcome` of every component (committed counts, segment stats,
+//! time series, design stats).
+
+use atrapos_bench::figures::{fig10_scenario, fig11_scenario, figure_job};
+use atrapos_bench::harness::{measurement_job, Scale};
+use atrapos_engine::scenario::ScenarioOutcome;
+use atrapos_engine::sweep::{run_sweep, SweepJob};
+use atrapos_engine::DesignSpec;
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
+
+fn tiny_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.tatp_subscribers = 4_000;
+    s.measure_secs = 0.004;
+    s.phase_secs = 0.004;
+    s.interval_min_secs = 0.002;
+    s.interval_max_secs = 0.008;
+    s
+}
+
+/// A reduced wallclock bundle: four figure variants plus a four-design
+/// TATP sweep (10 jobs).
+fn bundle() -> Vec<SweepJob> {
+    let scale = tiny_scale();
+    let mut jobs = vec![
+        figure_job(
+            "fig10/static",
+            &scale,
+            false,
+            TatpTxn::UpdateSubscriberData,
+            &fig10_scenario(&scale),
+        ),
+        figure_job(
+            "fig10/atrapos",
+            &scale,
+            true,
+            TatpTxn::UpdateSubscriberData,
+            &fig10_scenario(&scale),
+        ),
+        figure_job(
+            "fig11/static",
+            &scale,
+            false,
+            TatpTxn::GetSubscriberData,
+            &fig11_scenario(&scale),
+        ),
+        figure_job(
+            "fig11/atrapos",
+            &scale,
+            true,
+            TatpTxn::GetSubscriberData,
+            &fig11_scenario(&scale),
+        ),
+    ];
+    for spec in [
+        DesignSpec::Centralized,
+        DesignSpec::coarse_shared_nothing(),
+        DesignSpec::Plp,
+        DesignSpec::atrapos(),
+    ] {
+        jobs.push(measurement_job(
+            format!("tatp/{}", spec.label()),
+            2,
+            2,
+            spec,
+            Box::new(Tatp::new(TatpConfig::scaled(scale.tatp_subscribers))),
+            scale.measure_secs,
+        ));
+    }
+    jobs
+}
+
+fn serialized_report(threads: usize) -> Vec<(String, String)> {
+    run_sweep(bundle(), threads)
+        .into_iter()
+        .map(|r| {
+            let outcome: ScenarioOutcome = r
+                .outcome
+                .unwrap_or_else(|e| panic!("component '{}' failed: {e}", r.name));
+            assert!(
+                outcome.total_committed() > 0,
+                "component '{}' committed nothing — the reduced scale is broken",
+                r.name
+            );
+            (r.name, serde::json::to_string_pretty(&outcome))
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_across_thread_counts() {
+    let serial = serialized_report(1);
+    let parallel = serialized_report(4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((s_name, s_json), (p_name, p_json)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s_name, p_name, "job order must not depend on threads");
+        assert_eq!(
+            s_json, p_json,
+            "component '{s_name}' serialized differently under 1 vs 4 threads"
+        );
+    }
+}
