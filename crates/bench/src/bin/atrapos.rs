@@ -1,0 +1,273 @@
+//! The unified `atrapos` command line: one entry point that runs the
+//! paper's experiments, benchmarks the simulator, replays experiment
+//! files, and renders the reproduction report.
+//!
+//! ```text
+//! atrapos figures              # run the reproduction report set, update BENCH_figures.json
+//! atrapos figures fig10 abl04  # run specific experiments
+//! atrapos figures --all        # every experiment (fig01–fig13, tab01–tab02, ablations)
+//! atrapos wallclock --label L  # time the fixed simulator bundle
+//! atrapos sweep --workload tatp --sockets 1,8
+//! atrapos replay experiment.json
+//! atrapos report               # BENCH_figures.json -> REPRODUCTION.md + SVG charts
+//! atrapos report --check      # fail (exit 1) if the committed report drifted
+//! ```
+//!
+//! (Run via `cargo run --release -p atrapos-bench --bin atrapos -- <cmd>`.)
+//!
+//! `ATRAPOS_PAPER=1` switches `figures`/`sweep` to the paper-sized
+//! datasets; `ATRAPOS_REPORT_DIR` moves the JSON/SVG output directory;
+//! `ATRAPOS_THREADS` pins the experiment lab's thread pool.
+
+use atrapos_bench::figures::{run_by_id, ABLATION_IDS, ALL_IDS, REPORT_IDS};
+use atrapos_bench::report::{figures_path, load_figures, report_dir, save_figures};
+use atrapos_bench::{replay, shootout, wallclock, Scale};
+use std::path::Path;
+
+const USAGE: &str = "\
+atrapos — the ATraPos reproduction toolbox
+
+USAGE: atrapos <command> [options]
+
+COMMANDS:
+  figures [ids..] [--all]   Run experiments, print their tables, and record
+                            the results in reports/BENCH_figures.json.
+                            Default ids: the reproduction report set
+                            (fig08, tab02, fig10-fig13, abl01-abl04).
+  wallclock [--label L] [--threads N] [--smoke]
+                            Time the fixed simulator bundle and append the
+                            entry to reports/BENCH_wallclock.json.
+  sweep [--workload micro|tatp|tpcc] [--sockets 1,8]
+                            Compare the five system designs on a workload.
+  replay [file.json] [--emit-sample]
+                            Run a complete experiment description from JSON
+                            (default: examples/scenarios/adaptive_tatp.json).
+  report [--check]          Render REPRODUCTION.md and reports/figures/*.svg
+                            from reports/BENCH_figures.json; --check verifies
+                            the committed copies instead of writing.
+  help                      Show this message.
+
+ENVIRONMENT:
+  ATRAPOS_PAPER=1       paper-sized datasets (slow)
+  ATRAPOS_REPORT_DIR    output directory for JSON/SVG reports (default: reports/)
+  ATRAPOS_THREADS       experiment-lab thread-pool size";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match command {
+        "figures" => cmd_figures(rest),
+        "wallclock" => wallclock::run(rest),
+        "sweep" => cmd_sweep(rest),
+        "replay" => cmd_replay(rest),
+        "report" => cmd_report(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `atrapos figures [ids..] [--all]`
+fn cmd_figures(args: &[String]) -> Result<(), String> {
+    let scale = Scale::from_env();
+    let all = args.iter().any(|a| a == "--all");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .collect();
+    let ids: Vec<String> = if !ids.is_empty() {
+        ids
+    } else if all {
+        ALL_IDS
+            .iter()
+            .chain(ABLATION_IDS.iter())
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        REPORT_IDS.iter().map(|s| s.to_string()).collect()
+    };
+
+    // Validate every id up front: experiments are expensive, and a typo at
+    // the end of the list must not discard completed runs.
+    if let Some(bad) = ids
+        .iter()
+        .find(|id| !ALL_IDS.contains(&id.as_str()) && !ABLATION_IDS.contains(&id.as_str()))
+    {
+        return Err(format!(
+            "unknown experiment id '{bad}'; known ids: {}",
+            ALL_IDS
+                .iter()
+                .chain(ABLATION_IDS.iter())
+                .copied()
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+
+    let mut store = load_figures()?;
+    for id in &ids {
+        let fig = run_by_id(id, &scale)
+            .unwrap_or_else(|| unreachable!("id '{id}' was validated against the known lists"));
+        fig.print();
+        store.upsert(fig);
+    }
+    let path = save_figures(&store)?;
+    eprintln!(
+        "recorded {} experiment(s) in {} ({} total)",
+        ids.len(),
+        path.display(),
+        store.figures.len()
+    );
+    Ok(())
+}
+
+/// `atrapos sweep [--workload W] [--sockets 1,8]`
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let scale = Scale::from_env();
+    let workload = args
+        .iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("micro");
+    let sockets: Vec<usize> = match args.iter().position(|a| a == "--sockets") {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--sockets needs a comma-separated list (e.g. 1,8)")?
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad socket count '{s}'"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![1, scale.max_sockets],
+    };
+    for fig in shootout::design_sweep(workload, &scale, &sockets)? {
+        fig.print();
+    }
+    Ok(())
+}
+
+/// `atrapos replay [file.json] [--emit-sample]`
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--emit-sample") {
+        println!("{}", serde::json::to_string_pretty(&replay::sample()));
+        return Ok(());
+    }
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_else(|| replay::DEFAULT_REPLAY_PATH.to_string());
+    let replay_file = replay::ReplayFile::load(&path)?;
+    let outcome = replay_file.run()?;
+    replay::print_outcome(&replay_file, &outcome);
+    Ok(())
+}
+
+/// `atrapos report [--check]`
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let check = args.iter().any(|a| a == "--check");
+    let figures = {
+        let path = figures_path();
+        if !path.exists() {
+            return Err(format!(
+                "{} not found — run `atrapos figures` first",
+                path.display()
+            ));
+        }
+        load_figures()?
+    };
+    let svg_dir = report_dir().join("figures");
+    // Markdown image links are relative to REPRODUCTION.md at the repo
+    // root.
+    let svg_prefix = svg_dir.to_string_lossy().replace('\\', "/");
+    let rendered = atrapos_report::generate(&figures, &svg_prefix);
+
+    let md_path = Path::new("REPRODUCTION.md");
+    // SVGs on disk that no current experiment produces (removed or renamed
+    // entries) are stale evidence: `--check` flags them, a write removes
+    // them.
+    let expected: Vec<&str> = rendered.svgs.iter().map(|(n, _)| n.as_str()).collect();
+    let orphans: Vec<std::path::PathBuf> = std::fs::read_dir(&svg_dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension().is_some_and(|ext| ext == "svg")
+                        && p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| !expected.contains(&n))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if check {
+        let mut drifted = Vec::new();
+        if std::fs::read_to_string(md_path).ok().as_deref() != Some(rendered.markdown.as_str()) {
+            drifted.push(md_path.display().to_string());
+        }
+        for (name, svg) in &rendered.svgs {
+            let path = svg_dir.join(name);
+            if std::fs::read_to_string(&path).ok().as_deref() != Some(svg.as_str()) {
+                drifted.push(path.display().to_string());
+            }
+        }
+        for orphan in &orphans {
+            drifted.push(format!("{} (orphaned)", orphan.display()));
+        }
+        if drifted.is_empty() {
+            eprintln!("report is up to date ({} charts)", rendered.svgs.len());
+            Ok(())
+        } else {
+            Err(format!(
+                "reproduction report drifted from {}: regenerate with `atrapos report` \
+                 and commit the result\n  stale: {}",
+                figures_path().display(),
+                drifted.join(", ")
+            ))
+        }
+    } else {
+        std::fs::create_dir_all(&svg_dir)
+            .map_err(|e| format!("cannot create {}: {e}", svg_dir.display()))?;
+        std::fs::write(md_path, &rendered.markdown)
+            .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+        for (name, svg) in &rendered.svgs {
+            let path = svg_dir.join(name);
+            std::fs::write(&path, svg)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        for orphan in &orphans {
+            std::fs::remove_file(orphan)
+                .map_err(|e| format!("cannot remove orphaned {}: {e}", orphan.display()))?;
+            eprintln!("removed orphaned chart {}", orphan.display());
+        }
+        eprintln!(
+            "wrote {} and {} chart(s) under {}",
+            md_path.display(),
+            rendered.svgs.len(),
+            svg_dir.display()
+        );
+        Ok(())
+    }
+}

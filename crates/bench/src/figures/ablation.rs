@@ -15,11 +15,11 @@
 //!   with shifted cross-table correlation, the advisor's plan turns almost
 //!   every distributed transaction into a single-instance transaction.
 
-use crate::harness::{measure_jobs, measurement_config, Scale};
+use crate::harness::{measure_jobs, measurement_config, run_meta, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_core::{
-    advise_sharding, evaluate_sharding, KeyDistribution, KeyDomain, ShardingConfig, ShardingPlan,
-    SubPartitionId, WorkloadStats,
+    advise_sharding, evaluate_sharding, AdaptiveInterval, ControllerConfig, KeyDistribution,
+    KeyDomain, ShardingConfig, ShardingPlan, SubPartitionId, WorkloadStats,
 };
 use atrapos_engine::scenario::{Scenario, ScenarioEvent};
 use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
@@ -36,6 +36,18 @@ use rand::Rng;
 
 /// Identifiers of the ablation experiments.
 pub const ABLATION_IDS: &[&str] = &["abl01", "abl02", "abl03", "abl04"];
+
+/// A controller configuration whose adaptation interval matches the
+/// experiment scale.  The `ControllerConfig` default is the paper's 1–8 s
+/// interval; at the reduced scale a run lasts well under a second, so an
+/// unscaled controller never fires and the "adaptive" variant silently
+/// degenerates to the static one (plus monitoring overhead).
+fn scaled_controller(scale: &Scale) -> ControllerConfig {
+    ControllerConfig {
+        interval: AdaptiveInterval::new(scale.interval_min_secs, scale.interval_max_secs, 0.10),
+        ..ControllerConfig::default()
+    }
+}
 
 /// abl01: ATraPos vs PLP under the calibrated Westmere cost model and under
 /// a hypothetical uniform interconnect.  The speedup of ATraPos over PLP
@@ -83,14 +95,20 @@ pub fn abl01_uniform_interconnect(scale: &Scale) -> FigureResult {
     fig.note(
         "expected shape: a clear ATraPos speedup on the Westmere model, ~1x on the uniform model",
     );
+    // The cost model is the swept variable here, so the provenance names
+    // both rather than claiming a single one.
+    let mut meta = run_meta(sockets, cores);
+    meta.cost_model = "westmere vs uniform".to_string();
+    fig.set_meta(meta);
     fig
 }
 
 /// abl02: the oversubscription penalty.  The Figure 6 workload is run on
-/// the naive one-partition-per-table-per-core scheme while sweeping the
-/// per-extra-partition scheduling penalty; with the penalty disabled the
-/// naive scheme looks artificially good, with the calibrated penalty the
-/// ATraPos scheme (one partition per core in total) wins as in the paper.
+/// the naive one-partition-per-table-per-core scheme and on the ATraPos
+/// layout (one partition per core in total, correlated partitions
+/// co-located) while sweeping the per-extra-partition scheduling penalty:
+/// with the penalty disabled the naive scheme looks artificially good, with
+/// the calibrated penalty the ATraPos scheme wins as in the paper.
 pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
     let mut fig = FigureResult::new(
         "abl02",
@@ -102,20 +120,31 @@ pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
     let penalties = [0.0f64, 0.2, 0.35, 0.5];
     let mut jobs = Vec::new();
     for penalty in penalties {
-        for adaptive in [false, true] {
+        for atrapos_layout in [false, true] {
             let machine =
                 Machine::new(Topology::multisocket(sockets, cores), CostModel::westmere());
             let workload = SimpleAb::new(scale.micro_rows / 8);
+            // A pure scheme comparison: adaptation off, only the initial
+            // layout differs (the penalty itself is what is ablated).
+            let initial_scheme = atrapos_layout.then(|| {
+                crate::figures::partitioning::half_scheme(
+                    &machine.topology,
+                    &workload.table_domains(),
+                    true,
+                    AtraposConfig::default().sub_per_partition,
+                )
+            });
             let config = AtraposConfig {
                 oversubscription_penalty: penalty,
-                monitoring: adaptive,
-                adaptive,
+                monitoring: false,
+                adaptive: false,
+                initial_scheme,
                 ..AtraposConfig::default()
             };
             jobs.push(SweepJob::measurement(
                 format!(
                     "abl02/penalty-{penalty}/{}",
-                    if adaptive { "atrapos" } else { "naive" }
+                    if atrapos_layout { "atrapos" } else { "naive" }
                 ),
                 machine,
                 DesignSpec::atrapos_with(config),
@@ -131,17 +160,18 @@ pub fn abl02_oversubscription(scale: &Scale) -> FigureResult {
     }
     let results = measure_jobs(jobs);
     for (penalty, pair) in penalties.iter().zip(results.chunks_exact(2)) {
-        let (naive, adaptive) = (pair[0].throughput_tps, pair[1].throughput_tps);
+        let (naive, atrapos) = (pair[0].throughput_tps, pair[1].throughput_tps);
         fig.push_row(vec![
             fmt(*penalty),
             fmt(naive / 1e3),
-            fmt(adaptive / 1e3),
-            fmt(adaptive / naive),
+            fmt(atrapos / 1e3),
+            fmt(atrapos / naive),
         ]);
     }
     fig.note(
-        "expected shape: the adaptive scheme's advantage grows with the oversubscription penalty",
+        "expected shape: the ATraPos layout's advantage grows with the oversubscription penalty",
     );
+    fig.set_meta(run_meta(sockets, cores));
     fig
 }
 
@@ -178,6 +208,7 @@ pub fn abl03_sub_partition_granularity(scale: &Scale) -> FigureResult {
             workload.set_single(TatpTxn::GetSubscriberData);
             let config = AtraposConfig {
                 sub_per_partition: sub_per,
+                controller: scaled_controller(scale),
                 ..AtraposConfig::default()
             };
             // The Figure 11 hotspot: 50% of the requests on 20% of the data.
@@ -224,6 +255,10 @@ pub fn abl03_sub_partition_granularity(scale: &Scale) -> FigureResult {
         ]);
     }
     fig.note("expected shape: the coarsest granule adapts worst; 10 sub-partitions (the paper's choice) captures most of the benefit");
+    fig.set_meta(run_meta(
+        scale.max_sockets.min(4),
+        scale.cores_per_socket.min(4),
+    ));
     fig
 }
 
@@ -410,6 +445,7 @@ pub fn abl04_sharding_advisor(scale: &Scale) -> FigureResult {
         ]);
     }
     fig.note("expected shape: the advisor removes nearly all distributed transactions and raises throughput");
+    fig.set_meta(run_meta(sockets, cores));
     fig
 }
 

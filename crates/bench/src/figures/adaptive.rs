@@ -12,12 +12,14 @@
 //! data, so the same scenario could be loaded from a file (see the
 //! `scenario_replay` example) or swept over other designs.
 
-use crate::harness::{machine, Scale};
+use crate::harness::{machine, run_meta, Scale};
 use crate::report::{fmt, write_scenario_json, FigureResult};
 use atrapos_core::{AdaptiveInterval, ControllerConfig, KeyDistribution};
 use atrapos_engine::scenario::{Scenario, ScenarioEvent, ScenarioOutcome};
 use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
-use atrapos_engine::{AtraposConfig, DesignSpec, ExecutorConfig, TimePoint, VirtualExecutor};
+use atrapos_engine::{
+    AtraposConfig, DesignSpec, ExecutorConfig, RunMeta, TimePoint, VirtualExecutor,
+};
 use atrapos_numa::{Machine, SocketId};
 use atrapos_storage::{Key, Record, Schema, Table, TableId, Value};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
@@ -101,6 +103,12 @@ pub fn fig09_repartitioning(scale: &Scale) -> FigureResult {
         "table of {rows} rows, 80 partitions; paper: linear growth, < 200 ms at 80 actions on 800 K rows"
     ));
     fig
+}
+
+/// The provenance record of the adaptive figure runs (the 4×4 machine of
+/// [`figure_parts`]).
+fn figure_meta() -> RunMeta {
+    run_meta(4, 4)
 }
 
 /// Which adaptive variant to run.
@@ -271,7 +279,8 @@ pub fn fig10_adapt_workload(scale: &Scale) -> FigureResult {
         scale.time_compression()
     ));
     fig.note("expected shape: ATraPos recovers within a few monitoring intervals after each switch and exceeds the static configuration");
-    write_scenario_json("fig10", &[&s, &a]);
+    write_scenario_json("fig10", figure_meta(), &[&s, &a]);
+    fig.set_meta(figure_meta());
     fig
 }
 
@@ -307,7 +316,8 @@ pub fn fig11_adapt_skew(scale: &Scale) -> FigureResult {
         fig.push_row(row);
     }
     fig.note("expected shape: both drop when the skew appears; ATraPos repartitions and recovers most of the loss, the static system does not");
-    write_scenario_json("fig11", &[&s, &a]);
+    write_scenario_json("fig11", figure_meta(), &[&s, &a]);
+    fig.set_meta(figure_meta());
     fig
 }
 
@@ -334,7 +344,8 @@ pub fn fig12_adapt_hardware(scale: &Scale) -> FigureResult {
         fig.push_row(row);
     }
     fig.note("one of four sockets fails after the first phase; the static system overloads one remaining socket, ATraPos repartitions across the surviving cores");
-    write_scenario_json("fig12", &[&s, &a]);
+    write_scenario_json("fig12", figure_meta(), &[&s, &a]);
+    fig.set_meta(figure_meta());
     fig
 }
 
@@ -391,7 +402,8 @@ pub fn fig13_adapt_frequency(scale: &Scale) -> FigureResult {
         }
     }
     fig.note("A = GetNewDest, B = TATP-Mix; the monitoring interval relaxes while the workload is stable and resets after each adaptation");
-    write_scenario_json("fig13", &[&outcome]);
+    write_scenario_json("fig13", figure_meta(), &[&outcome]);
+    fig.set_meta(figure_meta());
     fig
 }
 

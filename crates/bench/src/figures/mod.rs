@@ -31,6 +31,13 @@ pub const ALL_IDS: &[&str] = &[
     "fig09", "fig10", "fig11", "fig12", "fig13",
 ];
 
+/// The reproduction report set: the experiments `REPRODUCTION.md` tracks
+/// with reference-trend verdicts (the headline comparisons of §VI plus the
+/// four ablations).  `atrapos figures` runs these by default.
+pub const REPORT_IDS: &[&str] = &[
+    "fig08", "tab02", "fig10", "fig11", "fig12", "fig13", "abl01", "abl02", "abl03", "abl04",
+];
+
 /// Run one experiment by id.
 pub fn run_by_id(id: &str, scale: &Scale) -> Option<FigureResult> {
     match id {

@@ -1,7 +1,7 @@
 //! The motivation experiments of paper §III: how the existing designs behave
 //! on multisocket hardware (Figures 1–5, Table I).
 
-use crate::harness::{measure, measure_with_memory_policy, Scale};
+use crate::harness::{measure, measure_with_memory_policy, run_meta, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_engine::DesignSpec;
 use atrapos_numa::Component;
@@ -47,6 +47,7 @@ pub fn fig01_ipc(scale: &Scale) -> FigureResult {
         fig.push_row(row);
     }
     fig.note("expected shape: shared-nothing flat; centralized rises with spinning; PLP drops with cross-socket CAS stalls");
+    fig.set_meta(run_meta(scale.max_sockets, scale.cores_per_socket));
     fig
 }
 
@@ -81,6 +82,7 @@ pub fn fig02_scaleup(scale: &Scale) -> FigureResult {
         fig.push_row(row);
     }
     fig.note("expected shape: extreme shared-nothing scales linearly; centralized and PLP stop scaling past 1-2 sockets");
+    fig.set_meta(run_meta(scale.max_sockets, scale.cores_per_socket));
     fig
 }
 
@@ -122,6 +124,7 @@ pub fn fig03_multisite(scale: &Scale) -> FigureResult {
         fig.push_row(row);
     }
     fig.note("expected shape: shared-nothing throughput collapses as multi-site % grows; centralized is flat but low");
+    fig.set_meta(run_meta(sockets, cores));
     fig
 }
 
@@ -176,6 +179,7 @@ pub fn fig04_breakdown(scale: &Scale) -> FigureResult {
         ]);
     }
     fig.note("expected shape: total time per transaction grows steeply with multi-site %, driven by logging, communication, and transaction management");
+    fig.set_meta(run_meta(sockets, cores));
     fig
 }
 
@@ -223,6 +227,7 @@ pub fn tab01_memory_policy(scale: &Scale) -> FigureResult {
             (1.0 - totals[2] / totals[0]) * 100.0
         ));
     }
+    fig.set_meta(run_meta(sockets, scale.cores_per_socket));
     fig
 }
 
@@ -260,5 +265,6 @@ pub fn fig05_atrapos_scaleup(scale: &Scale) -> FigureResult {
     fig.note(
         "expected shape: ATraPos scales like both shared-nothing configurations; PLP does not",
     );
+    fig.set_meta(run_meta(scale.max_sockets, scale.cores_per_socket));
     fig
 }

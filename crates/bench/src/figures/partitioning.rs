@@ -1,7 +1,7 @@
 //! The partitioning/placement strategy comparison (Figure 6) and the
 //! NewOrder flow graph (Figure 7).
 
-use crate::harness::{machine, Scale};
+use crate::harness::{machine, run_meta, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_core::{KeyDomain, PartitionSpec, PartitioningScheme, TablePartitioning};
 use atrapos_engine::{
@@ -18,7 +18,9 @@ use rand::SeedableRng;
 /// table A's partition `i` goes to an even core, table B's partition `i`
 /// goes either to the adjacent odd core (same socket — the ATraPos
 /// placement) or to a core one socket away (hardware-oblivious placement).
-fn half_scheme(
+/// Shared with the oversubscription ablation (`abl02`), which compares this
+/// layout against the naive one-partition-per-table-per-core scheme.
+pub(crate) fn half_scheme(
     topo: &Topology,
     domains: &[(TableId, KeyDomain)],
     colocate: bool,
@@ -150,6 +152,7 @@ pub fn fig06_placement(scale: &Scale) -> FigureResult {
     }
 
     fig.note("expected shape: HW-aware ≈ 1.7-2x over the baselines; removing oversaturation ≈ 2.3x more; co-locating dependent partitions adds ≈ 10%");
+    fig.set_meta(run_meta(sockets, cores));
     fig
 }
 

@@ -5,7 +5,7 @@
 //! (design × workload) measurements — so they fan out over the parallel
 //! experiment lab and the rows are assembled from the in-order results.
 
-use crate::harness::{measure_jobs, measurement_job, Scale};
+use crate::harness::{measure_jobs, measurement_job, run_meta, Scale};
 use crate::report::{fmt, FigureResult};
 use atrapos_engine::{AtraposConfig, DesignSpec, Workload};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig, TpccTxn};
@@ -91,6 +91,7 @@ pub fn fig08_standard_benchmarks(scale: &Scale) -> FigureResult {
         ]);
     }
     fig.note("paper reports 6.7x (GetSubData), 3.2x (GetNewDest), 5.4x (UpdSubData), 4.4x (TATP-Mix), 2.7x (StockLevel), 1.4x (OrderStatus), 1.5x (TPCC-Mix)");
+    fig.set_meta(run_meta(sockets, cores));
     fig
 }
 
@@ -155,5 +156,6 @@ pub fn tab02_monitoring_overhead(scale: &Scale) -> FigureResult {
         ]);
     }
     fig.note("paper reports at most 3.32% (GetSubData) and ~1% elsewhere");
+    fig.set_meta(run_meta(sockets, cores));
     fig
 }

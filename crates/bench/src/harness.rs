@@ -11,7 +11,7 @@
 //! identical to a serial run.
 
 use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
-use atrapos_engine::{DesignSpec, ExecutorConfig, RunStats, VirtualExecutor, Workload};
+use atrapos_engine::{DesignSpec, ExecutorConfig, RunMeta, RunStats, VirtualExecutor, Workload};
 use atrapos_numa::{CostModel, Machine, Topology};
 use atrapos_storage::MemoryPolicy;
 
@@ -101,6 +101,12 @@ pub fn machine(sockets: usize, cores_per_socket: usize) -> Machine {
         Topology::multisocket(sockets, cores_per_socket),
         CostModel::westmere(),
     )
+}
+
+/// The provenance record of a harness measurement on the standard machine:
+/// the fixed seed (42) and the experiment lab's thread count.
+pub fn run_meta(sockets: usize, cores_per_socket: usize) -> RunMeta {
+    RunMeta::of(&machine(sockets, cores_per_socket), 42, default_threads())
 }
 
 /// Build an executor for (design, workload, machine).

@@ -1,25 +1,41 @@
 //! # atrapos-bench
 //!
 //! The benchmark harness that regenerates every table and figure of the
-//! ATraPos (ICDE 2014) evaluation on the simulated hardware-Island machine.
+//! ATraPos (ICDE 2014) evaluation on the simulated hardware-Island machine,
+//! behind the single `atrapos` command-line binary.
 //!
 //! * [`figures`] — one function per experiment (`fig01` … `fig13`, `tab01`,
-//!   `tab02`), each returning a [`report::FigureResult`] with the same rows
-//!   or series the paper reports.
+//!   `tab02`, the ablations), each returning a serializable
+//!   [`report::FigureResult`] with the same rows or series the paper
+//!   reports.
 //! * [`harness`] — shared helpers for building machines, designs, and
-//!   executors.
-//! * [`report`] — plain-text rendering of the results.
+//!   executors, plus the bridge to the engine's parallel experiment lab.
+//! * [`report`] — where the JSON artifacts live (`reports/BENCH_*.json`);
+//!   the result model itself comes from `atrapos-report`.
+//! * [`replay`] — complete experiments (machine + design + timeline) as
+//!   JSON files.
+//! * [`shootout`] — ad-hoc design sweeps over a workload.
+//! * [`wallclock`] — the simulator's own wall-clock benchmark bundle.
 //!
-//! Run everything with `cargo bench -p atrapos-bench --bench figures`, or a
-//! single experiment with
-//! `cargo run --release -p atrapos-bench --bin figures -- fig02`.
-//! Set `ATRAPOS_PAPER=1` to use the paper-sized datasets and durations
+//! Run `cargo run --release -p atrapos-bench --bin atrapos -- help` for the
+//! CLI surface; `atrapos figures && atrapos report` regenerates the
+//! experiment data and renders `REPRODUCTION.md` from it.  Set
+//! `ATRAPOS_PAPER=1` to use the paper-sized datasets and durations
 //! (slower); the default scale is reduced so the whole suite completes in
-//! a few minutes (the scaling factors are listed in `EXPERIMENTS.md`).
+//! a few minutes.
+//!
+//! ---
+//!
+//! The repository README follows, included here so that its code examples
+//! compile and run as doctests under `cargo test`:
+#![doc = include_str!("../../../README.md")]
 
 pub mod figures;
 pub mod harness;
+pub mod replay;
 pub mod report;
+pub mod shootout;
+pub mod wallclock;
 
 pub use atrapos_engine::DesignSpec;
 pub use harness::Scale;

@@ -1,0 +1,175 @@
+//! Replay-file experiments: a complete experiment description — machine,
+//! design spec, workload parameters, and event timeline — stored as JSON.
+//!
+//! This is the "scenarios are data" endpoint: `atrapos replay file.json`
+//! loads a [`ReplayFile`], runs it, and prints per-segment statistics.  A
+//! canonical file ships at `examples/scenarios/adaptive_tatp.json`; the
+//! determinism regression test replays it twice and requires byte-identical
+//! serialized outcomes.
+
+use atrapos_engine::scenario::{Scenario, ScenarioError, ScenarioOutcome};
+use atrapos_engine::{DesignSpec, ExecutorConfig, VirtualExecutor};
+use atrapos_numa::{CostModel, Machine, Topology};
+use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The default replay file, shipped with the repository.
+pub const DEFAULT_REPLAY_PATH: &str = "examples/scenarios/adaptive_tatp.json";
+
+/// A complete, self-contained experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayFile {
+    /// Simulated machine: sockets × cores per socket.
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// The design to run (serializable spec, no code).
+    pub design: DesignSpec,
+    /// TATP dataset size.
+    pub tatp_subscribers: i64,
+    /// Transaction type the workload starts on.
+    pub initial_txn: String,
+    /// Workload-generator seed.
+    pub seed: u64,
+    /// Default monitoring interval in virtual seconds.
+    pub interval_secs: f64,
+    /// The event timeline.
+    pub scenario: Scenario,
+}
+
+impl ReplayFile {
+    /// Load and validate a replay file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read replay file '{}': {e}", path.display()))?;
+        let replay: Self = serde::json::from_str(&text)
+            .map_err(|e| format!("cannot parse replay file '{}': {e}", path.display()))?;
+        replay
+            .scenario
+            .validate()
+            .map_err(|e| format!("invalid scenario in '{}': {e}", path.display()))?;
+        Ok(replay)
+    }
+
+    /// Build the executor this file describes (machine, populated design,
+    /// seeded workload).
+    pub fn build_executor(&self) -> Result<VirtualExecutor, String> {
+        let machine = Machine::new(
+            Topology::multisocket(self.sockets, self.cores_per_socket),
+            CostModel::westmere(),
+        );
+        let mut workload = Tatp::new(TatpConfig::scaled(self.tatp_subscribers));
+        let initial = TatpTxn::from_label(&self.initial_txn)
+            .ok_or_else(|| format!("unknown initial transaction '{}'", self.initial_txn))?;
+        workload.set_single(initial);
+        let design = self.design.build(&machine, &workload);
+        Ok(VirtualExecutor::new(
+            machine,
+            design,
+            Box::new(workload),
+            ExecutorConfig {
+                seed: self.seed,
+                default_interval_secs: self.interval_secs,
+                time_series_bucket_secs: self.interval_secs,
+            },
+        ))
+    }
+
+    /// Run the experiment to completion.
+    pub fn run(&self) -> Result<ScenarioOutcome, String> {
+        self.build_executor()?
+            .run_scenario(&self.scenario)
+            .map_err(|e: ScenarioError| e.to_string())
+    }
+}
+
+/// The canonical sample experiment (the contents of
+/// [`DEFAULT_REPLAY_PATH`]): the `adaptive_tatp` timeline on a 4×4 machine.
+pub fn sample() -> ReplayFile {
+    use atrapos_core::{AdaptiveInterval, ControllerConfig};
+    use atrapos_engine::scenario::ScenarioEvent;
+    use atrapos_engine::AtraposConfig;
+    ReplayFile {
+        sockets: 4,
+        cores_per_socket: 4,
+        design: DesignSpec::atrapos_with(AtraposConfig {
+            controller: ControllerConfig {
+                interval: AdaptiveInterval::new(0.05, 0.4, 0.10),
+                ..ControllerConfig::default()
+            },
+            ..AtraposConfig::default()
+        }),
+        tatp_subscribers: 20_000,
+        initial_txn: "UpdSubData".to_string(),
+        seed: 7,
+        interval_secs: 0.05,
+        scenario: Scenario::new("adaptive-tatp-replay", 0.75)
+            .starting_as("UpdSubData")
+            .at(
+                0.25,
+                "GetNewDest",
+                ScenarioEvent::SetWorkloadPhase {
+                    txn: "GetNewDest".to_string(),
+                },
+            )
+            .at(0.5, "TATP-Mix", ScenarioEvent::SetMix),
+    }
+}
+
+/// Print a replay outcome's per-segment statistics to stdout.
+pub fn print_outcome(replay: &ReplayFile, outcome: &ScenarioOutcome) {
+    println!(
+        "replaying '{}' ({} events over {:.2} virtual s) against {}",
+        replay.scenario.name,
+        replay.scenario.events.len(),
+        replay.scenario.duration_secs,
+        replay.design.label(),
+    );
+    for segment in &outcome.segments {
+        println!(
+            "  segment {:<12} t={:>5.2}s  {:>9.0} TPS  latency {:>6.1} µs  repartitionings {}",
+            segment.label,
+            segment.start_secs,
+            segment.stats.throughput_tps,
+            segment.stats.avg_latency_us,
+            segment.stats.repartitions,
+        );
+    }
+    println!(
+        "total committed {}  design stats {:?}",
+        outcome.total_committed(),
+        outcome.design_stats
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_round_trips_and_runs() {
+        let mut replay = sample();
+        // Shrink for test budgets; structure stays the sample's.
+        replay.tatp_subscribers = 2_000;
+        replay.interval_secs /= 5.0;
+        replay.scenario.duration_secs /= 5.0;
+        for e in &mut replay.scenario.events {
+            e.at_secs /= 5.0;
+        }
+        let json = serde::json::to_string_pretty(&replay);
+        let back: ReplayFile = serde::json::from_str(&json).unwrap();
+        assert_eq!(back.scenario, replay.scenario);
+        let outcome = replay.run().expect("sample replay runs");
+        assert!(outcome.total_committed() > 0);
+        assert_eq!(outcome.segments.len(), 3);
+    }
+
+    #[test]
+    fn unknown_initial_txn_is_a_load_error() {
+        let mut replay = sample();
+        replay.initial_txn = "NoSuchTxn".to_string();
+        assert!(replay.run().unwrap_err().contains("NoSuchTxn"));
+    }
+}

@@ -1,144 +1,84 @@
-//! Plain-text rendering of experiment results, plus machine-readable JSON
-//! dumps of scenario runs.
+//! Report output glue: where JSON artifacts go, and re-exports of the
+//! result model from `atrapos-report`.
+//!
+//! The result types themselves ([`FigureResult`], [`FiguresFile`]) live in
+//! `atrapos-report` so the report generator can consume recorded results
+//! without depending on the harness; this module only decides *where* the
+//! harness writes them.
 
-use atrapos_engine::ScenarioOutcome;
+use atrapos_engine::{RunMeta, ScenarioOutcome};
+pub use atrapos_report::{fmt, FigureResult, FiguresFile};
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
-/// The outcome of regenerating one table or figure.
-#[derive(Debug, Clone)]
-pub struct FigureResult {
-    /// Experiment identifier ("fig02", "tab01", ...).
-    pub id: &'static str,
-    /// Title matching the paper's caption.
-    pub title: String,
-    /// Column headers.
-    pub header: Vec<String>,
-    /// Data rows.
-    pub rows: Vec<Vec<String>>,
-    /// Free-form notes (scaling factors, expected shape).
-    pub notes: Vec<String>,
-}
-
-impl FigureResult {
-    /// Create a result with the given id/title/header.
-    pub fn new(id: &'static str, title: impl Into<String>, header: Vec<&str>) -> Self {
-        Self {
-            id,
-            title: title.into(),
-            header: header.into_iter().map(String::from).collect(),
-            rows: Vec::new(),
-            notes: Vec::new(),
-        }
-    }
-
-    /// Append a data row.
-    pub fn push_row(&mut self, row: Vec<String>) {
-        debug_assert_eq!(row.len(), self.header.len());
-        self.rows.push(row);
-    }
-
-    /// Append a note.
-    pub fn note(&mut self, note: impl Into<String>) {
-        self.notes.push(note.into());
-    }
-
-    /// Render as an aligned plain-text table.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let fmt_row = |cells: &[String], widths: &[usize]| {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        out.push_str(&fmt_row(&self.header, &widths));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        for note in &self.notes {
-            out.push_str(&format!("note: {note}\n"));
-        }
-        out
-    }
-
-    /// Print to stdout.
-    pub fn print(&self) {
-        println!("{}", self.render());
-    }
-}
-
-/// Directory the JSON segment reports go to (`ATRAPOS_REPORT_DIR`
-/// overrides; default `reports/`).
+/// Directory the JSON reports go to (`ATRAPOS_REPORT_DIR` overrides;
+/// default `reports/`).
 pub fn report_dir() -> PathBuf {
     std::env::var("ATRAPOS_REPORT_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("reports"))
 }
 
+/// Path of the accumulated figure-result store,
+/// `reports/BENCH_figures.json`.
+pub fn figures_path() -> PathBuf {
+    report_dir().join("BENCH_figures.json")
+}
+
+/// Load the figure-result store, or an empty one if the file does not
+/// exist yet.  An unparseable file is an error — never silently wipe
+/// accumulated results.
+pub fn load_figures() -> Result<FiguresFile, String> {
+    let path = figures_path();
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            FiguresFile::from_json(&text).map_err(|e| format!("unreadable {}: {e}", path.display()))
+        }
+        Err(_) => Ok(FiguresFile::new()),
+    }
+}
+
+/// Write the figure-result store back to `reports/BENCH_figures.json`.
+pub fn save_figures(file: &FiguresFile) -> Result<PathBuf, String> {
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = figures_path();
+    std::fs::write(&path, file.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// A segment-report file: the scenario outcomes of one experiment plus the
+/// provenance of the run that produced them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentsFile {
+    /// Provenance: machine spec, seed, lab threads.
+    pub meta: RunMeta,
+    /// One outcome per design variant the experiment ran.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
 /// Write the per-segment statistics of one experiment's scenario runs as
 /// JSON next to the text report (`reports/BENCH_<id>_segments.json`), so
 /// the performance trajectory has machine-readable input.  Best-effort: a
 /// read-only working directory only loses the JSON copy, never the run.
-pub fn write_scenario_json(id: &str, outcomes: &[&ScenarioOutcome]) -> Option<PathBuf> {
+pub fn write_scenario_json(
+    id: &str,
+    meta: RunMeta,
+    outcomes: &[&ScenarioOutcome],
+) -> Option<PathBuf> {
     let dir = report_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return None;
     }
     let path = dir.join(format!("BENCH_{id}_segments.json"));
-    let body = serde::json::to_string_pretty(&outcomes.to_vec());
+    let file = SegmentsFile {
+        meta,
+        outcomes: outcomes.iter().map(|o| (*o).clone()).collect(),
+    };
+    let body = serde::json::to_string_pretty(&file);
     match std::fs::write(&path, body) {
         Ok(()) => Some(path),
         Err(_) => None,
-    }
-}
-
-/// Format a float with sensible precision for tables.
-pub fn fmt(v: f64) -> String {
-    if v == 0.0 {
-        "0".to_string()
-    } else if v.abs() >= 1000.0 {
-        format!("{v:.0}")
-    } else if v.abs() >= 10.0 {
-        format!("{v:.1}")
-    } else {
-        format!("{v:.3}")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn render_aligns_columns_and_includes_notes() {
-        let mut f = FigureResult::new("figXX", "test figure", vec!["a", "bbbb"]);
-        f.push_row(vec!["1".into(), "2".into()]);
-        f.push_row(vec!["100".into(), "2000".into()]);
-        f.note("scaled");
-        let s = f.render();
-        assert!(s.contains("figXX"));
-        assert!(s.contains("note: scaled"));
-        assert!(s.lines().count() >= 5);
-    }
-
-    #[test]
-    fn fmt_uses_sensible_precision() {
-        assert_eq!(fmt(0.0), "0");
-        assert_eq!(fmt(12345.6), "12346");
-        assert_eq!(fmt(12.34), "12.3");
-        assert_eq!(fmt(1.2345), "1.234");
     }
 }

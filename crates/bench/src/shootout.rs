@@ -1,0 +1,127 @@
+//! Ad-hoc design sweeps (`atrapos sweep`): compare the five system designs
+//! on a chosen workload and machine size, through the parallel experiment
+//! lab.
+//!
+//! This is the generalization of the old `design_shootout` example: the
+//! (socket count × design) measurements are independent jobs, fan out over
+//! the lab, and come back in submission order as one [`FigureResult`]
+//! table per socket count.
+
+use crate::harness::{measure_jobs, measurement_job, run_meta, Scale};
+use crate::report::{fmt, FigureResult};
+use atrapos_engine::{DesignSpec, Workload};
+use atrapos_workloads::{ReadOneRow, Tatp, TatpConfig, Tpcc, TpccConfig};
+
+/// The workloads `atrapos sweep` can run.
+pub const SWEEP_WORKLOADS: &[&str] = &["micro", "tatp", "tpcc"];
+
+/// The five designs of the shootout, in presentation order.
+pub fn shootout_designs() -> Vec<DesignSpec> {
+    vec![
+        DesignSpec::extreme_shared_nothing(false),
+        DesignSpec::coarse_shared_nothing(),
+        DesignSpec::Centralized,
+        DesignSpec::Plp,
+        DesignSpec::atrapos(),
+    ]
+}
+
+/// Build one instance of a named sweep workload, sized for `scale` and the
+/// given core count.
+fn build_workload(name: &str, scale: &Scale, total_cores: usize) -> Option<Box<dyn Workload>> {
+    match name {
+        "micro" => Some(Box::new(ReadOneRow::partitionable(
+            scale.micro_rows,
+            total_cores,
+            1,
+        ))),
+        "tatp" => Some(Box::new(Tatp::new(TatpConfig::scaled(
+            scale.tatp_subscribers,
+        )))),
+        "tpcc" => Some(Box::new(Tpcc::new(TpccConfig::scaled(
+            scale.tpcc_warehouses,
+        )))),
+        _ => None,
+    }
+}
+
+/// Sweep every design over `workload_name` at each socket count, returning
+/// one result table per socket count.  Unknown workload names are an
+/// error (the caller lists [`SWEEP_WORKLOADS`]).
+pub fn design_sweep(
+    workload_name: &str,
+    scale: &Scale,
+    socket_counts: &[usize],
+) -> Result<Vec<FigureResult>, String> {
+    let designs = shootout_designs();
+    let mut jobs = Vec::new();
+    for &sockets in socket_counts {
+        for spec in &designs {
+            let workload = build_workload(workload_name, scale, sockets * scale.cores_per_socket)
+                .ok_or_else(|| {
+                format!(
+                    "unknown workload '{workload_name}' (known: {})",
+                    SWEEP_WORKLOADS.join(", ")
+                )
+            })?;
+            jobs.push(measurement_job(
+                format!("{sockets}-socket/{}", spec.label()),
+                sockets,
+                scale.cores_per_socket,
+                spec.clone(),
+                workload,
+                scale.measure_secs,
+            ));
+        }
+    }
+    let results = measure_jobs(jobs);
+    Ok(socket_counts
+        .iter()
+        .zip(results.chunks(designs.len()))
+        .map(|(&sockets, chunk)| {
+            let mut fig = FigureResult::new(
+                format!("sweep-{workload_name}-{sockets}s"),
+                format!(
+                    "{workload_name} on {sockets} socket(s) × {} cores",
+                    scale.cores_per_socket
+                ),
+                vec!["design", "KTPS", "IPC", "avg latency (µs)"],
+            );
+            for (spec, stats) in designs.iter().zip(chunk) {
+                fig.push_row(vec![
+                    spec.label().to_string(),
+                    fmt(stats.throughput_tps / 1e3),
+                    fmt(stats.ipc),
+                    fmt(stats.avg_latency_us),
+                ]);
+            }
+            fig.set_meta(run_meta(sockets, scale.cores_per_socket));
+            fig
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_table_per_socket_count() {
+        let mut scale = Scale::quick();
+        scale.micro_rows = 4_000;
+        scale.measure_secs = 0.002;
+        scale.cores_per_socket = 2;
+        let figs = design_sweep("micro", &scale, &[1, 2]).unwrap();
+        assert_eq!(figs.len(), 2);
+        for fig in &figs {
+            assert_eq!(fig.rows.len(), shootout_designs().len());
+            assert!(fig.meta.is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_workloads_are_rejected_with_the_known_list() {
+        let err = design_sweep("nope", &Scale::quick(), &[1]).unwrap_err();
+        assert!(err.contains("micro, tatp, tpcc"));
+    }
+}

@@ -1,4 +1,4 @@
-//! Wall-clock benchmark of the simulator itself.
+//! Wall-clock benchmark of the simulator itself (`atrapos wallclock`).
 //!
 //! Times a fixed scenario bundle — the adaptive TATP figure timelines
 //! (Figures 10–13) plus TATP and TPC-C design sweeps on the paper's
@@ -8,12 +8,6 @@
 //! wall-clock trajectory (e.g. a `pre-refactor` and a `post-refactor`
 //! entry per optimization PR) and the speedup between the first and the
 //! last run is computed automatically.
-//!
-//! ```text
-//! cargo run --release -p atrapos-bench --bin wallclock -- --label pre-refactor
-//! cargo run --release -p atrapos-bench --bin wallclock -- --threads 8
-//! cargo run --release -p atrapos-bench --bin wallclock -- --smoke   # CI-sized
-//! ```
 //!
 //! The ~30 components of the bundle are independent deterministic
 //! simulations, so they run as one job list on the engine's parallel
@@ -26,11 +20,9 @@
 //! seed ⇒ same simulated work), so it doubles as a cheap cross-run
 //! determinism check.
 
-use atrapos_bench::figures::{
-    fig10_scenario, fig11_scenario, fig12_scenario, fig13_scenario, figure_job,
-};
-use atrapos_bench::harness::{machine, measurement_config, Scale};
-use atrapos_bench::report::report_dir;
+use crate::figures::{fig10_scenario, fig11_scenario, fig12_scenario, fig13_scenario, figure_job};
+use crate::harness::{machine, measurement_config, Scale};
+use crate::report::report_dir;
 use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
 use atrapos_engine::{DesignSpec, Workload};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn, Tpcc, TpccConfig};
@@ -214,8 +206,10 @@ fn run_bundle(scale: &Scale, threads: usize) -> Vec<ComponentTiming> {
         .collect()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Run the wallclock bundle with the given CLI arguments (`--label L`,
+/// `--threads N`, `--smoke`) and append the entry to
+/// `reports/BENCH_wallclock.json`.
+pub fn run(args: &[String]) -> Result<(), String> {
     let smoke = args.iter().any(|a| a == "--smoke");
     let label = args
         .iter()
@@ -226,10 +220,7 @@ fn main() {
     let threads = match args.iter().position(|a| a == "--threads") {
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(n) if n >= 1 => n,
-            _ => {
-                eprintln!("error: --threads needs a positive integer");
-                std::process::exit(2);
-            }
+            _ => return Err("--threads needs a positive integer".to_string()),
         },
         None => default_threads(),
     };
@@ -278,9 +269,10 @@ fn main() {
                 // Never silently wipe an accumulated trajectory: an
                 // unparseable file is a bug or a merge accident, and the
                 // baseline entries in it are irreplaceable.
-                eprintln!("error: existing {} is unreadable: {e}", path.display());
-                eprintln!("fix or remove the file, then re-run");
-                std::process::exit(1);
+                return Err(format!(
+                    "existing {} is unreadable: {e}\nfix or remove the file, then re-run",
+                    path.display()
+                ));
             }
         },
         Err(_) => WallclockReport {
@@ -305,4 +297,5 @@ fn main() {
             .unwrap_or_else(|e| eprintln!("cannot write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
     }
+    Ok(())
 }

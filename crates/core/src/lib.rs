@@ -34,6 +34,8 @@
 //! * [`distribution`] — key-access distributions (uniform, hotspot skew);
 //!   shared data for the engine's typed workload-reconfiguration channel.
 
+#![warn(missing_docs)]
+
 pub mod advisor;
 pub mod controller;
 pub mod cost_model;

@@ -50,9 +50,12 @@
 //! one thread ran the list or sixteen did.  `SystemDesign` and `Workload`
 //! are `Send` so boxed trait objects can move to the worker threads.
 
+#![warn(missing_docs)]
+
 pub mod action;
 pub mod designs;
 pub mod executor;
+pub mod meta;
 pub mod scenario;
 pub mod sweep;
 pub mod workers;
@@ -66,6 +69,7 @@ pub use designs::shared_nothing::{SharedNothingDesign, SharedNothingGranularity}
 pub use designs::spec::DesignSpec;
 pub use designs::{DesignStats, IntervalOutcome, SystemDesign};
 pub use executor::{ExecutorConfig, RunStats, TimePoint, VirtualExecutor};
+pub use meta::RunMeta;
 pub use scenario::{Scenario, ScenarioEvent, ScenarioOutcome, SegmentStats, TimedEvent};
 pub use sweep::{default_threads, parallel_map, run_sweep, SweepJob, SweepResult};
 pub use workers::WorkerPool;

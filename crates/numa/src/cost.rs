@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Instructions retired per cycle while executing useful transaction
-    /// logic.  OLTP barely exceeds 1 IPC (paper §III-B, [25]).
+    /// logic.  OLTP barely exceeds 1 IPC (paper §III-B, ref. \[25\]).
     pub base_ipc: f64,
     /// Instructions retired per cycle while spin-waiting on a lock whose
     /// cache line is locally cached.  Spinning retires instructions quickly,

@@ -1,0 +1,416 @@
+//! A tiny hand-rolled SVG chart emitter.
+//!
+//! The reproduction report needs line charts (the adaptive time series of
+//! Figures 10–13) and grouped bar charts (the per-workload comparisons of
+//! Figure 8, Table II, and the ablations).  Both are emitted as standalone
+//! SVG documents with no external dependencies, fonts aside, and with
+//! deterministic output: the same data always produces byte-identical
+//! markup (floats are printed with fixed precision, nothing depends on
+//! iteration order or the clock).
+
+use std::fmt::Write as _;
+
+/// Canvas width in user units.
+const WIDTH: f64 = 720.0;
+/// Canvas height in user units.
+const HEIGHT: f64 = 405.0;
+/// Plot-area margins: top (title), right, bottom (x ticks + label), left
+/// (y ticks + label).
+const MARGIN: (f64, f64, f64, f64) = (42.0, 18.0, 52.0, 64.0);
+/// Series colors, assigned in order.
+const PALETTE: &[&str] = &[
+    "#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2",
+];
+
+/// One named line of a line chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Fixed-precision coordinate formatting (two decimals is well below one
+/// user unit, and keeps the output stable).
+fn c(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Tick-label formatting: trims trailing zeros so axes read naturally.
+fn tick_label(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// A "nice" tick step (1, 2, or 5 times a power of ten) giving at most
+/// `max_ticks` intervals over `span`.
+fn nice_step(span: f64, max_ticks: usize) -> f64 {
+    // NaN and non-positive spans both fall back to a unit step.
+    if span.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || max_ticks == 0 {
+        return 1.0;
+    }
+    let raw = span / max_ticks as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    for m in [1.0, 2.0, 5.0, 10.0] {
+        if mag * m >= raw {
+            return mag * m;
+        }
+    }
+    mag * 10.0
+}
+
+/// Tick positions covering `[lo, hi]` at multiples of the nice step.
+fn ticks(lo: f64, hi: f64, max_ticks: usize) -> Vec<f64> {
+    let step = nice_step(hi - lo, max_ticks);
+    let first = (lo / step).floor() * step;
+    let mut out = Vec::new();
+    let mut t = first;
+    // A sliver of slack keeps boundary ticks despite float accumulation,
+    // without admitting ticks that would land outside the plot area.
+    while t <= hi + step * 1e-6 {
+        if t >= lo - step * 1e-6 {
+            // Snap near-zero accumulation artifacts to exactly zero.
+            out.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        }
+        t += step;
+    }
+    out
+}
+
+/// The shared document frame: header, background, title, axis labels.
+struct Frame {
+    out: String,
+    /// Plot-area rectangle (x0, y0, x1, y1) in user units.
+    plot: (f64, f64, f64, f64),
+}
+
+impl Frame {
+    fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        let (top, right, bottom, left) = MARGIN;
+        let plot = (left, top, WIDTH - right, HEIGHT - bottom);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w} {h}" font-family="Helvetica, Arial, sans-serif">"##,
+            w = c(WIDTH),
+            h = c(HEIGHT),
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect width="{w}" height="{h}" fill="#ffffff"/>"##,
+            w = c(WIDTH),
+            h = c(HEIGHT),
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{x}" y="24" text-anchor="middle" font-size="15" fill="#111827">{t}</text>"##,
+            x = c(WIDTH / 2.0),
+            t = escape(title),
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{x}" y="{y}" text-anchor="middle" font-size="12" fill="#374151">{t}</text>"##,
+            x = c((plot.0 + plot.2) / 2.0),
+            y = c(HEIGHT - 10.0),
+            t = escape(x_label),
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="14" y="{y}" text-anchor="middle" font-size="12" fill="#374151" transform="rotate(-90 14 {y})">{t}</text>"##,
+            y = c((plot.1 + plot.3) / 2.0),
+            t = escape(y_label),
+        );
+        Self { out, plot }
+    }
+
+    /// Horizontal gridline + y-axis tick label at data value `v`.
+    fn y_tick(&mut self, v: f64, y: f64) {
+        let (x0, _, x1, _) = self.plot;
+        let _ = writeln!(
+            self.out,
+            r##"<line x1="{x0}" y1="{y}" x2="{x1}" y2="{y}" stroke="#e5e7eb" stroke-width="1"/>"##,
+            x0 = c(x0),
+            x1 = c(x1),
+            y = c(y),
+        );
+        let _ = writeln!(
+            self.out,
+            r##"<text x="{x}" y="{y}" text-anchor="end" font-size="11" fill="#6b7280">{t}</text>"##,
+            x = c(x0 - 6.0),
+            y = c(y + 4.0),
+            t = tick_label(v),
+        );
+    }
+
+    /// X-axis tick label centred at `x`.
+    fn x_tick_label(&mut self, text: &str, x: f64) {
+        let (_, _, _, y1) = self.plot;
+        let _ = writeln!(
+            self.out,
+            r##"<text x="{x}" y="{y}" text-anchor="middle" font-size="11" fill="#6b7280">{t}</text>"##,
+            x = c(x),
+            y = c(y1 + 16.0),
+            t = escape(text),
+        );
+    }
+
+    /// Axis lines along the left and bottom plot edges.
+    fn axes(&mut self) {
+        let (x0, y0, x1, y1) = self.plot;
+        let _ = writeln!(
+            self.out,
+            r##"<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#9ca3af" stroke-width="1"/>"##,
+            x0 = c(x0),
+            y0 = c(y0),
+            y1 = c(y1),
+        );
+        let _ = writeln!(
+            self.out,
+            r##"<line x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}" stroke="#9ca3af" stroke-width="1"/>"##,
+            x0 = c(x0),
+            x1 = c(x1),
+            y1 = c(y1),
+        );
+    }
+
+    /// Color-keyed legend in the top-right corner of the plot area.
+    fn legend(&mut self, labels: &[String]) {
+        if labels.len() < 2 {
+            return;
+        }
+        let (_, y0, x1, _) = self.plot;
+        let longest = labels.iter().map(|l| l.len()).max().unwrap_or(0) as f64;
+        let w = 26.0 + longest * 6.6;
+        let x = x1 - w - 4.0;
+        let mut y = y0 + 6.0;
+        let _ = writeln!(
+            self.out,
+            r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="#ffffff" fill-opacity="0.85" stroke="#e5e7eb"/>"##,
+            x = c(x),
+            y = c(y),
+            w = c(w),
+            h = c(labels.len() as f64 * 16.0 + 6.0),
+        );
+        for (i, label) in labels.iter().enumerate() {
+            y += 16.0;
+            let color = PALETTE[i % PALETTE.len()];
+            let _ = writeln!(
+                self.out,
+                r##"<rect x="{x}" y="{ry}" width="10" height="10" fill="{color}"/>"##,
+                x = c(x + 6.0),
+                ry = c(y - 9.0),
+            );
+            let _ = writeln!(
+                self.out,
+                r##"<text x="{x}" y="{ty}" font-size="11" fill="#374151">{t}</text>"##,
+                x = c(x + 21.0),
+                ty = c(y),
+                t = escape(label),
+            );
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("</svg>\n");
+        self.out
+    }
+}
+
+/// Escape the XML special characters of a text node.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Emit a multi-series line chart as a standalone SVG document.
+///
+/// The x and y ranges span all series; the y range is zero-based when the
+/// data is non-negative (throughput charts read wrongly otherwise).
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let mut frame = Frame::new(title, x_label, y_label);
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    let (x_lo, x_hi) = span(points.iter().map(|p| p.0));
+    let (y_lo, y_hi) = span(points.iter().map(|p| p.1));
+    let y_lo = if y_lo >= 0.0 { 0.0 } else { y_lo };
+    let (x0, y0, x1, y1) = frame.plot;
+    let sx = |v: f64| x0 + (v - x_lo) / (x_hi - x_lo).max(1e-12) * (x1 - x0);
+    let sy = |v: f64| y1 - (v - y_lo) / (y_hi - y_lo).max(1e-12) * (y1 - y0);
+
+    for t in ticks(y_lo, y_hi, 6) {
+        frame.y_tick(t, sy(t));
+    }
+    frame.axes();
+    for t in ticks(x_lo, x_hi, 8) {
+        frame.x_tick_label(&tick_label(t), sx(t));
+    }
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|(x, y)| format!("{},{}", c(sx(*x)), c(sy(*y))))
+            .collect();
+        let _ = writeln!(
+            frame.out,
+            r##"<polyline points="{p}" fill="none" stroke="{color}" stroke-width="2"/>"##,
+            p = path.join(" "),
+        );
+    }
+    frame.legend(&series.iter().map(|s| s.label.clone()).collect::<Vec<_>>());
+    frame.finish()
+}
+
+/// Emit a grouped bar chart as a standalone SVG document.
+///
+/// `values[g]` holds one bar per series for category `categories[g]`; the
+/// y range is zero-based (and extends below zero if any value is
+/// negative).
+pub fn bar_chart(
+    title: &str,
+    y_label: &str,
+    categories: &[String],
+    series_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    let mut frame = Frame::new(title, "", y_label);
+    let all: Vec<f64> = values.iter().flatten().copied().collect();
+    let (v_lo, v_hi) = span(all.iter().copied());
+    let y_lo = v_lo.min(0.0);
+    let y_hi = v_hi.max(0.0);
+    let (x0, y0, x1, y1) = frame.plot;
+    let sy = |v: f64| y1 - (v - y_lo) / (y_hi - y_lo).max(1e-12) * (y1 - y0);
+
+    for t in ticks(y_lo, y_hi, 6) {
+        frame.y_tick(t, sy(t));
+    }
+    frame.axes();
+
+    let n_groups = categories.len().max(1);
+    let n_series = series_labels.len().max(1);
+    let group_w = (x1 - x0) / n_groups as f64;
+    let bar_w = (group_w * 0.72) / n_series as f64;
+    for (g, cat) in categories.iter().enumerate() {
+        let gx = x0 + g as f64 * group_w;
+        frame.x_tick_label(cat, gx + group_w / 2.0);
+        for s in 0..n_series {
+            let v = values
+                .get(g)
+                .and_then(|row| row.get(s))
+                .copied()
+                .unwrap_or(0.0);
+            let color = PALETTE[s % PALETTE.len()];
+            let (top, bottom) = if v >= 0.0 {
+                (sy(v), sy(0.0))
+            } else {
+                (sy(0.0), sy(v))
+            };
+            let _ = writeln!(
+                frame.out,
+                r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="{color}"/>"##,
+                x = c(gx + group_w * 0.14 + s as f64 * bar_w),
+                y = c(top),
+                w = c(bar_w * 0.92),
+                h = c((bottom - top).max(0.5)),
+            );
+        }
+    }
+    frame.legend(series_labels);
+    frame.finish()
+}
+
+/// The (min, max) of an iterator, with a degenerate fallback of (0, 1).
+fn span(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if lo > hi {
+        return (0.0, 1.0);
+    }
+    if lo == hi {
+        // A flat series still needs a nonzero span to scale into.
+        return (lo - 0.5, hi + 0.5);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_steps_are_1_2_5_times_powers_of_ten() {
+        assert_eq!(nice_step(10.0, 5), 2.0);
+        assert_eq!(nice_step(1.0, 4), 0.5);
+        assert_eq!(nice_step(0.03, 6), 0.005);
+        assert_eq!(nice_step(700.0, 6), 200.0);
+    }
+
+    #[test]
+    fn ticks_cover_the_range() {
+        let t = ticks(0.0, 0.75, 8);
+        assert!(t.first().copied().unwrap_or(1.0) <= 0.0);
+        assert!(t.last().copied().unwrap_or(0.0) >= 0.7);
+        assert!(t.len() <= 10);
+    }
+
+    #[test]
+    fn line_chart_is_deterministic_and_well_formed() {
+        let series = vec![
+            Series {
+                label: "Static".into(),
+                points: vec![(0.0, 1.0), (0.5, 2.0), (1.0, 1.5)],
+            },
+            Series {
+                label: "ATraPos".into(),
+                points: vec![(0.0, 1.2), (0.5, 2.5), (1.0, 3.0)],
+            },
+        ];
+        let a = line_chart("t", "time (s)", "KTPS", &series);
+        let b = line_chart("t", "time (s)", "KTPS", &series);
+        assert_eq!(a, b);
+        assert!(a.starts_with("<svg"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert_eq!(a.matches("<polyline").count(), 2);
+        assert!(a.contains("ATraPos"));
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_value_plus_legend() {
+        let cats = vec!["a".into(), "b".into(), "c".into()];
+        let labels = vec!["x".into(), "y".into()];
+        let values = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, -1.0]];
+        let svg = bar_chart("t", "ratio", &cats, &labels, &values);
+        // 1 background + 1 legend box + 6 bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 10);
+        assert!(svg.contains("ratio"));
+    }
+
+    #[test]
+    fn titles_are_xml_escaped() {
+        let svg = line_chart(
+            "a < b & c",
+            "x",
+            "y",
+            &[Series {
+                label: "s".into(),
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            }],
+        );
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,6 +1,9 @@
 //! Compare the five system designs of the paper on the perfectly
 //! partitionable microbenchmark, on one socket and on eight sockets.
 //!
+//! This is a thin alias of `atrapos sweep --workload micro --sockets 1,8`;
+//! the sweep logic lives in [`atrapos_bench::shootout`].
+//!
 //! ```text
 //! cargo run --release -p atrapos-bench --example design_shootout
 //! ```
@@ -13,52 +16,12 @@
 //! within a small factor; on eight sockets the shared-nothing configurations
 //! and ATraPos scale while the centralized design and PLP collapse.
 
-use atrapos_bench::harness::{measure_jobs, measurement_job};
-use atrapos_bench::{DesignSpec, Scale};
-use atrapos_workloads::ReadOneRow;
+use atrapos_bench::shootout::design_sweep;
+use atrapos_bench::Scale;
 
 fn main() {
     let scale = Scale::quick();
-    let designs = [
-        DesignSpec::extreme_shared_nothing(false),
-        DesignSpec::coarse_shared_nothing(),
-        DesignSpec::Centralized,
-        DesignSpec::Plp,
-        DesignSpec::atrapos(),
-    ];
-    let socket_counts = [1usize, 8];
-    let mut jobs = Vec::new();
-    for sockets in socket_counts {
-        for spec in &designs {
-            jobs.push(measurement_job(
-                format!("{}-socket/{}", sockets, spec.label()),
-                sockets,
-                scale.cores_per_socket,
-                spec.clone(),
-                Box::new(ReadOneRow::partitionable(
-                    scale.micro_rows,
-                    sockets * scale.cores_per_socket,
-                    1,
-                )),
-                scale.measure_secs,
-            ));
-        }
-    }
-    let results = measure_jobs(jobs);
-    for (sockets, chunk) in socket_counts.iter().zip(results.chunks(designs.len())) {
-        println!(
-            "== {sockets} socket(s) × {} cores ==",
-            scale.cores_per_socket
-        );
-        for (spec, stats) in designs.iter().zip(chunk) {
-            println!(
-                "  {:<24} {:>10.2} KTPS   ipc {:>5.2}   avg latency {:>7.1} µs",
-                spec.label(),
-                stats.throughput_tps / 1e3,
-                stats.ipc,
-                stats.avg_latency_us
-            );
-        }
-        println!();
+    for fig in design_sweep("micro", &scale, &[1, 8]).expect("micro is a known sweep workload") {
+        fig.print();
     }
 }

@@ -1,135 +1,32 @@
 //! Scenarios are data: load a complete experiment — design spec plus event
 //! timeline — from a JSON file, run it, and print per-segment statistics.
 //!
+//! This is a thin alias of `atrapos replay`; the experiment logic lives in
+//! [`atrapos_bench::replay`].
+//!
 //! ```text
 //! cargo run --release -p atrapos-bench --example scenario_replay
 //! cargo run --release -p atrapos-bench --example scenario_replay -- path/to/experiment.json
 //! cargo run --release -p atrapos-bench --example scenario_replay -- --emit-sample
 //! ```
 //!
-//! The default replay file lives at `examples/scenarios/adaptive_tatp.json`
-//! and reproduces the `adaptive_tatp` example's timeline; `--emit-sample`
-//! prints that file's canonical contents (useful as a starting point for
-//! new experiments).
+//! The default replay file lives at `examples/scenarios/adaptive_tatp.json`;
+//! `--emit-sample` prints that file's canonical contents (useful as a
+//! starting point for new experiments).
 
-use atrapos_engine::scenario::Scenario;
-use atrapos_engine::{DesignSpec, ExecutorConfig, VirtualExecutor};
-use atrapos_numa::{CostModel, Machine, Topology};
-use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
-use serde::{Deserialize, Serialize};
-
-/// A complete, self-contained experiment description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct ReplayFile {
-    /// Simulated machine: sockets × cores per socket.
-    sockets: usize,
-    /// Cores per socket.
-    cores_per_socket: usize,
-    /// The design to run (serializable spec, no code).
-    design: DesignSpec,
-    /// TATP dataset size.
-    tatp_subscribers: i64,
-    /// Transaction type the workload starts on.
-    initial_txn: String,
-    /// Workload-generator seed.
-    seed: u64,
-    /// Default monitoring interval in virtual seconds.
-    interval_secs: f64,
-    /// The event timeline.
-    scenario: Scenario,
-}
-
-fn sample() -> ReplayFile {
-    use atrapos_core::{AdaptiveInterval, ControllerConfig};
-    use atrapos_engine::scenario::ScenarioEvent;
-    use atrapos_engine::AtraposConfig;
-    ReplayFile {
-        sockets: 4,
-        cores_per_socket: 4,
-        design: DesignSpec::atrapos_with(AtraposConfig {
-            controller: ControllerConfig {
-                interval: AdaptiveInterval::new(0.05, 0.4, 0.10),
-                ..ControllerConfig::default()
-            },
-            ..AtraposConfig::default()
-        }),
-        tatp_subscribers: 20_000,
-        initial_txn: "UpdSubData".to_string(),
-        seed: 7,
-        interval_secs: 0.05,
-        scenario: Scenario::new("adaptive-tatp-replay", 0.75)
-            .starting_as("UpdSubData")
-            .at(
-                0.25,
-                "GetNewDest",
-                ScenarioEvent::SetWorkloadPhase {
-                    txn: "GetNewDest".to_string(),
-                },
-            )
-            .at(0.5, "TATP-Mix", ScenarioEvent::SetMix),
-    }
-}
+use atrapos_bench::replay;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--emit-sample") {
-        println!("{}", serde::json::to_string_pretty(&sample()));
+        println!("{}", serde::json::to_string_pretty(&replay::sample()));
         return;
     }
     let path = args
         .first()
         .cloned()
-        .unwrap_or_else(|| "examples/scenarios/adaptive_tatp.json".to_string());
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read replay file '{path}': {e}"));
-    let replay: ReplayFile = serde::json::from_str(&text)
-        .unwrap_or_else(|e| panic!("cannot parse replay file '{path}': {e}"));
-    replay
-        .scenario
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid scenario in '{path}': {e}"));
-
-    let machine = Machine::new(
-        Topology::multisocket(replay.sockets, replay.cores_per_socket),
-        CostModel::westmere(),
-    );
-    let mut workload = Tatp::new(TatpConfig::scaled(replay.tatp_subscribers));
-    let initial = TatpTxn::from_label(&replay.initial_txn)
-        .unwrap_or_else(|| panic!("unknown initial transaction '{}'", replay.initial_txn));
-    workload.set_single(initial);
-    let design = replay.design.build(&machine, &workload);
-    let mut ex = VirtualExecutor::new(
-        machine,
-        design,
-        Box::new(workload),
-        ExecutorConfig {
-            seed: replay.seed,
-            default_interval_secs: replay.interval_secs,
-            time_series_bucket_secs: replay.interval_secs,
-        },
-    );
-
-    println!(
-        "replaying '{}' ({} events over {:.2} virtual s) against {}",
-        replay.scenario.name,
-        replay.scenario.events.len(),
-        replay.scenario.duration_secs,
-        replay.design.label(),
-    );
-    let outcome = ex.run_scenario(&replay.scenario).expect("scenario runs");
-    for segment in &outcome.segments {
-        println!(
-            "  segment {:<12} t={:>5.2}s  {:>9.0} TPS  latency {:>6.1} µs  repartitionings {}",
-            segment.label,
-            segment.start_secs,
-            segment.stats.throughput_tps,
-            segment.stats.avg_latency_us,
-            segment.stats.repartitions,
-        );
-    }
-    println!(
-        "total committed {}  design stats {:?}",
-        outcome.total_committed(),
-        outcome.design_stats
-    );
+        .unwrap_or_else(|| replay::DEFAULT_REPLAY_PATH.to_string());
+    let replay_file = replay::ReplayFile::load(&path).unwrap_or_else(|e| panic!("{e}"));
+    let outcome = replay_file.run().unwrap_or_else(|e| panic!("{e}"));
+    replay::print_outcome(&replay_file, &outcome);
 }

@@ -65,6 +65,6 @@ fn main() {
 
     println!();
     println!(
-        "run `cargo run --release -p atrapos-bench --bin figures -- abl04` to measure both plans end-to-end"
+        "run `cargo run --release --bin atrapos -- figures abl04` to measure both plans end-to-end"
     );
 }

@@ -361,7 +361,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`](fn@vec).
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

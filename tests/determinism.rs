@@ -3,42 +3,23 @@
 //! The virtual-time simulator promises bit-for-bit reproducibility: the
 //! same experiment description (design spec + workload seed + scenario
 //! timeline) must yield byte-identical serialized segment reports every
-//! time it runs.  This test loads the `scenario_replay` example's shipped
-//! JSON experiment (`examples/scenarios/adaptive_tatp.json`), executes it
-//! twice in one process, and compares the serialized outcomes.
+//! time it runs.  This test loads the shipped JSON experiment
+//! (`examples/scenarios/adaptive_tatp.json`) through the same
+//! [`atrapos_bench::replay::ReplayFile`] loader `atrapos replay` uses,
+//! executes it twice in one process, and compares the serialized outcomes.
 //!
 //! The experiment is scaled down (fewer subscribers, shorter timeline)
 //! so the test also runs quickly in debug builds; the *structure* —
 //! design spec, event sequence, relative offsets — is exactly the shipped
 //! file's.
 
-use atrapos_engine::scenario::ScenarioOutcome;
-use atrapos_engine::{DesignSpec, ExecutorConfig, Scenario, VirtualExecutor};
-use atrapos_numa::{CostModel, Machine, Topology};
-use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
-use serde::Deserialize;
+use atrapos_bench::replay::ReplayFile;
 use std::path::PathBuf;
-
-/// Mirror of the `scenario_replay` example's replay-file schema (the
-/// example keeps its own copy; both must parse the same shipped JSON).
-#[derive(Debug, Clone, Deserialize)]
-struct ReplayFile {
-    sockets: usize,
-    cores_per_socket: usize,
-    design: DesignSpec,
-    tatp_subscribers: i64,
-    initial_txn: String,
-    seed: u64,
-    interval_secs: f64,
-    scenario: Scenario,
-}
 
 fn shipped_replay() -> ReplayFile {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../examples/scenarios/adaptive_tatp.json");
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    serde::json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+    ReplayFile::load(&path).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Shrink the experiment for test budgets while keeping its structure.
@@ -51,40 +32,13 @@ fn shrink(replay: &mut ReplayFile, factor: f64) {
     }
 }
 
-fn run_once(replay: &ReplayFile) -> ScenarioOutcome {
-    let machine = Machine::new(
-        Topology::multisocket(replay.sockets, replay.cores_per_socket),
-        CostModel::westmere(),
-    );
-    let mut workload = Tatp::new(TatpConfig::scaled(replay.tatp_subscribers));
-    let initial = TatpTxn::from_label(&replay.initial_txn)
-        .unwrap_or_else(|| panic!("unknown initial transaction '{}'", replay.initial_txn));
-    workload.set_single(initial);
-    let design = replay.design.build(&machine, &workload);
-    let mut ex = VirtualExecutor::new(
-        machine,
-        design,
-        Box::new(workload),
-        ExecutorConfig {
-            seed: replay.seed,
-            default_interval_secs: replay.interval_secs,
-            time_series_bucket_secs: replay.interval_secs,
-        },
-    );
-    ex.run_scenario(&replay.scenario).expect("scenario runs")
-}
-
 #[test]
 fn replay_experiment_is_byte_identical_across_runs() {
     let mut replay = shipped_replay();
-    replay
-        .scenario
-        .validate()
-        .expect("shipped scenario is valid");
     shrink(&mut replay, 5.0);
 
-    let first = run_once(&replay);
-    let second = run_once(&replay);
+    let first = replay.run().expect("scenario runs");
+    let second = replay.run().expect("scenario runs");
 
     let a = serde::json::to_string_pretty(&first);
     let b = serde::json::to_string_pretty(&second);
