@@ -19,7 +19,7 @@
 //! datasets; `ATRAPOS_REPORT_DIR` moves the JSON/SVG output directory;
 //! `ATRAPOS_THREADS` pins the experiment lab's thread pool.
 
-use atrapos_bench::figures::{run_by_id, ABLATION_IDS, ALL_IDS, REPORT_IDS};
+use atrapos_bench::figures::{run_by_id, ABLATION_IDS, ALL_IDS, REPORT_IDS, YCSB_IDS};
 use atrapos_bench::report::{figures_path, load_figures, report_dir, save_figures};
 use atrapos_bench::{replay, shootout, wallclock, Scale};
 use std::path::Path;
@@ -30,10 +30,14 @@ atrapos — the ATraPos reproduction toolbox
 USAGE: atrapos <command> [options]
 
 COMMANDS:
-  figures [ids..] [--all]   Run experiments, print their tables, and record
+  figures [ids..] [--all] [--only id]
+                            Run experiments, print their tables, and record
                             the results in reports/BENCH_figures.json.
                             Default ids: the reproduction report set
-                            (fig08, tab02, fig10-fig13, abl01-abl04).
+                            (fig08, tab02, fig10-fig13, abl01-abl04,
+                            ycsb01-ycsb02).  --only <id> regenerates a
+                            single experiment without the rest of the
+                            bundle (repeatable).
   wallclock [--label L] [--threads N] [--smoke]
                             Time the fixed simulator bundle and append the
                             entry to reports/BENCH_wallclock.json.
@@ -82,21 +86,38 @@ fn main() {
     }
 }
 
-/// `atrapos figures [ids..] [--all]`
+/// `atrapos figures [ids..] [--all] [--only id]`
 fn cmd_figures(args: &[String]) -> Result<(), String> {
     let scale = Scale::from_env();
     let all = args.iter().any(|a| a == "--all");
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .cloned()
-        .collect();
+    // `--only <id>` pulls one experiment out of the bundle; it may repeat
+    // and combines with positional ids.
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--only" => {
+                let id = args
+                    .get(i + 1)
+                    .filter(|a| !a.starts_with('-'))
+                    .ok_or("--only needs an experiment id (e.g. --only ycsb01)")?;
+                ids.push(id.clone());
+                i += 2;
+            }
+            a if !a.starts_with('-') => {
+                ids.push(a.to_string());
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
     let ids: Vec<String> = if !ids.is_empty() {
         ids
     } else if all {
         ALL_IDS
             .iter()
             .chain(ABLATION_IDS.iter())
+            .chain(YCSB_IDS.iter())
             .map(|s| s.to_string())
             .collect()
     } else {
@@ -105,15 +126,15 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
 
     // Validate every id up front: experiments are expensive, and a typo at
     // the end of the list must not discard completed runs.
-    if let Some(bad) = ids
-        .iter()
-        .find(|id| !ALL_IDS.contains(&id.as_str()) && !ABLATION_IDS.contains(&id.as_str()))
-    {
+    let known =
+        |id: &str| ALL_IDS.contains(&id) || ABLATION_IDS.contains(&id) || YCSB_IDS.contains(&id);
+    if let Some(bad) = ids.iter().find(|id| !known(id)) {
         return Err(format!(
             "unknown experiment id '{bad}'; known ids: {}",
             ALL_IDS
                 .iter()
                 .chain(ABLATION_IDS.iter())
+                .chain(YCSB_IDS.iter())
                 .copied()
                 .collect::<Vec<_>>()
                 .join(", ")

@@ -417,6 +417,7 @@ mod tests {
             memory_rows: 8_000,
             tatp_subscribers: 4_000,
             tpcc_warehouses: 2,
+            ycsb_records: 4_000,
             measure_secs: 0.002,
             phase_secs: 0.004,
             interval_min_secs: 0.002,

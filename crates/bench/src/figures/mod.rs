@@ -5,6 +5,7 @@ pub mod adaptive;
 pub mod motivation;
 pub mod partitioning;
 pub mod standard;
+pub mod ycsb;
 
 use crate::harness::Scale;
 use crate::report::FigureResult;
@@ -24,6 +25,10 @@ pub use motivation::{
 };
 pub use partitioning::{fig06_placement, fig07_neworder_flowgraph};
 pub use standard::{fig08_standard_benchmarks, tab02_monitoring_overhead};
+pub use ycsb::{
+    ycsb01_skew_sweep, ycsb02_drifting_hotspot, ycsb02_jobs, ycsb02_scenario, ycsb02_workload,
+    ycsb_designs, ycsb_job, YCSB_IDS,
+};
 
 /// All experiment identifiers in paper order.
 pub const ALL_IDS: &[&str] = &[
@@ -32,10 +37,12 @@ pub const ALL_IDS: &[&str] = &[
 ];
 
 /// The reproduction report set: the experiments `REPRODUCTION.md` tracks
-/// with reference-trend verdicts (the headline comparisons of §VI plus the
-/// four ablations).  `atrapos figures` runs these by default.
+/// with reference-trend verdicts (the headline comparisons of §VI, the
+/// four ablations, and the YCSB extension pair).  `atrapos figures` runs
+/// these by default.
 pub const REPORT_IDS: &[&str] = &[
     "fig08", "tab02", "fig10", "fig11", "fig12", "fig13", "abl01", "abl02", "abl03", "abl04",
+    "ycsb01", "ycsb02",
 ];
 
 /// Run one experiment by id.
@@ -56,6 +63,9 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<FigureResult> {
         "fig11" => Some(fig11_adapt_skew(scale)),
         "fig12" => Some(fig12_adapt_hardware(scale)),
         "fig13" => Some(fig13_adapt_frequency(scale)),
+        // Extensions beyond the paper's figure set.
+        "ycsb01" => Some(ycsb01_skew_sweep(scale)),
+        "ycsb02" => Some(ycsb02_drifting_hotspot(scale)),
         // Ablations (not figures of the paper; see `ablation`).
         other => run_ablation(other, scale),
     }

@@ -27,6 +27,9 @@ pub struct Scale {
     pub tatp_subscribers: i64,
     /// TPC-C warehouses (paper: 80).
     pub tpcc_warehouses: i64,
+    /// YCSB records (the benchmark's standard runs use 1 M+; an extension
+    /// beyond the paper's evaluation).
+    pub ycsb_records: i64,
     /// Virtual seconds simulated per throughput measurement.
     pub measure_secs: f64,
     /// Virtual seconds per phase of the adaptive time-series experiments
@@ -51,6 +54,7 @@ impl Scale {
             memory_rows: 200_000,
             tatp_subscribers: 40_000,
             tpcc_warehouses: 40,
+            ycsb_records: 25_000,
             measure_secs: 0.03,
             phase_secs: 0.25,
             interval_min_secs: 0.05,
@@ -67,6 +71,7 @@ impl Scale {
             memory_rows: 1_000_000,
             tatp_subscribers: 800_000,
             tpcc_warehouses: 80,
+            ycsb_records: 1_000_000,
             measure_secs: 1.0,
             phase_secs: 30.0,
             interval_min_secs: 1.0,

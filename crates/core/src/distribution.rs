@@ -4,6 +4,23 @@
 //! engine's typed reconfiguration channel (`WorkloadChange::Distribution`)
 //! carries a distribution across the workload trait boundary: scenarios
 //! that introduce skew at runtime (paper Figure 11) are plain data.
+//!
+//! Two layers:
+//!
+//! * [`KeyDistribution`] — the serializable *description* (uniform,
+//!   hotspot, Zipfian, drifting hotspot).  This is what scenario files and
+//!   `WorkloadChange` events carry.
+//! * [`KeySampler`] — the *instantiation* of a description over a fixed
+//!   key domain.  Building a sampler does any precomputation up front
+//!   (the Zipfian variant materializes its cumulative distribution once),
+//!   so drawing a key is allocation-free: the simulator's per-transaction
+//!   hot path stays flat no matter the distribution.
+//!
+//! The hottest Zipfian ranks map to the *lowest* keys of the domain
+//! (rank 0 → `lo`), deliberately un-scrambled: contiguous hot keys stress
+//! range-partitioned designs exactly the way the paper's hotspot
+//! experiments do, which is the point of carrying the distribution into a
+//! partition-affinity simulator.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -23,10 +40,43 @@ pub enum KeyDistribution {
         /// Fraction of accesses that hit the hot range (0..1).
         access_fraction: f64,
     },
+    /// Zipfian rank-frequency skew with exponent `theta`: the probability
+    /// of drawing the key of rank `k` (1-based, rank 1 = `lo`) is
+    /// proportional to `k^-theta`.  `theta = 0` degenerates to uniform;
+    /// YCSB's standard constant is `0.99`.
+    Zipfian {
+        /// Skew exponent (≥ 0; negative values are clamped to 0).
+        theta: f64,
+    },
+    /// A *moving* hotspot: the hot window (`data_fraction` of the domain,
+    /// receiving `access_fraction` of the accesses) rotates once around
+    /// the whole domain every `period_txns` draws.  This is the
+    /// continuously drifting skew that gives an adaptive system no stable
+    /// layout to converge to — the stress test for repartitioning
+    /// controllers.
+    Drift {
+        /// Fraction of the domain that is hot at any instant (0..1).
+        data_fraction: f64,
+        /// Fraction of accesses that hit the hot window (0..1).
+        access_fraction: f64,
+        /// Draws per full rotation of the hot window around the domain.
+        period_txns: u64,
+    },
 }
+
+/// Largest domain a Zipfian CDF table is materialized for (8 bytes per
+/// key; the paper-scale datasets top out at 800 K keys, well below this).
+const MAX_ZIPFIAN_DOMAIN: i64 = 1 << 23;
 
 impl KeyDistribution {
     /// Draw a key head from `[lo, hi)`.
+    ///
+    /// Exact and allocation-free for `Uniform` and `Hotspot`.  For
+    /// `Zipfian` this is a *convenience* path that rebuilds the CDF table
+    /// on every call — per-transaction hot paths must hold a
+    /// [`KeySampler`] instead (see [`KeyDistribution::sampler`]).  For
+    /// `Drift`, which is inherently stateful, this samples the window at
+    /// its initial position (draw 0).
     pub fn sample(&self, rng: &mut SmallRng, lo: i64, hi: i64) -> i64 {
         debug_assert!(hi > lo);
         match *self {
@@ -36,7 +86,7 @@ impl KeyDistribution {
                 access_fraction,
             } => {
                 let width = hi - lo;
-                let hot_width = ((width as f64 * data_fraction).ceil() as i64).clamp(1, width);
+                let hot_width = hot_width(width, data_fraction);
                 if rng.gen_bool(access_fraction.clamp(0.0, 1.0)) {
                     rng.gen_range(lo..lo + hot_width)
                 } else if hot_width < width {
@@ -44,6 +94,144 @@ impl KeyDistribution {
                 } else {
                     rng.gen_range(lo..hi)
                 }
+            }
+            KeyDistribution::Zipfian { .. } | KeyDistribution::Drift { .. } => {
+                self.sampler(lo, hi).sample(rng)
+            }
+        }
+    }
+
+    /// Instantiate the distribution over `[lo, hi)` as a ready-to-draw
+    /// [`KeySampler`], performing any precomputation now so that
+    /// [`KeySampler::sample`] never allocates.
+    pub fn sampler(&self, lo: i64, hi: i64) -> KeySampler {
+        assert!(hi > lo, "empty key domain [{lo}, {hi})");
+        let kind = match *self {
+            KeyDistribution::Uniform | KeyDistribution::Hotspot { .. } => {
+                SamplerKind::Closed(*self)
+            }
+            KeyDistribution::Zipfian { theta } => {
+                let n = hi - lo;
+                assert!(
+                    n <= MAX_ZIPFIAN_DOMAIN,
+                    "Zipfian CDF table over {n} keys exceeds the {MAX_ZIPFIAN_DOMAIN}-key cap"
+                );
+                SamplerKind::Zipfian {
+                    cdf: zipfian_cdf(n as usize, theta),
+                }
+            }
+            KeyDistribution::Drift {
+                data_fraction,
+                access_fraction,
+                period_txns,
+            } => SamplerKind::Drift {
+                data_fraction,
+                access_fraction,
+                period_txns: period_txns.max(1),
+                drawn: 0,
+            },
+        };
+        KeySampler { lo, hi, kind }
+    }
+}
+
+/// The hot-window width in keys for a hotspot-style distribution.
+fn hot_width(width: i64, data_fraction: f64) -> i64 {
+    ((width as f64 * data_fraction).ceil() as i64).clamp(1, width)
+}
+
+/// The normalized cumulative distribution of Zipfian ranks `1..=n` with
+/// exponent `theta`: `cdf[i]` is the probability of drawing a rank
+/// `<= i + 1`.  Negative or non-finite exponents are clamped to 0
+/// (uniform).
+fn zipfian_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let theta = if theta.is_finite() {
+        theta.max(0.0)
+    } else {
+        0.0
+    };
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for k in 1..=n {
+        total += (k as f64).powf(-theta);
+        cdf.push(total);
+    }
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// A [`KeyDistribution`] instantiated over a fixed domain `[lo, hi)`,
+/// ready to draw keys without allocating.
+///
+/// Cheap to build for the closed-form distributions; the Zipfian variant
+/// precomputes its CDF table once (O(domain) build, O(log domain) per
+/// draw via binary search), and the drifting variant carries the draw
+/// counter that moves its hot window.  Workloads hold one sampler per
+/// distribution and rebuild it only on reconfiguration, never per
+/// transaction.
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    lo: i64,
+    hi: i64,
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    /// Uniform / hotspot: delegate to the exact closed form (same rng
+    /// draw order as [`KeyDistribution::sample`], bit for bit).
+    Closed(KeyDistribution),
+    /// Precomputed cumulative distribution over ranks; rank `i` maps to
+    /// key `lo + i`.
+    Zipfian { cdf: Vec<f64> },
+    /// Rotating hot window, advanced one step per draw.
+    Drift {
+        data_fraction: f64,
+        access_fraction: f64,
+        period_txns: u64,
+        drawn: u64,
+    },
+}
+
+impl KeySampler {
+    /// The sampled domain `[lo, hi)`.
+    pub fn domain(&self) -> (i64, i64) {
+        (self.lo, self.hi)
+    }
+
+    /// Draw one key head from the domain.  Never allocates.
+    pub fn sample(&mut self, rng: &mut SmallRng) -> i64 {
+        match &mut self.kind {
+            SamplerKind::Closed(d) => d.sample(rng, self.lo, self.hi),
+            SamplerKind::Zipfian { cdf } => {
+                let u = rng.gen_range(0.0f64..1.0);
+                let idx = cdf.partition_point(|&c| c <= u).min(cdf.len() - 1);
+                self.lo + idx as i64
+            }
+            SamplerKind::Drift {
+                data_fraction,
+                access_fraction,
+                period_txns,
+                drawn,
+            } => {
+                let width = self.hi - self.lo;
+                let hot = hot_width(width, *data_fraction);
+                // The window's lower edge sweeps the domain once per
+                // period; offsets are taken modulo the width so both the
+                // hot window and the cold remainder wrap around.
+                let start =
+                    ((*drawn % *period_txns) as f64 / *period_txns as f64 * width as f64) as i64;
+                *drawn += 1;
+                let offset = if rng.gen_bool(access_fraction.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..hot)
+                } else if hot < width {
+                    rng.gen_range(hot..width)
+                } else {
+                    rng.gen_range(0..width)
+                };
+                self.lo + (start + offset) % width
             }
         }
     }
@@ -87,13 +275,98 @@ mod tests {
     }
 
     #[test]
-    fn distribution_round_trips_through_serde() {
-        let d = KeyDistribution::Hotspot {
-            data_fraction: 0.2,
-            access_fraction: 0.5,
+    fn sampler_matches_closed_form_for_uniform_and_hotspot() {
+        // The sampler must draw from the rng in exactly the same order as
+        // the closed-form path — workloads switching to samplers must not
+        // move a single golden number.
+        for d in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Hotspot {
+                data_fraction: 0.25,
+                access_fraction: 0.7,
+            },
+        ] {
+            let mut a = SmallRng::seed_from_u64(11);
+            let mut b = SmallRng::seed_from_u64(11);
+            let mut s = d.sampler(5, 505);
+            for _ in 0..500 {
+                assert_eq!(d.sample(&mut a, 5, 505), s.sample(&mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_rank_frequency_is_monotone() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut s = KeyDistribution::Zipfian { theta: 0.99 }.sampler(0, 50);
+        let mut counts = [0u64; 50];
+        for _ in 0..200_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        // Coarse monotonicity: averaged over buckets of 10 ranks so
+        // statistical noise cannot flip the order.
+        let bucket = |i: usize| counts[i * 10..(i + 1) * 10].iter().sum::<u64>();
+        for i in 0..4 {
+            assert!(
+                bucket(i) > bucket(i + 1),
+                "bucket {i} ({}) not hotter than bucket {} ({})",
+                bucket(i),
+                i + 1,
+                bucket(i + 1)
+            );
+        }
+        // Rank 1 is the single hottest key.
+        assert!(counts[0] > *counts[1..].iter().max().unwrap());
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_uniform() {
+        let cdf = zipfian_cdf(100, 0.0);
+        for (i, c) in cdf.iter().enumerate() {
+            assert!((c - (i + 1) as f64 / 100.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn drifting_hotspot_moves_its_window() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut s = KeyDistribution::Drift {
+            data_fraction: 0.1,
+            access_fraction: 0.9,
+            period_txns: 10_000,
+        }
+        .sampler(0, 1_000);
+        // First tenth of the period: window at the start of the domain.
+        let early: Vec<i64> = (0..1_000).map(|_| s.sample(&mut rng)).collect();
+        // Skip to mid-period: window near the middle.
+        for _ in 0..4_000 {
+            s.sample(&mut rng);
+        }
+        let late: Vec<i64> = (0..1_000).map(|_| s.sample(&mut rng)).collect();
+        let hot = |xs: &[i64], lo: i64, hi: i64| {
+            xs.iter().filter(|&&x| (lo..hi).contains(&x)).count() as f64 / xs.len() as f64
         };
-        let text = serde::json::to_string(&d);
-        let back: KeyDistribution = serde::json::from_str(&text).unwrap();
-        assert_eq!(back, d);
+        assert!(hot(&early, 0, 250) > 0.6, "early window not at the start");
+        assert!(hot(&late, 450, 700) > 0.6, "late window did not move");
+    }
+
+    #[test]
+    fn distribution_round_trips_through_serde() {
+        for d in [
+            KeyDistribution::Hotspot {
+                data_fraction: 0.2,
+                access_fraction: 0.5,
+            },
+            KeyDistribution::Zipfian { theta: 0.99 },
+            KeyDistribution::Drift {
+                data_fraction: 0.1,
+                access_fraction: 0.8,
+                period_txns: 5_000,
+            },
+        ] {
+            let text = serde::json::to_string(&d);
+            let back: KeyDistribution = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, d);
+        }
     }
 }

@@ -31,7 +31,8 @@
 //!   applied to coarse- and fine-grained shared-nothing deployments, where
 //!   the dominant costs are distributed transactions and physical data
 //!   movement.
-//! * [`distribution`] — key-access distributions (uniform, hotspot skew);
+//! * [`distribution`] — key-access distributions (uniform, hotspot,
+//!   Zipfian, drifting hotspot) and their precomputed samplers;
 //!   shared data for the engine's typed workload-reconfiguration channel.
 
 #![warn(missing_docs)]
@@ -52,7 +53,7 @@ pub use advisor::{
 };
 pub use controller::{AdaptationOutcome, AdaptiveController, ControllerConfig};
 pub use cost_model::{resource_utilization, sync_overhead, CostBreakdown};
-pub use distribution::KeyDistribution;
+pub use distribution::{KeyDistribution, KeySampler};
 pub use monitor::{AdaptiveInterval, IntervalDecision, Monitor, MONITOR_INSTRUCTIONS_PER_EVENT};
 pub use partitioning::{KeyDomain, PartitionSpec, PartitioningScheme, TablePartitioning};
 pub use repartition::{

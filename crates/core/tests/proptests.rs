@@ -485,3 +485,119 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// The Zipfian / drifting key samplers (statistical sanity)
+// ---------------------------------------------------------------------
+
+mod sampler {
+    use atrapos_core::KeyDistribution;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Empirical per-key frequencies of `draws` samples.
+    fn frequencies(d: KeyDistribution, lo: i64, hi: i64, seed: u64, draws: usize) -> Vec<f64> {
+        let mut sampler = d.sampler(lo, hi);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; (hi - lo) as usize];
+        for _ in 0..draws {
+            let k = sampler.sample(&mut rng);
+            assert!((lo..hi).contains(&k), "sample {k} outside [{lo}, {hi})");
+            counts[(k - lo) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// A fixed seed fixes the sample stream exactly, for every
+        /// distribution shape and domain.
+        #[test]
+        fn sampler_is_deterministic_for_a_fixed_seed(
+            seed in 0u64..1_000,
+            theta in 0.0f64..1.2,
+            lo in -500i64..500,
+            width in 2i64..3_000,
+        ) {
+            for d in [
+                KeyDistribution::Zipfian { theta },
+                KeyDistribution::Drift {
+                    data_fraction: 0.2,
+                    access_fraction: 0.8,
+                    period_txns: 1_000,
+                },
+            ] {
+                let mut a = d.sampler(lo, lo + width);
+                let mut b = d.sampler(lo, lo + width);
+                let mut rng_a = SmallRng::seed_from_u64(seed);
+                let mut rng_b = SmallRng::seed_from_u64(seed);
+                for _ in 0..200 {
+                    prop_assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
+                }
+            }
+        }
+
+        /// Zipfian rank frequencies decrease with rank (checked on decile
+        /// buckets, so statistical noise cannot flip the order).
+        #[test]
+        fn zipfian_rank_frequency_is_monotone(
+            seed in 0u64..1_000,
+            theta in 0.6f64..1.1,
+        ) {
+            let freq = frequencies(
+                KeyDistribution::Zipfian { theta }, 0, 100, seed, 60_000,
+            );
+            let decile = |i: usize| freq[i * 10..(i + 1) * 10].iter().sum::<f64>();
+            for i in 0..9 {
+                prop_assert!(
+                    decile(i) > decile(i + 1),
+                    "decile {i} ({}) not hotter than decile {} ({}) at theta {theta}",
+                    decile(i), i + 1, decile(i + 1)
+                );
+            }
+        }
+
+        /// At theta = 0 the Zipfian degenerates to uniform: every key's
+        /// empirical frequency sits near 1/n.
+        #[test]
+        fn zipfian_theta_zero_is_uniform(seed in 0u64..1_000) {
+            let n = 100usize;
+            let freq = frequencies(
+                KeyDistribution::Zipfian { theta: 0.0 }, 0, n as i64, seed, 50_000,
+            );
+            let expect = 1.0 / n as f64;
+            for (k, f) in freq.iter().enumerate() {
+                // ~9 binomial standard deviations — effectively never
+                // trips on a correct sampler.
+                prop_assert!(
+                    (f - expect).abs() < 0.004,
+                    "key {k} frequency {f} far from uniform {expect}"
+                );
+            }
+        }
+
+        /// Higher theta concentrates strictly more mass on the hottest
+        /// decile of the domain.
+        #[test]
+        fn higher_theta_is_strictly_more_concentrated(
+            seed in 0u64..1_000,
+            theta_lo in 0.0f64..0.4,
+            gap in 0.4f64..0.8,
+        ) {
+            let theta_hi = theta_lo + gap;
+            let head_mass = |theta: f64| {
+                frequencies(KeyDistribution::Zipfian { theta }, 0, 200, seed, 40_000)[..20]
+                    .iter()
+                    .sum::<f64>()
+            };
+            let lo_mass = head_mass(theta_lo);
+            let hi_mass = head_mass(theta_hi);
+            prop_assert!(
+                hi_mass > lo_mass + 0.02,
+                "theta {theta_hi} head mass {hi_mass} not above theta {theta_lo}'s {lo_mass}"
+            );
+        }
+    }
+}

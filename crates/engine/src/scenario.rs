@@ -47,6 +47,19 @@ pub enum ScenarioEvent {
         /// The new distribution.
         distribution: KeyDistribution,
     },
+    /// Set the key-access distribution to a Zipfian with the given
+    /// exponent.  A sequence of these events at increasing offsets is a
+    /// *theta ramp* — skew that tightens (or relaxes) over the timeline.
+    SetZipfTheta {
+        /// Zipfian exponent (0 = uniform; YCSB's standard is 0.99).
+        theta: f64,
+    },
+    /// Switch to a named operation mix the workload defines (the YCSB
+    /// core mixes "A"–"F").
+    SetNamedMix {
+        /// Mix name.
+        name: String,
+    },
     /// Apply any other typed workload change (escape hatch covering the
     /// full [`WorkloadChange`] vocabulary).
     ChangeWorkload {
@@ -85,6 +98,12 @@ impl ScenarioEvent {
             ScenarioEvent::SetSkew { distribution } => Some(WorkloadChange::Distribution {
                 distribution: *distribution,
             }),
+            ScenarioEvent::SetZipfTheta { theta } => {
+                Some(WorkloadChange::ZipfianTheta { theta: *theta })
+            }
+            ScenarioEvent::SetNamedMix { name } => {
+                Some(WorkloadChange::NamedMix { name: name.clone() })
+            }
             ScenarioEvent::ChangeWorkload { change } => Some(change.clone()),
             _ => None,
         }
@@ -191,6 +210,17 @@ impl Scenario {
                         scenario: self.name.clone(),
                         reason: format!(
                             "event {i}: SetInterval needs a positive interval, got {secs}"
+                        ),
+                    });
+                }
+            }
+            if let ScenarioEvent::SetZipfTheta { theta } = &e.event {
+                if !theta.is_finite() || *theta < 0.0 {
+                    return Err(ScenarioError::BadTimeline {
+                        scenario: self.name.clone(),
+                        reason: format!(
+                            "event {i}: SetZipfTheta needs a finite non-negative exponent, \
+                             got {theta}"
                         ),
                     });
                 }
@@ -478,6 +508,13 @@ mod tests {
             Scenario::new("bi", 1.0).at(0.5, "x", ScenarioEvent::SetInterval { secs: 0.0 });
         assert!(bad_interval.validate().is_err());
         assert!(executor().run_scenario(&bad_interval).is_err());
+        // Zipfian exponents must be finite and non-negative.
+        let bad_theta =
+            Scenario::new("bt", 1.0).at(0.5, "x", ScenarioEvent::SetZipfTheta { theta: -0.5 });
+        assert!(bad_theta.validate().is_err());
+        let nan_theta =
+            Scenario::new("nt", 1.0).at(0.5, "x", ScenarioEvent::SetZipfTheta { theta: f64::NAN });
+        assert!(nan_theta.validate().is_err());
     }
 
     #[test]
@@ -531,6 +568,14 @@ mod tests {
             )
             .at_unlabelled(0.5, ScenarioEvent::SetInterval { secs: 0.1 })
             .at(0.5, "mix", ScenarioEvent::SetMix)
+            .at(0.55, "theta", ScenarioEvent::SetZipfTheta { theta: 0.99 })
+            .at(
+                0.55,
+                "ycsb-b",
+                ScenarioEvent::SetNamedMix {
+                    name: "B".to_string(),
+                },
+            )
             .at(0.6, "failed", ScenarioEvent::FailSocket { socket: 3 });
         let json = scenario.to_json();
         assert_eq!(Scenario::from_json(&json).unwrap(), scenario);

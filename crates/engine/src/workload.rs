@@ -53,6 +53,20 @@ pub enum WorkloadChange {
         /// Percentage (0–100) of transactions that touch remote sites.
         percent: u32,
     },
+    /// Set the key-access distribution to a Zipfian with the given
+    /// exponent — the theta-ramp knob of the YCSB skew experiments.
+    /// Shorthand for `Distribution { Zipfian { theta } }` that scenario
+    /// timelines can step through to ramp skew up or down.
+    ZipfianTheta {
+        /// Zipfian exponent (0 = uniform; YCSB's standard is 0.99).
+        theta: f64,
+    },
+    /// Switch to a named operation mix the workload defines (the YCSB
+    /// core mixes are named "A" through "F").
+    NamedMix {
+        /// Mix name as the workload publishes it.
+        name: String,
+    },
 }
 
 impl fmt::Display for WorkloadChange {
@@ -66,6 +80,8 @@ impl fmt::Display for WorkloadChange {
             WorkloadChange::MultiSitePercent { percent } => {
                 write!(f, "{percent}% multi-site")
             }
+            WorkloadChange::ZipfianTheta { theta } => write!(f, "Zipfian theta {theta}"),
+            WorkloadChange::NamedMix { name } => write!(f, "named mix '{name}'"),
         }
     }
 }
@@ -90,6 +106,15 @@ pub enum ReconfigureError {
         /// The labels the workload accepts.
         known: Vec<&'static str>,
     },
+    /// A `NamedMix` change named a mix the workload does not define.
+    UnknownMix {
+        /// Name of the workload.
+        workload: String,
+        /// The unrecognized mix name.
+        name: String,
+        /// The mix names the workload accepts.
+        known: Vec<&'static str>,
+    },
 }
 
 impl fmt::Display for ReconfigureError {
@@ -105,6 +130,15 @@ impl fmt::Display for ReconfigureError {
             } => write!(
                 f,
                 "workload '{workload}' has no transaction type '{txn}' (known: {})",
+                known.join(", ")
+            ),
+            ReconfigureError::UnknownMix {
+                workload,
+                name,
+                known,
+            } => write!(
+                f,
+                "workload '{workload}' has no mix named '{name}' (known: {})",
                 known.join(", ")
             ),
         }

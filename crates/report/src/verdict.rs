@@ -258,6 +258,64 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                 ),
             })
         }
+        "ycsb01" => {
+            // Columns: theta | Centralized | Shared-nothing | PLP | ATraPos.
+            let plp = fig.column(3);
+            let atrapos = fig.column(4);
+            let n = plp.len().min(atrapos.len());
+            // "Matches" allows sub-percent jitter at the contention-bound
+            // high-skew points; the uniform point must be a clear win.
+            let matched = (0..n).filter(|&r| atrapos[r] >= 0.97 * plp[r]).count();
+            let worst_ratio = (0..n)
+                .map(|r| {
+                    if plp[r] > 0.0 {
+                        atrapos[r] / plp[r]
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            let uniform_win = n > 0 && atrapos[0] >= 1.1 * plp[0];
+            Some(Assessment {
+                verdict: Verdict::from_bool(n >= 2 && matched == n && uniform_win),
+                expected: "the partitioned shared-everything advantage carries over to \
+                           YCSB-A: ATraPos clearly beats PLP at uniform load and at \
+                           least matches it (within 3%) at every Zipfian skew level, \
+                           even as skew drives both toward their hot partitions' \
+                           capacity"
+                    .into(),
+                observed: format!(
+                    "ATraPos matches or beats PLP at {matched} of {n} theta values \
+                     (worst ATraPos/PLP ratio {worst_ratio:.2}x)"
+                ),
+            })
+        }
+        "ycsb02" => {
+            // Columns: time | Centralized | Shared-nothing | PLP | ATraPos.
+            // The interesting state is deep into the drift — the settled
+            // tail, where every static layout has been wrong for a while.
+            let best_static = (1..=3)
+                .map(|c| settled_mean(&fig.column(c)))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let atrapos = settled_mean(&fig.column(4));
+            Some(Assessment {
+                verdict: Verdict::from_bool(atrapos > 0.0 && atrapos >= best_static),
+                expected: "under a continuously drifting hotspot the adaptive ATraPos \
+                           configuration keeps repartitioning toward the moving hot \
+                           window and settles above every static design, repartition \
+                           pauses included"
+                    .into(),
+                observed: format!(
+                    "settled throughput: ATraPos {atrapos:.1} KTPS vs best static \
+                     {best_static:.1} KTPS ({:.2}x)",
+                    if best_static > 0.0 {
+                        atrapos / best_static
+                    } else {
+                        0.0
+                    }
+                ),
+            })
+        }
         _ => None,
     }
 }
@@ -343,6 +401,73 @@ mod tests {
             ],
         );
         assert_eq!(assess(&f).unwrap().verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn ycsb01_needs_a_uniform_win_and_parity_under_skew() {
+        let header = vec!["theta", "Centralized", "Shared-nothing", "PLP", "ATraPos"];
+        let f = fig(
+            "ycsb01",
+            header.clone(),
+            vec![
+                vec!["0", "900", "3000", "4000", "5000"],
+                vec!["0.99", "900", "1100", "740", "745"],
+            ],
+        );
+        assert_eq!(assess(&f).unwrap().verdict, Verdict::Pass);
+        // A clear loss at high skew is a warn…
+        let f = fig(
+            "ycsb01",
+            header.clone(),
+            vec![
+                vec!["0", "900", "3000", "4000", "5000"],
+                vec!["0.99", "900", "1100", "1000", "700"],
+            ],
+        );
+        assert_eq!(assess(&f).unwrap().verdict, Verdict::Warn);
+        // …and so is mere parity at uniform load.
+        let f = fig(
+            "ycsb01",
+            header,
+            vec![
+                vec!["0", "900", "3000", "4000", "4050"],
+                vec!["0.99", "900", "1100", "740", "745"],
+            ],
+        );
+        assert_eq!(assess(&f).unwrap().verdict, Verdict::Warn);
+    }
+
+    #[test]
+    fn ycsb02_compares_the_settled_tail_against_the_best_static_design() {
+        let header = vec![
+            "time (s)",
+            "Centralized",
+            "Shared-nothing",
+            "PLP",
+            "ATraPos",
+        ];
+        let f = fig(
+            "ycsb02",
+            header.clone(),
+            vec![
+                vec!["0.1", "900", "3000", "4000", "5000"],
+                vec!["0.2", "900", "1100", "1000", "400"],
+                vec!["0.3", "900", "1100", "1000", "1500"],
+            ],
+        );
+        assert_eq!(assess(&f).unwrap().verdict, Verdict::Pass);
+        // Trailing *any* static design in the settled tail is a warn —
+        // including shared-nothing, not just PLP.
+        let f = fig(
+            "ycsb02",
+            header,
+            vec![
+                vec!["0.1", "900", "3000", "4000", "5000"],
+                vec!["0.2", "900", "1100", "1000", "400"],
+                vec!["0.3", "900", "1600", "1000", "1500"],
+            ],
+        );
+        assert_eq!(assess(&f).unwrap().verdict, Verdict::Warn);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-// The distribution type moved to `atrapos-core` so the engine's typed
-// reconfiguration channel (`WorkloadChange`) can carry it; re-exported here
-// for compatibility.
-pub use atrapos_core::KeyDistribution;
+// The distribution types moved to `atrapos-core` so the engine's typed
+// reconfiguration channel (`WorkloadChange`) can carry them; re-exported
+// here for compatibility.  `KeyDistribution` covers uniform, hotspot,
+// Zipfian, and drifting-hotspot skew; `KeySampler` is its precomputed
+// per-domain instantiation.
+pub use atrapos_core::{KeyDistribution, KeySampler};
 
 /// A weighted transaction mix.
 ///

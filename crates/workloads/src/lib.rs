@@ -14,17 +14,22 @@
 //! * [`tpcc`] — the TPC-C wholesale-supplier benchmark: 9 tables, 5
 //!   transaction types including the NewOrder flow graph of Figure 7
 //!   (Figure 8).
-//! * [`generator`] — shared key-distribution helpers (uniform, hotspot
-//!   skew) and transaction-mix selection.
+//! * [`ycsb`] — the YCSB workload family (core mixes A–F over one table),
+//!   an extension beyond the paper: Zipfian and continuously drifting
+//!   skew for the adaptive-controller experiments.
+//! * [`generator`] — shared key-distribution helpers (uniform, hotspot,
+//!   Zipfian, and drifting-hotspot skew) and transaction-mix selection.
 
 pub mod generator;
 pub mod micro;
 pub mod simple_ab;
 pub mod tatp;
 pub mod tpcc;
+pub mod ycsb;
 
-pub use generator::{KeyDistribution, Mix};
+pub use generator::{KeyDistribution, KeySampler, Mix};
 pub use micro::{MultiSiteUpdate, ReadManyRows, ReadOneRow};
 pub use simple_ab::SimpleAb;
 pub use tatp::{Tatp, TatpConfig, TatpTxn};
 pub use tpcc::{Tpcc, TpccConfig, TpccTxn};
+pub use ycsb::{Ycsb, YcsbConfig, YcsbOp};

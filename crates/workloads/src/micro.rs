@@ -1,6 +1,6 @@
 //! The microbenchmarks of paper §III.
 
-use crate::generator::KeyDistribution;
+use crate::generator::{KeyDistribution, KeySampler};
 use atrapos_core::KeyDomain;
 use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
 use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
@@ -59,9 +59,6 @@ fn populate_probe(
 pub struct ReadOneRow {
     /// Number of rows.
     pub rows: i64,
-    /// Key distribution (uniform by default; the skew experiment of Figure
-    /// 11 switches to a hotspot at runtime).
-    pub distribution: KeyDistribution,
     /// Number of sites the key space is divided into for site-local key
     /// generation (1 = uniform over the whole table).  The paper's
     /// "perfectly partitionable" workload draws each client's keys from its
@@ -69,6 +66,14 @@ pub struct ReadOneRow {
     pub sites: usize,
     /// Cores per site (maps a submitting core to its site).
     pub cores_per_site: usize,
+    /// Key distribution (uniform by default; the skew experiments switch
+    /// to a hotspot — or Zipfian / drifting skew — at runtime via
+    /// [`ReadOneRow::set_distribution`]).
+    distribution: KeyDistribution,
+    /// One precomputed sampler per site, rebuilt on reconfiguration so
+    /// per-transaction draws never allocate (see
+    /// `atrapos_core::distribution`).
+    samplers: Vec<KeySampler>,
 }
 
 impl ReadOneRow {
@@ -79,12 +84,7 @@ impl ReadOneRow {
 
     /// A dataset with `rows` rows.
     pub fn with_rows(rows: i64) -> Self {
-        Self {
-            rows,
-            distribution: KeyDistribution::Uniform,
-            sites: 1,
-            cores_per_site: 1,
-        }
+        Self::partitionable(rows, 1, 1)
     }
 
     /// Make the workload perfectly partitionable over `sites` sites with
@@ -92,24 +92,41 @@ impl ReadOneRow {
     /// site.
     pub fn partitionable(rows: i64, sites: usize, cores_per_site: usize) -> Self {
         assert!(sites >= 1 && cores_per_site >= 1);
-        Self {
+        let mut w = Self {
             rows,
-            distribution: KeyDistribution::Uniform,
             sites,
             cores_per_site,
-        }
+            distribution: KeyDistribution::Uniform,
+            samplers: Vec::new(),
+        };
+        w.rebuild_samplers();
+        w
     }
 
     /// Switch the key distribution (e.g. to a hotspot) at runtime.
     pub fn set_distribution(&mut self, d: KeyDistribution) {
         self.distribution = d;
+        self.rebuild_samplers();
     }
 
-    fn key_range(&self, client: CoreId) -> (i64, i64) {
+    /// The current key distribution.
+    pub fn distribution(&self) -> KeyDistribution {
+        self.distribution
+    }
+
+    fn rebuild_samplers(&mut self) {
+        self.samplers = (0..self.sites)
+            .map(|site| {
+                let (lo, hi) = self.site_range(site);
+                self.distribution.sampler(lo, hi)
+            })
+            .collect();
+    }
+
+    fn site_range(&self, site: usize) -> (i64, i64) {
         if self.sites <= 1 {
             return (0, self.rows);
         }
-        let site = (client.index() / self.cores_per_site) % self.sites;
         let width = self.rows / self.sites as i64;
         let lo = site as i64 * width;
         let hi = if site + 1 == self.sites {
@@ -118,6 +135,10 @@ impl ReadOneRow {
             lo + width
         };
         (lo, hi.max(lo + 1))
+    }
+
+    fn site_of(&self, client: CoreId) -> usize {
+        (client.index() / self.cores_per_site) % self.sites
     }
 }
 
@@ -140,8 +161,8 @@ impl Workload for ReadOneRow {
     }
 
     fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec {
-        let (lo, hi) = self.key_range(client);
-        let k = self.distribution.sample(rng, lo, hi);
+        let site = self.site_of(client);
+        let k = self.samplers[site].sample(rng);
         TransactionSpec::single_phase(
             "read-one-row",
             vec![Action::new(ActionOp::Read {
@@ -155,6 +176,10 @@ impl Workload for ReadOneRow {
         match change {
             WorkloadChange::Distribution { distribution } => {
                 self.set_distribution(*distribution);
+                Ok(())
+            }
+            WorkloadChange::ZipfianTheta { theta } => {
+                self.set_distribution(KeyDistribution::Zipfian { theta: *theta });
                 Ok(())
             }
             other => Err(ReconfigureError::Unsupported {
@@ -354,6 +379,37 @@ mod tests {
         let mut db = Database::new();
         w.populate(&mut db, &|_, _| true);
         assert_eq!(db.table(TableId(0)).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn read_one_row_drift_window_rotates_per_draw() {
+        // A drifting distribution applied through reconfigure must keep
+        // its draw counter between transactions (a stateless per-call
+        // sampler would freeze the window at its initial position).
+        let mut w = ReadOneRow::with_rows(1_000);
+        w.set_distribution(KeyDistribution::Drift {
+            data_fraction: 0.05,
+            access_fraction: 1.0,
+            period_txns: 100,
+        });
+        let mut rng = SmallRng::seed_from_u64(4);
+        let key_at = |w: &mut ReadOneRow, rng: &mut SmallRng| {
+            w.next_transaction(rng, CoreId(0)).phases[0].actions[0]
+                .op
+                .routing_key_head()
+        };
+        let early: Vec<i64> = (0..10).map(|_| key_at(&mut w, &mut rng)).collect();
+        for _ in 0..40 {
+            key_at(&mut w, &mut rng);
+        }
+        let late: Vec<i64> = (0..10).map(|_| key_at(&mut w, &mut rng)).collect();
+        // 50 draws into a 100-draw period, the window sits near the
+        // middle of the domain; at the start it covered the low keys.
+        assert!(early.iter().all(|&k| k < 150), "early keys {early:?}");
+        assert!(
+            late.iter().all(|&k| (400..700).contains(&k)),
+            "late keys {late:?}"
+        );
     }
 
     #[test]

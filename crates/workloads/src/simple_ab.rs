@@ -8,7 +8,7 @@
 //! synchronization cost, which is exactly what the ATraPos placement
 //! algorithm discovers.
 
-use crate::generator::KeyDistribution;
+use crate::generator::{KeyDistribution, KeySampler};
 use atrapos_core::KeyDomain;
 use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
 use atrapos_engine::{Action, ActionOp, Phase, TableSpec, TransactionSpec, Workload};
@@ -30,18 +30,35 @@ pub struct SimpleAb {
     /// B rows per A row.
     pub b_per_a: i64,
     /// Distribution of the shared `pk_a` head key (uniform by default;
-    /// scenarios may introduce a hotspot at runtime).
-    pub distribution: KeyDistribution,
+    /// scenarios may introduce a hotspot — or Zipfian / drifting skew —
+    /// at runtime via [`SimpleAb::set_distribution`]).
+    distribution: KeyDistribution,
+    /// Derived from `distribution` over the A domain; rebuilt on
+    /// reconfiguration so per-transaction draws never allocate.
+    sampler: KeySampler,
 }
 
 impl SimpleAb {
     /// A workload with `rows_a` rows in A and 4 B rows per A row.
     pub fn new(rows_a: i64) -> Self {
+        let distribution = KeyDistribution::Uniform;
         Self {
             rows_a,
             b_per_a: 4,
-            distribution: KeyDistribution::Uniform,
+            distribution,
+            sampler: distribution.sampler(0, rows_a),
         }
+    }
+
+    /// Switch the `pk_a` distribution at runtime.
+    pub fn set_distribution(&mut self, d: KeyDistribution) {
+        self.distribution = d;
+        self.sampler = d.sampler(0, self.rows_a);
+    }
+
+    /// The current `pk_a` distribution.
+    pub fn distribution(&self) -> KeyDistribution {
+        self.distribution
     }
 }
 
@@ -112,7 +129,7 @@ impl Workload for SimpleAb {
     }
 
     fn next_transaction(&mut self, rng: &mut SmallRng, _client: CoreId) -> TransactionSpec {
-        let id_a = self.distribution.sample(rng, 0, self.rows_a);
+        let id_a = self.sampler.sample(rng);
         let id_b = rng.gen_range(0..self.b_per_a);
         TransactionSpec::new(
             "simple-ab",
@@ -133,7 +150,11 @@ impl Workload for SimpleAb {
     fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
         match change {
             WorkloadChange::Distribution { distribution } => {
-                self.distribution = *distribution;
+                self.set_distribution(*distribution);
+                Ok(())
+            }
+            WorkloadChange::ZipfianTheta { theta } => {
+                self.set_distribution(KeyDistribution::Zipfian { theta: *theta });
                 Ok(())
             }
             other => Err(ReconfigureError::Unsupported {

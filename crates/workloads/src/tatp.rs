@@ -14,7 +14,7 @@
 //! introducing access skew at runtime (Figure 11).
 
 use crate::generator::{KeyDistribution, Mix};
-use atrapos_core::KeyDomain;
+use atrapos_core::{KeyDomain, KeySampler};
 use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
 use atrapos_engine::{Action, ActionOp, TableSpec, TransactionSpec, Workload};
 use atrapos_numa::CoreId;
@@ -115,15 +115,22 @@ pub struct Tatp {
     config: TatpConfig,
     mix: Mix<TatpTxn>,
     distribution: KeyDistribution,
+    /// Derived from `distribution` over the subscriber domain; rebuilt on
+    /// reconfiguration so per-transaction draws never allocate (the
+    /// Zipfian variant precomputes its CDF here).
+    sampler: KeySampler,
 }
 
 impl Tatp {
     /// Build the workload with the standard transaction mix.
     pub fn new(config: TatpConfig) -> Self {
+        let distribution = KeyDistribution::Uniform;
+        let sampler = distribution.sampler(1, config.subscribers + 1);
         Self {
             config,
             mix: Self::standard_mix(),
-            distribution: KeyDistribution::Uniform,
+            distribution,
+            sampler,
         }
     }
 
@@ -151,9 +158,11 @@ impl Tatp {
     }
 
     /// Change the subscriber-id distribution (Figure 11 uses a hotspot where
-    /// 50% of the requests hit 20% of the data).
+    /// 50% of the requests hit 20% of the data; the YCSB-style experiments
+    /// may carry Zipfian or drifting skew over).
     pub fn set_distribution(&mut self, d: KeyDistribution) {
         self.distribution = d;
+        self.sampler = d.sampler(1, self.config.subscribers + 1);
     }
 
     /// Number of subscribers.
@@ -161,12 +170,16 @@ impl Tatp {
         self.config.subscribers
     }
 
-    fn subscriber_id(&self, rng: &mut SmallRng) -> i64 {
+    /// The current subscriber-id distribution.
+    pub fn distribution(&self) -> KeyDistribution {
         self.distribution
-            .sample(rng, 1, self.config.subscribers + 1)
     }
 
-    fn build(&self, txn: TatpTxn, rng: &mut SmallRng) -> TransactionSpec {
+    fn subscriber_id(&mut self, rng: &mut SmallRng) -> i64 {
+        self.sampler.sample(rng)
+    }
+
+    fn build(&mut self, txn: TatpTxn, rng: &mut SmallRng) -> TransactionSpec {
         let mut spec = TransactionSpec::empty();
         self.build_into(txn, rng, &mut spec);
         spec
@@ -175,7 +188,7 @@ impl Tatp {
     /// Build a transaction of type `txn` into a reusable spec buffer.
     /// Draws from `rng` in the exact order the by-value builder always
     /// did, so generation stays bit-for-bit reproducible.
-    fn build_into(&self, txn: TatpTxn, rng: &mut SmallRng, spec: &mut TransactionSpec) {
+    fn build_into(&mut self, txn: TatpTxn, rng: &mut SmallRng, spec: &mut TransactionSpec) {
         let s = self.subscriber_id(rng);
         match txn {
             TatpTxn::GetSubscriberData => {
@@ -459,6 +472,10 @@ impl Workload for Tatp {
                 self.set_distribution(*distribution);
                 Ok(())
             }
+            WorkloadChange::ZipfianTheta { theta } => {
+                self.set_distribution(KeyDistribution::Zipfian { theta: *theta });
+                Ok(())
+            }
             other => Err(ReconfigureError::Unsupported {
                 workload: self.name().to_string(),
                 change: other.clone(),
@@ -542,6 +559,28 @@ mod tests {
             }
         }
         assert!(hot > 350, "hot accesses {hot}");
+    }
+
+    #[test]
+    fn zipfian_theta_reconfigure_concentrates_on_low_ids() {
+        let mut w = small();
+        w.reconfigure(&WorkloadChange::ZipfianTheta { theta: 0.99 })
+            .unwrap();
+        assert_eq!(w.distribution(), KeyDistribution::Zipfian { theta: 0.99 });
+        w.set_single(TatpTxn::GetSubscriberData);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut hot = 0;
+        for _ in 0..500 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            let head = spec.phases[0].actions[0].op.routing_key_head();
+            assert!((1..=200).contains(&head));
+            if head <= 40 {
+                hot += 1;
+            }
+        }
+        // The hottest fifth of the domain draws well over its uniform
+        // share (100 of 500) under theta = 0.99.
+        assert!(hot > 250, "hot accesses {hot}");
     }
 
     #[test]

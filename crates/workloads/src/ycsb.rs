@@ -1,0 +1,658 @@
+//! The YCSB workload family (Cooper et al., SoCC 2010).
+//!
+//! The Yahoo! Cloud Serving Benchmark is the standard stress for
+//! partition-affinity systems: five operation types (read, update, insert,
+//! short range scan, read-modify-write) over one table, combined into the
+//! six *core mixes* A–F, with a Zipfian request distribution whose
+//! exponent θ dials the skew from uniform (θ = 0) to the standard heavily
+//! skewed θ = 0.99.  The paper never evaluates ATraPos under YCSB; this
+//! module opens that axis — in particular the *drifting* hotspot
+//! ([`KeyDistribution::Drift`]) that gives the adaptive controller no
+//! stable layout to converge to.
+//!
+//! Everything is plain data: a [`YcsbConfig`] (serializable, named
+//! constructors [`YcsbConfig::named`] for the core mixes) fully describes
+//! the generator, and the workload accepts the typed
+//! `WorkloadChange::{NamedMix, ZipfianTheta, Distribution,
+//! SingleTransaction, StandardMix}` reconfigurations, so scenario
+//! timelines can switch mixes and ramp θ mid-run.
+//!
+//! Modelling notes:
+//!
+//! * Keys are dense integers; Zipfian rank 0 is key 0, so the hot head is
+//!   *contiguous* — deliberately un-scrambled, because clustered heat is
+//!   what stresses range-partitioned designs (see
+//!   `atrapos_core::distribution`).
+//! * Inserts append at the tail of the keyspace (`record_count`,
+//!   `record_count + 1`, …), beyond the initially declared domain; every
+//!   layer routes beyond-domain keys to the last partition, so an
+//!   insert-heavy run heats the tail partition — exactly the skew the
+//!   adaptive controller is supposed to chase.  Workload D's
+//!   "read-latest" distribution reads backwards from the insert cursor.
+
+use crate::generator::{KeyDistribution, Mix};
+use atrapos_core::{KeyDomain, KeySampler};
+use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
+use atrapos_engine::{Action, ActionOp, TableSpec, TransactionSpec, Workload};
+use atrapos_numa::CoreId;
+use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Table id of USERTABLE (the single YCSB table).
+pub const USERTABLE: TableId = TableId(0);
+
+/// Payload fields per record (YCSB's default schema has ten 100-byte
+/// fields; the simulator charges per-row costs, so a compact fixed set
+/// keeps population fast without changing access patterns).
+pub const FIELDS: usize = 4;
+
+/// The five YCSB operation types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbOp {
+    /// Read one record by key.
+    Read,
+    /// Overwrite one field of one record.
+    Update,
+    /// Insert a new record at the tail of the keyspace.
+    Insert,
+    /// Read a short key range (up to `max_scan_len` records).
+    Scan,
+    /// Read one record, then update one of its fields.
+    ReadModifyWrite,
+}
+
+impl YcsbOp {
+    /// All five operation types.
+    pub const ALL: [YcsbOp; 5] = [
+        YcsbOp::Read,
+        YcsbOp::Update,
+        YcsbOp::Insert,
+        YcsbOp::Scan,
+        YcsbOp::ReadModifyWrite,
+    ];
+
+    /// Human-readable label (used as the transaction class and by
+    /// `WorkloadChange::SingleTransaction`).
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbOp::Read => "Read",
+            YcsbOp::Update => "Update",
+            YcsbOp::Insert => "Insert",
+            YcsbOp::Scan => "Scan",
+            YcsbOp::ReadModifyWrite => "RMW",
+        }
+    }
+
+    /// Parse a label back into the operation type.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.label() == label)
+    }
+}
+
+/// The names of the six core mixes.
+pub const MIX_NAMES: [&str; 6] = ["A", "B", "C", "D", "E", "F"];
+
+/// A complete, serializable description of a YCSB generator: dataset
+/// size, per-operation weights, scan length, and request distribution.
+///
+/// The six core mixes are available by name ([`YcsbConfig::named`]); a
+/// config is also directly constructible for custom mixes.  Weights need
+/// not sum to 1 — only their ratios matter — but at least one must be
+/// positive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YcsbConfig {
+    /// Initially loaded records (keys `0..record_count`).
+    pub record_count: i64,
+    /// Weight of single-key reads.
+    pub read_weight: f64,
+    /// Weight of single-field updates.
+    pub update_weight: f64,
+    /// Weight of tail inserts.
+    pub insert_weight: f64,
+    /// Weight of short range scans.
+    pub scan_weight: f64,
+    /// Weight of read-modify-writes.
+    pub rmw_weight: f64,
+    /// Maximum records per scan (scan lengths are uniform in
+    /// `1..=max_scan_len`).
+    pub max_scan_len: i64,
+    /// Request distribution over the keyspace.
+    pub distribution: KeyDistribution,
+    /// Workload D's "latest" semantics: sampled ranks count backwards
+    /// from the most recently inserted key instead of forwards from key
+    /// 0, so the hottest keys are the newest.
+    pub latest: bool,
+}
+
+impl YcsbConfig {
+    /// A read-only baseline (workload C shape) to derive the mixes from.
+    fn base(record_count: i64) -> Self {
+        Self {
+            record_count,
+            read_weight: 1.0,
+            update_weight: 0.0,
+            insert_weight: 0.0,
+            scan_weight: 0.0,
+            rmw_weight: 0.0,
+            max_scan_len: 100,
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            latest: false,
+        }
+    }
+
+    /// Core workload A — update heavy: 50% reads, 50% updates.
+    pub fn workload_a(record_count: i64) -> Self {
+        Self {
+            read_weight: 0.5,
+            update_weight: 0.5,
+            ..Self::base(record_count)
+        }
+    }
+
+    /// Core workload B — read mostly: 95% reads, 5% updates.
+    pub fn workload_b(record_count: i64) -> Self {
+        Self {
+            read_weight: 0.95,
+            update_weight: 0.05,
+            ..Self::base(record_count)
+        }
+    }
+
+    /// Core workload C — read only.
+    pub fn workload_c(record_count: i64) -> Self {
+        Self::base(record_count)
+    }
+
+    /// Core workload D — read latest: 95% reads, 5% inserts, reads
+    /// concentrated on the newest keys.
+    pub fn workload_d(record_count: i64) -> Self {
+        Self {
+            read_weight: 0.95,
+            insert_weight: 0.05,
+            latest: true,
+            ..Self::base(record_count)
+        }
+    }
+
+    /// Core workload E — short ranges: 95% scans, 5% inserts.
+    pub fn workload_e(record_count: i64) -> Self {
+        Self {
+            read_weight: 0.0,
+            scan_weight: 0.95,
+            insert_weight: 0.05,
+            ..Self::base(record_count)
+        }
+    }
+
+    /// Core workload F — read-modify-write: 50% reads, 50% RMWs.
+    pub fn workload_f(record_count: i64) -> Self {
+        Self {
+            read_weight: 0.5,
+            rmw_weight: 0.5,
+            ..Self::base(record_count)
+        }
+    }
+
+    /// The core mix with the given name ("A" through "F"), or `None` for
+    /// an unknown name.
+    pub fn named(name: &str, record_count: i64) -> Option<Self> {
+        match name {
+            "A" => Some(Self::workload_a(record_count)),
+            "B" => Some(Self::workload_b(record_count)),
+            "C" => Some(Self::workload_c(record_count)),
+            "D" => Some(Self::workload_d(record_count)),
+            "E" => Some(Self::workload_e(record_count)),
+            "F" => Some(Self::workload_f(record_count)),
+            _ => None,
+        }
+    }
+
+    /// This config with a different request distribution.
+    pub fn with_distribution(mut self, d: KeyDistribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// This config with a Zipfian request distribution of exponent
+    /// `theta`.
+    pub fn with_theta(self, theta: f64) -> Self {
+        self.with_distribution(KeyDistribution::Zipfian { theta })
+    }
+
+    /// The operation mix described by the weights.  Panics if no weight
+    /// is positive (an all-zero mix describes no workload).
+    fn mix(&self) -> Mix<YcsbOp> {
+        let entries: Vec<(YcsbOp, f64)> = [
+            (YcsbOp::Read, self.read_weight),
+            (YcsbOp::Update, self.update_weight),
+            (YcsbOp::Insert, self.insert_weight),
+            (YcsbOp::Scan, self.scan_weight),
+            (YcsbOp::ReadModifyWrite, self.rmw_weight),
+        ]
+        .into_iter()
+        .filter(|(_, w)| *w > 0.0)
+        .collect();
+        Mix::new(entries)
+    }
+}
+
+/// The YCSB workload generator.
+///
+/// `config` is the single source of truth: runtime reconfigurations
+/// write through to it (so [`Ycsb::config`] always describes the
+/// workload as it currently runs and could be serialized for replay),
+/// and the mix / sampler are derived state rebuilt on change.
+#[derive(Debug, Clone)]
+pub struct Ycsb {
+    config: YcsbConfig,
+    /// Derived from the config weights; a `SingleTransaction`
+    /// reconfiguration overrides it, `StandardMix` rebuilds it.
+    mix: Mix<YcsbOp>,
+    /// Derived from `config.distribution` over `[0, record_count)`;
+    /// rebuilt on reconfiguration so per-transaction draws never
+    /// allocate.
+    sampler: KeySampler,
+    /// Key of the next insert (starts at `record_count`, grows
+    /// monotonically; the generator is the only writer, so the sequence
+    /// is deterministic).
+    insert_cursor: i64,
+}
+
+impl Ycsb {
+    /// Build the workload from a config.
+    pub fn new(config: YcsbConfig) -> Self {
+        assert!(config.record_count > 0, "YCSB needs at least one record");
+        assert!(config.max_scan_len >= 1, "scans need a positive length");
+        let mix = config.mix();
+        let sampler = config.distribution.sampler(0, config.record_count);
+        let insert_cursor = config.record_count;
+        Self {
+            config,
+            mix,
+            sampler,
+            insert_cursor,
+        }
+    }
+
+    /// The named core mix ("A"–"F") at the given dataset size.
+    pub fn core(name: &str, record_count: i64) -> Option<Self> {
+        YcsbConfig::named(name, record_count).map(Self::new)
+    }
+
+    /// The workload's current configuration (reconfigurations write
+    /// through, so this always describes the generator as it runs).
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// The current request distribution.
+    pub fn distribution(&self) -> KeyDistribution {
+        self.config.distribution
+    }
+
+    /// Change the request distribution at runtime.
+    pub fn set_distribution(&mut self, d: KeyDistribution) {
+        self.config.distribution = d;
+        self.sampler = d.sampler(0, self.config.record_count);
+    }
+
+    /// Switch to another core mix (same dataset), adopting its weights,
+    /// scan length, distribution, and latest flag.
+    pub fn set_named_mix(&mut self, name: &str) -> bool {
+        match YcsbConfig::named(name, self.config.record_count) {
+            Some(config) => {
+                self.mix = config.mix();
+                self.sampler = config.distribution.sampler(0, config.record_count);
+                self.config = config;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Draw the key one read-like operation targets.
+    fn sample_key(&mut self, rng: &mut SmallRng) -> i64 {
+        let rank = self.sampler.sample(rng);
+        if self.config.latest {
+            // Rank 0 = the newest key (the last insert, or the last
+            // loaded record before any insert happened).
+            (self.insert_cursor - 1 - rank).max(0)
+        } else {
+            rank
+        }
+    }
+
+    /// Build one operation of type `op` into the reusable spec buffer.
+    /// Draws from `rng` in a fixed order per operation type, so
+    /// generation is bit-for-bit reproducible.
+    fn build_into(&mut self, op: YcsbOp, rng: &mut SmallRng, spec: &mut TransactionSpec) {
+        match op {
+            YcsbOp::Read => {
+                let k = self.sample_key(rng);
+                let mut w = spec.refill("Read");
+                w.phase().push(Action::new(ActionOp::Read {
+                    table: USERTABLE,
+                    key: Key::int(k),
+                }));
+                w.finish();
+            }
+            YcsbOp::Update => {
+                let k = self.sample_key(rng);
+                let field = 1 + rng.gen_range(0..FIELDS);
+                let value = rng.gen_range(0..1 << 30);
+                let mut w = spec.refill("Update");
+                w.phase().push(Action::new(ActionOp::Update {
+                    table: USERTABLE,
+                    key: Key::int(k),
+                    changes: vec![(field, Value::Int(value))],
+                }));
+                w.finish();
+            }
+            YcsbOp::Insert => {
+                let k = self.insert_cursor;
+                self.insert_cursor += 1;
+                let mut w = spec.refill("Insert");
+                w.phase().push(Action::new(ActionOp::Insert {
+                    table: USERTABLE,
+                    record: record_for(k),
+                }));
+                w.finish();
+            }
+            YcsbOp::Scan => {
+                let start = self.sample_key(rng);
+                let len = rng.gen_range(1..=self.config.max_scan_len);
+                let mut w = spec.refill("Scan");
+                w.phase().push(Action::new(ActionOp::ReadRange {
+                    table: USERTABLE,
+                    from: Key::int(start),
+                    to: Key::int(start + len),
+                    limit: len as usize,
+                }));
+                w.finish();
+            }
+            YcsbOp::ReadModifyWrite => {
+                let k = self.sample_key(rng);
+                let field = 1 + rng.gen_range(0..FIELDS);
+                let value = rng.gen_range(0..1 << 30);
+                // Two phases: the update depends on the read's result, so
+                // they synchronize at the phase boundary.
+                let mut w = spec.refill("RMW");
+                w.phase().push(Action::new(ActionOp::Read {
+                    table: USERTABLE,
+                    key: Key::int(k),
+                }));
+                w.phase().push(Action::new(ActionOp::Update {
+                    table: USERTABLE,
+                    key: Key::int(k),
+                    changes: vec![(field, Value::Int(value))],
+                }));
+                w.finish();
+            }
+        }
+    }
+}
+
+/// The record stored under key `k` (key column plus [`FIELDS`] integer
+/// payload fields).
+fn record_for(k: i64) -> Record {
+    let mut values = Vec::with_capacity(1 + FIELDS);
+    values.push(Value::Int(k));
+    for f in 0..FIELDS as i64 {
+        values.push(Value::Int(k * 10 + f));
+    }
+    Record::new(values)
+}
+
+impl Workload for Ycsb {
+    fn name(&self) -> &str {
+        "YCSB"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        let mut columns = vec![Column::new("y_id", ColumnType::Int)];
+        for f in 0..FIELDS {
+            columns.push(Column::new(format!("field{f}"), ColumnType::Int));
+        }
+        vec![TableSpec {
+            id: USERTABLE,
+            schema: Schema::new("usertable", columns, vec![0]),
+            domain: KeyDomain::new(0, self.config.record_count),
+            rows: self.config.record_count as u64,
+        }]
+    }
+
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        ensure_tables(self, db);
+        let table = db.table_mut(USERTABLE).expect("usertable exists");
+        for k in 0..self.config.record_count {
+            let key = Key::int(k);
+            if filter(USERTABLE, &key) {
+                table.load(record_for(k)).expect("unique keys");
+            }
+        }
+    }
+
+    fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec {
+        let mut spec = TransactionSpec::empty();
+        self.next_transaction_into(rng, client, &mut spec);
+        spec
+    }
+
+    fn next_transaction_into(
+        &mut self,
+        rng: &mut SmallRng,
+        _client: CoreId,
+        spec: &mut TransactionSpec,
+    ) {
+        let op = self.mix.pick(rng);
+        self.build_into(op, rng, spec);
+    }
+
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        match change {
+            WorkloadChange::SingleTransaction { txn } => match YcsbOp::from_label(txn) {
+                Some(op) => {
+                    self.mix = Mix::single(op);
+                    Ok(())
+                }
+                None => Err(ReconfigureError::UnknownTransaction {
+                    workload: self.name().to_string(),
+                    txn: txn.clone(),
+                    known: YcsbOp::ALL.iter().map(|t| t.label()).collect(),
+                }),
+            },
+            WorkloadChange::StandardMix => {
+                self.mix = self.config.mix();
+                Ok(())
+            }
+            WorkloadChange::Distribution { distribution } => {
+                self.set_distribution(*distribution);
+                Ok(())
+            }
+            WorkloadChange::ZipfianTheta { theta } => {
+                self.set_distribution(KeyDistribution::Zipfian { theta: *theta });
+                Ok(())
+            }
+            WorkloadChange::NamedMix { name } => {
+                if self.set_named_mix(name) {
+                    Ok(())
+                } else {
+                    Err(ReconfigureError::UnknownMix {
+                        workload: self.name().to_string(),
+                        name: name.clone(),
+                        known: MIX_NAMES.to_vec(),
+                    })
+                }
+            }
+            other => Err(ReconfigureError::Unsupported {
+                workload: self.name().to_string(),
+                change: other.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ops_of(w: &mut Ycsb, n: usize, seed: u64) -> Vec<&'static str> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| w.next_transaction(&mut rng, CoreId(0)).class)
+            .collect()
+    }
+
+    #[test]
+    fn population_loads_the_declared_rows() {
+        let w = Ycsb::new(YcsbConfig::workload_a(500));
+        let mut db = Database::new();
+        w.populate(&mut db, &|_, _| true);
+        assert_eq!(db.table(USERTABLE).unwrap().len(), 500);
+        let mut half = Database::new();
+        w.populate(&mut half, &|_, k| k.head_int() < 250);
+        assert_eq!(db.table(USERTABLE).unwrap().len(), 500);
+        assert_eq!(half.table(USERTABLE).unwrap().len(), 250);
+    }
+
+    #[test]
+    fn core_mixes_have_the_standard_shapes() {
+        // A: half the operations update; C: none do.
+        let classes_a = ops_of(&mut Ycsb::core("A", 500).unwrap(), 400, 1);
+        let updates = classes_a.iter().filter(|c| **c == "Update").count();
+        assert!((120..280).contains(&updates), "A updates {updates}");
+        let classes_c = ops_of(&mut Ycsb::core("C", 500).unwrap(), 200, 2);
+        assert!(classes_c.iter().all(|c| *c == "Read"));
+        // E is scan-dominated, F mixes reads and RMWs.
+        let classes_e = ops_of(&mut Ycsb::core("E", 500).unwrap(), 200, 3);
+        assert!(classes_e.iter().filter(|c| **c == "Scan").count() > 150);
+        let classes_f = ops_of(&mut Ycsb::core("F", 500).unwrap(), 200, 4);
+        assert!(classes_f.contains(&"RMW") && classes_f.contains(&"Read"));
+        assert!(Ycsb::core("G", 500).is_none());
+    }
+
+    #[test]
+    fn inserts_append_monotonically_at_the_tail() {
+        let mut w = Ycsb::new(YcsbConfig::workload_d(100));
+        w.reconfigure(&WorkloadChange::SingleTransaction {
+            txn: "Insert".into(),
+        })
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut last = 99;
+        for _ in 0..20 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            let head = spec.phases[0].actions[0].op.routing_key_head();
+            assert_eq!(head, last + 1, "inserts must be dense at the tail");
+            last = head;
+        }
+    }
+
+    #[test]
+    fn latest_reads_track_the_insert_cursor() {
+        let mut w = Ycsb::new(YcsbConfig::workload_d(1_000));
+        let mut rng = SmallRng::seed_from_u64(6);
+        // Generate a batch; D is 95% reads with the newest keys hottest.
+        let mut near_tail = 0;
+        let mut total_reads = 0;
+        for _ in 0..500 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            if spec.class == "Read" {
+                total_reads += 1;
+                let head = spec.phases[0].actions[0].op.routing_key_head();
+                if head >= 900 {
+                    near_tail += 1;
+                }
+            }
+        }
+        assert!(total_reads > 300);
+        assert!(
+            near_tail as f64 > 0.5 * total_reads as f64,
+            "only {near_tail}/{total_reads} reads near the tail"
+        );
+    }
+
+    #[test]
+    fn rmw_reads_then_updates_the_same_key_across_a_sync_point() {
+        let mut w = Ycsb::new(YcsbConfig::workload_f(500));
+        w.reconfigure(&WorkloadChange::SingleTransaction { txn: "RMW".into() })
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let spec = w.next_transaction(&mut rng, CoreId(0));
+        assert_eq!(spec.phases.len(), 2);
+        assert!(spec.num_sync_points() >= 1);
+        let r = spec.phases[0].actions[0].op.routing_key_head();
+        let u = spec.phases[1].actions[0].op.routing_key_head();
+        assert_eq!(r, u);
+        assert!(spec.is_update());
+    }
+
+    #[test]
+    fn scans_stay_short_and_start_in_the_domain() {
+        let mut w = Ycsb::new(YcsbConfig::workload_e(500));
+        w.reconfigure(&WorkloadChange::SingleTransaction { txn: "Scan".into() })
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let spec = w.next_transaction(&mut rng, CoreId(0));
+            match &spec.phases[0].actions[0].op {
+                ActionOp::ReadRange {
+                    from, to, limit, ..
+                } => {
+                    assert!((0..500).contains(&from.head_int()));
+                    assert!(*limit >= 1 && *limit <= 100);
+                    assert_eq!(to.head_int() - from.head_int(), *limit as i64);
+                }
+                other => panic!("expected a range read, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn named_mix_and_theta_reconfigure() {
+        let mut w = Ycsb::new(YcsbConfig::workload_c(500));
+        w.reconfigure(&WorkloadChange::NamedMix { name: "A".into() })
+            .unwrap();
+        assert_eq!(w.config().update_weight, 0.5);
+        w.reconfigure(&WorkloadChange::ZipfianTheta { theta: 0.0 })
+            .unwrap();
+        assert_eq!(w.distribution(), KeyDistribution::Zipfian { theta: 0.0 });
+        // The config writes through: serializing it reproduces the
+        // workload as it currently runs, not as it started.
+        assert_eq!(
+            w.config().distribution,
+            KeyDistribution::Zipfian { theta: 0.0 }
+        );
+        let err = w
+            .reconfigure(&WorkloadChange::NamedMix { name: "Z".into() })
+            .unwrap_err();
+        assert!(matches!(err, ReconfigureError::UnknownMix { .. }));
+    }
+
+    #[test]
+    fn generation_into_buffer_matches_by_value_generation() {
+        let mut a = Ycsb::new(YcsbConfig::workload_a(500));
+        let mut b = Ycsb::new(YcsbConfig::workload_a(500));
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        let mut buf = TransactionSpec::empty();
+        for _ in 0..100 {
+            let by_value = a.next_transaction(&mut rng_a, CoreId(0));
+            b.next_transaction_into(&mut rng_b, CoreId(0), &mut buf);
+            assert_eq!(by_value, buf);
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        for name in MIX_NAMES {
+            let config = YcsbConfig::named(name, 1_000).unwrap().with_theta(0.6);
+            let text = serde::json::to_string(&config);
+            let back: YcsbConfig = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, config);
+        }
+    }
+}

@@ -32,6 +32,40 @@ fn shrink(replay: &mut ReplayFile, factor: f64) {
     }
 }
 
+/// The adaptive ycsb02 variant (drifting hotspot, stateful sampler,
+/// monotone insert cursor) twice in one process must serialize byte-
+/// identically — the drift counter and cursor are owned per job, so a
+/// rerun starts from the exact same state.
+#[test]
+fn ycsb_drift_experiment_is_byte_identical_across_runs() {
+    use atrapos_bench::figures::ycsb02_jobs;
+    use atrapos_bench::Scale;
+
+    let scale = {
+        let mut s = Scale::quick();
+        s.ycsb_records = 4_000;
+        s.phase_secs = 0.01;
+        s.interval_min_secs = 0.002;
+        s.interval_max_secs = 0.008;
+        s
+    };
+    let run_adaptive = || {
+        let job = ycsb02_jobs(&scale)
+            .into_iter()
+            .find(|j| j.name.ends_with("ATraPos"))
+            .expect("the adaptive variant is in the job list");
+        job.run().expect("ycsb02 scenario runs")
+    };
+    let first = run_adaptive();
+    let second = run_adaptive();
+    assert!(first.total_committed() > 0);
+    assert_eq!(
+        serde::json::to_string_pretty(&first),
+        serde::json::to_string_pretty(&second),
+        "two in-process runs of the ycsb02 adaptive experiment serialized differently"
+    );
+}
+
 #[test]
 fn replay_experiment_is_byte_identical_across_runs() {
     let mut replay = shipped_replay();

@@ -18,7 +18,7 @@
 //! them.
 
 use atrapos_bench::figures::{
-    fig10_scenario, fig11_scenario, fig12_scenario, fig13_scenario, figure_executor,
+    fig10_scenario, fig11_scenario, fig12_scenario, fig13_scenario, figure_executor, ycsb02_jobs,
 };
 use atrapos_bench::Scale;
 use atrapos_engine::scenario::ScenarioOutcome;
@@ -33,6 +33,7 @@ use std::path::PathBuf;
 fn golden_scale() -> Scale {
     let mut s = Scale::quick();
     s.tatp_subscribers = 4_000;
+    s.ycsb_records = 4_000;
     s.phase_secs = 0.01;
     s.interval_min_secs = 0.002;
     s.interval_max_secs = 0.008;
@@ -88,7 +89,11 @@ fn check_golden(name: &str, adaptive: bool, initial: TatpTxn, scenario: &Scenari
         .run_scenario(scenario)
         .expect("figure scenario runs");
     let variant = if adaptive { "atrapos" } else { "static" };
-    let got = golden_of(&outcome, variant);
+    check_outcome_golden(name, variant, &outcome);
+}
+
+fn check_outcome_golden(name: &str, variant: &str, outcome: &ScenarioOutcome) {
+    let got = golden_of(outcome, variant);
     assert!(
         got.segments.iter().any(|s| s.committed > 0),
         "{name}: golden run committed nothing — the scale is broken"
@@ -195,4 +200,16 @@ fn fig13_adaptive_matches_golden() {
         TatpTxn::GetNewDestination,
         &fig13_scenario(&scale),
     );
+}
+
+#[test]
+fn ycsb02_matches_goldens_on_all_four_designs() {
+    // The drifting-hotspot timeline, pinned per design: the golden file
+    // name is derived from the job name (`ycsb02/<design label>`).
+    for job in ycsb02_jobs(&golden_scale()) {
+        let name = job.name.to_lowercase().replace(['/', '-', ' '], "_");
+        let variant = job.name.clone();
+        let outcome = job.run().expect("ycsb02 golden scenario runs");
+        check_outcome_golden(&name, &variant, &outcome);
+    }
 }

@@ -16,6 +16,7 @@ fn test_scale() -> Scale {
         memory_rows: 8_000,
         tatp_subscribers: 2_000,
         tpcc_warehouses: 2,
+        ycsb_records: 2_000,
         measure_secs: 0.004,
         phase_secs: 0.02,
         interval_min_secs: 0.005,

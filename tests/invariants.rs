@@ -1,0 +1,237 @@
+//! Cross-design conservation invariants.
+//!
+//! Randomized short YCSB scenarios (proptest-generated mixes, skews, and
+//! phase timelines) run over all four system designs, and every segment's
+//! accounting must balance:
+//!
+//! * committed + aborted == attempted — every transaction the workload
+//!   generated is accounted for, none double-counted, none lost;
+//! * the per-socket committed tallies sum to the segment's committed
+//!   count and cover exactly the machine's sockets;
+//! * the throughput time series decomposes the segment: each bucket's
+//!   `tps × width` is a whole number of transactions, and the bucket
+//!   counts sum back to the committed count (minus at most one in-flight
+//!   transaction per client straddling the segment end);
+//! * the reported throughput is exactly committed / virtual seconds.
+//!
+//! These hold by construction today; the test pins them against any
+//! future executor or design change that breaks the books.
+
+use atrapos_bench::harness::machine;
+use atrapos_core::KeyDistribution;
+use atrapos_engine::workload::WorkloadChange;
+use atrapos_engine::{
+    DesignSpec, ExecutorConfig, ReconfigureError, RunStats, TableSpec, TransactionSpec,
+    VirtualExecutor, Workload,
+};
+use atrapos_numa::CoreId;
+use atrapos_storage::{Database, Key, TableId};
+use atrapos_workloads::{Ycsb, YcsbConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wraps a workload and counts every generated transaction, so the test
+/// knows exactly how many the executor *attempted* in a window.
+struct Counting<W> {
+    inner: W,
+    generated: Arc<AtomicU64>,
+}
+
+impl<W: Workload> Workload for Counting<W> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn tables(&self) -> Vec<TableSpec> {
+        self.inner.tables()
+    }
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        self.inner.populate(db, filter)
+    }
+    fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec {
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        self.inner.next_transaction(rng, client)
+    }
+    fn next_transaction_into(
+        &mut self,
+        rng: &mut SmallRng,
+        client: CoreId,
+        spec: &mut TransactionSpec,
+    ) {
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        self.inner.next_transaction_into(rng, client, spec)
+    }
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        self.inner.reconfigure(change)
+    }
+}
+
+/// The four designs the invariants run over.
+fn four_designs() -> Vec<DesignSpec> {
+    vec![
+        DesignSpec::Centralized,
+        DesignSpec::coarse_shared_nothing(),
+        DesignSpec::Plp,
+        DesignSpec::atrapos(),
+    ]
+}
+
+/// One proptest-generated experiment: a starting config plus a list of
+/// (reconfiguration, phase length) steps.
+#[derive(Debug, Clone)]
+struct Case {
+    config: YcsbConfig,
+    seed: u64,
+    phases: Vec<(Option<WorkloadChange>, f64)>,
+}
+
+fn change_strategy() -> impl Strategy<Value = WorkloadChange> {
+    prop_oneof![
+        (0.0f64..1.2).prop_map(|theta| WorkloadChange::ZipfianTheta { theta }),
+        prop::sample::select(vec!["A", "B", "C", "D", "E", "F"]).prop_map(|n| {
+            WorkloadChange::NamedMix {
+                name: n.to_string(),
+            }
+        }),
+        prop::sample::select(vec!["Read", "Update", "RMW"])
+            .prop_map(|t| WorkloadChange::SingleTransaction { txn: t.to_string() }),
+        (0.05f64..0.3, 0.5f64..0.95, 500u64..5_000).prop_map(|(d, a, p)| {
+            WorkloadChange::Distribution {
+                distribution: KeyDistribution::Drift {
+                    data_fraction: d,
+                    access_fraction: a,
+                    period_txns: p,
+                },
+            }
+        }),
+    ]
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        prop::sample::select(vec!["A", "B", "C", "D", "E", "F"]),
+        0.0f64..1.0,
+        0u64..1_000,
+        prop::collection::vec(
+            (prop::option::of(change_strategy()), 0.001f64..0.004),
+            1..=3,
+        ),
+    )
+        .prop_map(|(mix, theta, seed, phases)| Case {
+            config: YcsbConfig::named(mix, 1_500)
+                .expect("core mix")
+                .with_theta(theta),
+            seed,
+            phases,
+        })
+}
+
+/// Check one segment's books against the number of generated specs.
+fn check_segment(label: &str, stats: &RunStats, attempted: u64, clients: u64, start_secs: f64) {
+    assert_eq!(
+        stats.committed + stats.aborted,
+        attempted,
+        "{label}: committed + aborted must equal the {attempted} generated transactions"
+    );
+    assert_eq!(
+        stats.committed_by_socket.iter().sum::<u64>(),
+        stats.committed,
+        "{label}: per-socket tallies must sum to the committed count"
+    );
+    let expected_tps = stats.committed as f64 / stats.virtual_secs;
+    assert!(
+        (stats.throughput_tps - expected_tps).abs() <= 1e-9 * expected_tps.max(1.0),
+        "{label}: throughput {} != committed/secs {expected_tps}",
+        stats.throughput_tps
+    );
+    // The time series decomposes the committed count: each bucket holds a
+    // whole number of transactions and the buckets cover the whole
+    // segment.  A transaction can finish exactly at (or beyond) the
+    // segment end and be committed but not bucketed — at most one per
+    // client.
+    let mut bucketed = 0.0f64;
+    let mut prev = start_secs;
+    for p in &stats.time_series {
+        let width = p.secs - prev;
+        prev = p.secs;
+        assert!(
+            width > 0.0,
+            "{label}: empty time-series bucket at {}",
+            p.secs
+        );
+        let count = p.tps * width;
+        assert!(
+            (count - count.round()).abs() < 1e-3,
+            "{label}: bucket at {} holds a fractional count {count}",
+            p.secs
+        );
+        bucketed += count.round();
+    }
+    let bucketed = bucketed as u64;
+    assert!(
+        bucketed <= stats.committed,
+        "{label}: bucket counts {bucketed} exceed committed {}",
+        stats.committed
+    );
+    assert!(
+        stats.committed - bucketed <= clients,
+        "{label}: {} committed transactions missing from the time series \
+         (more than one straddler per client)",
+        stats.committed - bucketed
+    );
+    // Cycle-rounding accumulates sub-nanosecond drift per phase, hence
+    // the loose-but-tiny tolerance.
+    assert!(
+        (prev - (start_secs + stats.virtual_secs)).abs() < 1e-8,
+        "{label}: time series ends at {prev}, segment ends at {}",
+        start_secs + stats.virtual_secs
+    );
+}
+
+fn run_case(case: &Case, spec: &DesignSpec) {
+    let m = machine(2, 2);
+    let clients = m.topology.num_active_cores() as u64;
+    let generated = Arc::new(AtomicU64::new(0));
+    let workload = Counting {
+        inner: Ycsb::new(case.config.clone()),
+        generated: Arc::clone(&generated),
+    };
+    let design = spec.build(&m, &workload.inner);
+    let mut ex = VirtualExecutor::new(
+        m,
+        design,
+        Box::new(workload),
+        ExecutorConfig {
+            seed: case.seed,
+            default_interval_secs: 0.001,
+            time_series_bucket_secs: 0.001,
+        },
+    );
+    let mut now = 0.0f64;
+    for (i, (change, secs)) in case.phases.iter().enumerate() {
+        if let Some(change) = change {
+            ex.reconfigure_workload(change)
+                .unwrap_or_else(|e| panic!("YCSB rejected {change}: {e}"));
+        }
+        let before = generated.load(Ordering::Relaxed);
+        let stats = ex.run_for(*secs);
+        let attempted = generated.load(Ordering::Relaxed) - before;
+        let label = format!("{} phase {i}", spec.label());
+        assert!(attempted > 0, "{label}: the executor generated nothing");
+        check_segment(&label, &stats, attempted, clients, now);
+        now += secs;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Conservation holds for every design on every generated timeline.
+    #[test]
+    fn conservation_invariants_hold_across_designs(case in case_strategy()) {
+        for spec in four_designs() {
+            run_case(&case, &spec);
+        }
+    }
+}

@@ -20,6 +20,14 @@ fn distribution_strategy() -> impl Strategy<Value = KeyDistribution> {
             data_fraction: d,
             access_fraction: a,
         }),
+        2 => (0.0f64..1.2).prop_map(|theta| KeyDistribution::Zipfian { theta }),
+        2 => (0.05f64..0.5, 0.05f64..0.95, 100u64..1_000_000).prop_map(|(d, a, p)| {
+            KeyDistribution::Drift {
+                data_fraction: d,
+                access_fraction: a,
+                period_txns: p,
+            }
+        }),
     ]
 }
 
@@ -29,6 +37,7 @@ fn change_strategy() -> impl Strategy<Value = WorkloadChange> {
         "GetNewDest".to_string(),
         "UpdSubData".to_string(),
         "NewOrder".to_string(),
+        "RMW".to_string(),
     ]);
     prop_oneof![
         2 => txn.prop_map(|txn| WorkloadChange::SingleTransaction { txn }),
@@ -36,6 +45,9 @@ fn change_strategy() -> impl Strategy<Value = WorkloadChange> {
         2 => distribution_strategy()
             .prop_map(|distribution| WorkloadChange::Distribution { distribution }),
         1 => (0u32..=100).prop_map(|percent| WorkloadChange::MultiSitePercent { percent }),
+        1 => (0.0f64..1.2).prop_map(|theta| WorkloadChange::ZipfianTheta { theta }),
+        1 => prop::sample::select(vec!["A", "B", "C", "D", "E", "F"])
+            .prop_map(|name| WorkloadChange::NamedMix { name: name.to_string() }),
     ]
 }
 
@@ -47,11 +59,27 @@ fn event_strategy() -> impl Strategy<Value = ScenarioEvent> {
         1 => (0u32..1).prop_map(|_| ScenarioEvent::SetMix),
         2 => distribution_strategy()
             .prop_map(|distribution| ScenarioEvent::SetSkew { distribution }),
+        1 => (0.0f64..1.2).prop_map(|theta| ScenarioEvent::SetZipfTheta { theta }),
+        1 => prop::sample::select(vec!["A", "B", "C", "D", "E", "F"])
+            .prop_map(|name| ScenarioEvent::SetNamedMix { name: name.to_string() }),
         1 => (0u16..8).prop_map(|socket| ScenarioEvent::FailSocket { socket }),
         1 => (0u16..8).prop_map(|socket| ScenarioEvent::RestoreSocket { socket }),
         1 => (0.001f64..0.5).prop_map(|secs| ScenarioEvent::SetInterval { secs }),
         1 => (0u32..1).prop_map(|_| ScenarioEvent::Measure),
     ]
+}
+
+fn ycsb_config_strategy() -> impl Strategy<Value = atrapos_workloads::YcsbConfig> {
+    (
+        prop::sample::select(vec!["A", "B", "C", "D", "E", "F"]),
+        100i64..100_000,
+        distribution_strategy(),
+    )
+        .prop_map(|(name, records, distribution)| {
+            atrapos_workloads::YcsbConfig::named(name, records)
+                .expect("core mix")
+                .with_distribution(distribution)
+        })
 }
 
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
@@ -89,6 +117,15 @@ proptest! {
         let text = serde::json::to_string(&change);
         let back: WorkloadChange = serde::json::from_str(&text).unwrap();
         prop_assert_eq!(back, change);
+    }
+
+    /// Every `YcsbConfig` (core mixes A–F at arbitrary sizes and
+    /// distributions) survives a JSON round-trip bit-exactly.
+    #[test]
+    fn ycsb_configs_round_trip(config in ycsb_config_strategy()) {
+        let text = serde::json::to_string(&config);
+        let back: atrapos_workloads::YcsbConfig = serde::json::from_str(&text).unwrap();
+        prop_assert_eq!(back, config);
     }
 
     /// Every generated scenario is valid and survives a JSON round-trip.

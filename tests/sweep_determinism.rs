@@ -8,7 +8,7 @@
 //! `ScenarioOutcome` of every component (committed counts, segment stats,
 //! time series, design stats).
 
-use atrapos_bench::figures::{fig10_scenario, fig11_scenario, figure_job};
+use atrapos_bench::figures::{fig10_scenario, fig11_scenario, figure_job, ycsb02_jobs};
 use atrapos_bench::harness::{measurement_job, Scale};
 use atrapos_engine::scenario::ScenarioOutcome;
 use atrapos_engine::sweep::{run_sweep, SweepJob};
@@ -18,6 +18,7 @@ use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
 fn tiny_scale() -> Scale {
     let mut s = Scale::quick();
     s.tatp_subscribers = 4_000;
+    s.ycsb_records = 4_000;
     s.measure_secs = 0.004;
     s.phase_secs = 0.004;
     s.interval_min_secs = 0.002;
@@ -25,8 +26,8 @@ fn tiny_scale() -> Scale {
     s
 }
 
-/// A reduced wallclock bundle: four figure variants plus a four-design
-/// TATP sweep (10 jobs).
+/// A reduced wallclock bundle: four figure variants, a four-design TATP
+/// sweep, and the four-design ycsb02 drifting-hotspot timeline (14 jobs).
 fn bundle() -> Vec<SweepJob> {
     let scale = tiny_scale();
     let mut jobs = vec![
@@ -74,6 +75,7 @@ fn bundle() -> Vec<SweepJob> {
             scale.measure_secs,
         ));
     }
+    jobs.extend(ycsb02_jobs(&scale));
     jobs
 }
 
