@@ -19,7 +19,9 @@
 //! datasets; `ATRAPOS_REPORT_DIR` moves the JSON/SVG output directory;
 //! `ATRAPOS_THREADS` pins the experiment lab's thread pool.
 
-use atrapos_bench::figures::{run_by_id, ABLATION_IDS, ALL_IDS, REPORT_IDS, YCSB_IDS};
+use atrapos_bench::figures::{
+    run_by_id, ABLATION_IDS, ALL_IDS, OVERLOAD_IDS, REPORT_IDS, YCSB_IDS,
+};
 use atrapos_bench::report::{figures_path, load_figures, report_dir, save_figures};
 use atrapos_bench::{replay, shootout, wallclock, Scale};
 use std::path::Path;
@@ -35,14 +37,19 @@ COMMANDS:
                             the results in reports/BENCH_figures.json.
                             Default ids: the reproduction report set
                             (fig08, tab02, fig10-fig13, abl01-abl04,
-                            ycsb01-ycsb02).  --only <id> regenerates a
-                            single experiment without the rest of the
-                            bundle (repeatable).
+                            ycsb01-ycsb02, overload01-overload02).
+                            --only <id> regenerates a single experiment
+                            without the rest of the bundle (repeatable).
   wallclock [--label L] [--threads N] [--smoke]
                             Time the fixed simulator bundle and append the
                             entry to reports/BENCH_wallclock.json.
-  sweep [--workload micro|tatp|tpcc] [--sockets 1,8]
+  sweep [--workload micro|tatp|tpcc|ycsb] [--sockets 1,8]
+        [--arrival TPS] [--bound N]
                             Compare the five system designs on a workload.
+                            --arrival switches to open-loop serving at the
+                            given Poisson rate (goodput/p99/rejection
+                            table); --bound sets the admission-queue depth
+                            (default 128).
   replay [file.json] [--emit-sample]
                             Run a complete experiment description from JSON
                             (default: examples/scenarios/adaptive_tatp.json).
@@ -118,6 +125,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
             .iter()
             .chain(ABLATION_IDS.iter())
             .chain(YCSB_IDS.iter())
+            .chain(OVERLOAD_IDS.iter())
             .map(|s| s.to_string())
             .collect()
     } else {
@@ -126,8 +134,12 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
 
     // Validate every id up front: experiments are expensive, and a typo at
     // the end of the list must not discard completed runs.
-    let known =
-        |id: &str| ALL_IDS.contains(&id) || ABLATION_IDS.contains(&id) || YCSB_IDS.contains(&id);
+    let known = |id: &str| {
+        ALL_IDS.contains(&id)
+            || ABLATION_IDS.contains(&id)
+            || YCSB_IDS.contains(&id)
+            || OVERLOAD_IDS.contains(&id)
+    };
     if let Some(bad) = ids.iter().find(|id| !known(id)) {
         return Err(format!(
             "unknown experiment id '{bad}'; known ids: {}",
@@ -135,6 +147,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
                 .iter()
                 .chain(ABLATION_IDS.iter())
                 .chain(YCSB_IDS.iter())
+                .chain(OVERLOAD_IDS.iter())
                 .copied()
                 .collect::<Vec<_>>()
                 .join(", ")
@@ -158,7 +171,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `atrapos sweep [--workload W] [--sockets 1,8]`
+/// `atrapos sweep [--workload W] [--sockets 1,8] [--arrival TPS] [--bound N]`
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let scale = Scale::from_env();
     let workload = args
@@ -182,7 +195,28 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => vec![1, scale.max_sockets],
     };
-    for fig in shootout::design_sweep(workload, &scale, &sockets)? {
+    let arrival: Option<f64> = match args.iter().position(|a| a == "--arrival") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .and_then(|a| a.parse::<f64>().ok())
+                .filter(|r| r.is_finite() && *r > 0.0)
+                .ok_or("--arrival needs a positive rate in TPS (e.g. --arrival 50000)")?,
+        ),
+        None => None,
+    };
+    let bound: u64 = match args.iter().position(|a| a == "--bound") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|a| a.parse::<u64>().ok())
+            .filter(|&b| b >= 1)
+            .ok_or("--bound needs an admission-queue depth of at least 1")?,
+        None => 128,
+    };
+    if arrival.is_none() && args.iter().any(|a| a == "--bound") {
+        return Err("--bound only applies to open-loop sweeps (add --arrival TPS)".into());
+    }
+    let open_loop = arrival.map(|rate| (rate, bound));
+    for fig in shootout::design_sweep(workload, &scale, &sockets, open_loop)? {
         fig.print();
     }
     Ok(())

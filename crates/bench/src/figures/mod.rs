@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod adaptive;
 pub mod motivation;
+pub mod overload;
 pub mod partitioning;
 pub mod standard;
 pub mod ycsb;
@@ -23,6 +24,10 @@ pub use motivation::{
     fig01_ipc, fig02_scaleup, fig03_multisite, fig04_breakdown, fig05_atrapos_scaleup,
     tab01_memory_policy,
 };
+pub use overload::{
+    overload01_load_sweep, overload02_burst_recovery, overload02_jobs, overload02_scenario,
+    OVERLOAD_IDS, OVERLOAD_MULTIPLIERS,
+};
 pub use partitioning::{fig06_placement, fig07_neworder_flowgraph};
 pub use standard::{fig08_standard_benchmarks, tab02_monitoring_overhead};
 pub use ycsb::{
@@ -37,12 +42,24 @@ pub const ALL_IDS: &[&str] = &[
 ];
 
 /// The reproduction report set: the experiments `REPRODUCTION.md` tracks
-/// with reference-trend verdicts (the headline comparisons of §VI, the
-/// four ablations, and the YCSB extension pair).  `atrapos figures` runs
-/// these by default.
+/// with reference-trend or SLO verdicts (the headline comparisons of §VI,
+/// the four ablations, the YCSB extension pair, and the open-loop
+/// overload pair).  `atrapos figures` runs these by default.
 pub const REPORT_IDS: &[&str] = &[
-    "fig08", "tab02", "fig10", "fig11", "fig12", "fig13", "abl01", "abl02", "abl03", "abl04",
-    "ycsb01", "ycsb02",
+    "fig08",
+    "tab02",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "abl01",
+    "abl02",
+    "abl03",
+    "abl04",
+    "ycsb01",
+    "ycsb02",
+    "overload01",
+    "overload02",
 ];
 
 /// Run one experiment by id.
@@ -66,6 +83,8 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<FigureResult> {
         // Extensions beyond the paper's figure set.
         "ycsb01" => Some(ycsb01_skew_sweep(scale)),
         "ycsb02" => Some(ycsb02_drifting_hotspot(scale)),
+        "overload01" => Some(overload01_load_sweep(scale)),
+        "overload02" => Some(overload02_burst_recovery(scale)),
         // Ablations (not figures of the paper; see `ablation`).
         other => run_ablation(other, scale),
     }

@@ -30,7 +30,7 @@ use atrapos_workloads::{Ycsb, YcsbConfig};
 pub const YCSB_IDS: &[&str] = &["ycsb01", "ycsb02"];
 
 /// The provenance record of the YCSB runs (the 4×4 machine).
-fn ycsb_meta() -> RunMeta {
+pub(crate) fn ycsb_meta() -> RunMeta {
     run_meta(4, 4)
 }
 
@@ -204,7 +204,7 @@ pub fn ycsb02_jobs(scale: &Scale) -> Vec<SweepJob> {
 }
 
 /// Merge the per-design time series into rows of (time, KTPS…).
-fn series_rows(series: &[Vec<TimePoint>]) -> Vec<Vec<String>> {
+pub(crate) fn series_rows(series: &[Vec<TimePoint>]) -> Vec<Vec<String>> {
     let len = series.iter().map(Vec::len).min().unwrap_or(0);
     (0..len)
         .map(|i| {

@@ -1,0 +1,370 @@
+//! An allocation-free, log-bucketed latency histogram (HDR-style).
+//!
+//! The open-loop serving subsystem needs full latency distributions —
+//! p50/p95/p99/p999, not just a mean — without allocating per recorded
+//! sample and without losing determinism: two runs that commit the same
+//! transactions must produce byte-identical histograms, and merging the
+//! per-segment histograms of a scenario must equal recording the
+//! concatenated samples.
+//!
+//! Values (latencies in CPU cycles — integers, so no float-rounding
+//! nondeterminism) are mapped to logarithmic buckets: every power of two
+//! is divided into [`SUB_BUCKETS`] linear sub-buckets, so any recorded
+//! value is off from its bucket bound by at most `1/SUB_BUCKETS`
+//! (≈ 3.1%) of its magnitude.  Values below `2 × SUB_BUCKETS` are exact.
+//! The bucket array is allocated once at construction ([`BUCKET_COUNT`]
+//! slots covering all of `u64`), so [`LatencyHistogram::record`] is a
+//! shift, an index, and an increment — no allocation, no branching on
+//! growth.
+//!
+//! Serialization is sparse — `[bucket index, count]` pairs in ascending
+//! index order — so an almost-empty histogram costs almost nothing in
+//! `RunStats` JSON, and the representation round-trips bit-exactly.
+
+/// log2 of the linear sub-buckets per power of two.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+/// Linear sub-buckets per power of two (32 → ≤ 3.125% relative error).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Total bucket count needed to cover every `u64` value: values below
+/// `2 × SUB_BUCKETS` map to themselves, and each of the remaining 58
+/// powers of two contributes [`SUB_BUCKETS`] sub-buckets.
+pub const BUCKET_COUNT: usize = ((64 - SUB_BUCKET_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// The bucket index of `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < 2 * SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BUCKET_BITS;
+    ((shift as u64 + 1) * SUB_BUCKETS + ((value >> shift) - SUB_BUCKETS)) as usize
+}
+
+/// The smallest value mapping to bucket `index`.
+#[inline]
+fn bucket_low(index: usize) -> u64 {
+    if index < 2 * SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let shift = index as u64 / SUB_BUCKETS - 1;
+    (SUB_BUCKETS + index as u64 % SUB_BUCKETS) << shift
+}
+
+/// The largest value mapping to bucket `index`.
+#[inline]
+fn bucket_high(index: usize) -> u64 {
+    if index < 2 * SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let shift = index as u64 / SUB_BUCKETS - 1;
+    // The very top bucket's exclusive bound is 2^64: the shift wraps to 0
+    // and the subtraction lands on u64::MAX, which is the inclusive bound.
+    ((SUB_BUCKETS + index as u64 % SUB_BUCKETS + 1).wrapping_shl(shift as u32)).wrapping_sub(1)
+}
+
+/// A deterministic log-bucketed histogram of `u64` values.
+///
+/// Recording never allocates; [`LatencyHistogram::quantile`] answers rank
+/// queries with at most `1/`[`SUB_BUCKETS`] relative error; merge is exact
+/// (merging two histograms equals recording the concatenated samples).
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Box<[u64]>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram with its full bucket array allocated up front.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0u64; BUCKET_COUNT].into_boxed_slice(),
+            total: 0,
+        }
+    }
+
+    /// Record one value.  Allocation-free.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.counts[bucket_index(value)] += n;
+        self.total += n;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Reset to empty, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+
+    /// Add every sample of `other` into `self`.  Deterministic and exact:
+    /// the result equals recording both sample streams into one histogram.
+    pub fn merge(&mut self, other: &Self) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += *src;
+        }
+        self.total += other.total;
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: an upper bound of the bucket
+    /// holding the sample of rank `⌈q·n⌉` (rank 1 for `q = 0`), so at
+    /// least `⌈q·n⌉` samples are ≤ the returned value and the true rank
+    /// value is below it by at most `1/`[`SUB_BUCKETS`] of itself.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_high(i);
+            }
+        }
+        bucket_high(BUCKET_COUNT - 1)
+    }
+
+    /// The guaranteed relative-error bound of [`LatencyHistogram::quantile`].
+    pub fn relative_error_bound() -> f64 {
+        1.0 / SUB_BUCKETS as f64
+    }
+
+    /// The largest recorded bucket's upper bound (0 when empty) — a tight
+    /// upper bound on the maximum recorded value.
+    pub fn max_bound(&self) -> u64 {
+        match self.counts.iter().rposition(|&n| n > 0) {
+            Some(i) => bucket_high(i),
+            None => 0,
+        }
+    }
+
+    /// The non-empty buckets as `(lower bound, upper bound, count)` runs in
+    /// ascending value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_low(i), bucket_high(i), n))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The full 1 920-slot array would drown every assert message; show
+        // the summary a reader actually wants.
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .field("max_bound", &self.max_bound())
+            .finish()
+    }
+}
+
+// Sparse serialization: ascending `[index, count]` pairs.  An empty
+// histogram is `[]`; the dense bucket array is an implementation detail.
+impl serde::ser::Serialize for LatencyHistogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| {
+                    serde::Value::Array(vec![serde::Value::UInt(i as u64), serde::Value::UInt(n)])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl serde::de::Deserialize for LatencyHistogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = v
+            .as_array()
+            .ok_or_else(|| serde::Error::expected("histogram bucket array", v))?;
+        let mut hist = LatencyHistogram::new();
+        for pair in pairs {
+            let (index, count) = <(u64, u64) as serde::de::Deserialize>::from_value(pair)?;
+            if index as usize >= BUCKET_COUNT {
+                return Err(serde::Error::new(format!(
+                    "histogram bucket index {index} out of range (max {})",
+                    BUCKET_COUNT - 1
+                )));
+            }
+            hist.counts[index as usize] += count;
+            hist.total += count;
+        }
+        Ok(hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..2 * SUB_BUCKETS {
+            let i = bucket_index(v);
+            assert_eq!(bucket_low(i), v);
+            assert_eq!(bucket_high(i), v);
+        }
+    }
+
+    #[test]
+    fn every_value_lies_inside_its_bucket() {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < BUCKET_COUNT, "index {i} out of range for {v}");
+            assert!(
+                bucket_low(i) <= v && v <= bucket_high(i),
+                "{v} outside bucket {i}: [{}, {}]",
+                bucket_low(i),
+                bucket_high(i)
+            );
+            // The bucket's width respects the relative-error bound.
+            let width = bucket_high(i) - bucket_low(i);
+            assert!(
+                width == 0 || (width as f64) <= bucket_low(i) as f64 / SUB_BUCKETS as f64,
+                "bucket {i} of {v} is too wide: {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone_and_contiguous() {
+        // Adjacent buckets tile the value space with no gaps or overlaps.
+        for i in 0..BUCKET_COUNT - 1 {
+            assert_eq!(
+                bucket_high(i) + 1,
+                bucket_low(i + 1),
+                "gap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_high(BUCKET_COUNT - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.max_bound(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_exact_rank_statistic() {
+        let mut h = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..1_000u64)
+            .map(|i| (i * i * 37) % 1_000_000 + 1)
+            .collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.0, 0.01, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            assert!(
+                est as f64 <= exact as f64 * (1.0 + LatencyHistogram::relative_error_bound()) + 1.0,
+                "q={q}: estimate {est} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut concat = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = (i * 7919) % 100_000;
+            a.record(v);
+            concat.record(v);
+        }
+        for i in 0..300u64 {
+            let v = (i * 104_729) % 10_000_000;
+            b.record(v);
+            concat.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, concat);
+        assert_eq!(a.count(), 800);
+    }
+
+    #[test]
+    fn clear_resets_without_reallocating() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(42, 10);
+        h.clear();
+        assert_eq!(h, LatencyHistogram::new());
+    }
+
+    #[test]
+    fn serde_round_trips_sparsely() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 33, 1_000, 123_456_789, u64::MAX] {
+            h.record(v);
+        }
+        let json = serde::json::to_string(&h);
+        // Sparse: six samples serialize to six pairs, not 1 920 slots.
+        assert!(json.len() < 200, "sparse encoding blew up: {json}");
+        let back: LatencyHistogram = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        let empty: LatencyHistogram = serde::json::from_str("[]").unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn deserialize_rejects_out_of_range_indices() {
+        let json = format!("[[{BUCKET_COUNT}, 1]]");
+        assert!(serde::json::from_str::<LatencyHistogram>(&json).is_err());
+    }
+}

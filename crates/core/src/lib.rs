@@ -34,6 +34,9 @@
 //! * [`distribution`] — key-access distributions (uniform, hotspot,
 //!   Zipfian, drifting hotspot) and their precomputed samplers;
 //!   shared data for the engine's typed workload-reconfiguration channel.
+//! * [`histogram`] — an allocation-free log-bucketed latency histogram
+//!   with deterministic merge and bounded-error quantiles, used by the
+//!   engine's open-loop serving mode to report p50/p95/p99/p999.
 
 #![warn(missing_docs)]
 
@@ -41,6 +44,7 @@ pub mod advisor;
 pub mod controller;
 pub mod cost_model;
 pub mod distribution;
+pub mod histogram;
 pub mod monitor;
 pub mod partitioning;
 pub mod repartition;
@@ -54,6 +58,7 @@ pub use advisor::{
 pub use controller::{AdaptationOutcome, AdaptiveController, ControllerConfig};
 pub use cost_model::{resource_utilization, sync_overhead, CostBreakdown};
 pub use distribution::{KeyDistribution, KeySampler};
+pub use histogram::LatencyHistogram;
 pub use monitor::{AdaptiveInterval, IntervalDecision, Monitor, MONITOR_INSTRUCTIONS_PER_EVENT};
 pub use partitioning::{KeyDomain, PartitionSpec, PartitioningScheme, TablePartitioning};
 pub use repartition::{

@@ -1,0 +1,360 @@
+//! Open-loop arrival processes.
+//!
+//! The closed-loop executor measures *capacity*: clients submit as fast as
+//! the engine commits, so the system is always exactly saturated.  Open
+//! loop decouples the two — transactions arrive on their own schedule,
+//! whether or not the engine keeps up — which is the only way to observe
+//! overload: queueing delay, admission rejections, and goodput past
+//! saturation (the regime the paper's coordination-free design targets).
+//!
+//! An [`ArrivalProcess`] is a deterministic description of offered load as
+//! a (possibly time-varying) rate in transactions per virtual second.
+//! Arrival timestamps are drawn by *thinning* (rejection sampling against
+//! the peak rate) from the executor's dedicated arrival RNG, so a run's
+//! arrival sequence depends only on the seed and the process — never on
+//! how fast the engine happens to serve — and stays bit-reproducible.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A description of offered load: how transaction arrivals are spread over
+/// virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// A homogeneous Poisson process: independent exponential
+    /// inter-arrival gaps at a constant mean rate.
+    Poisson {
+        /// Mean arrival rate in transactions per virtual second.
+        rate_tps: f64,
+    },
+    /// A periodic on/off burst pattern: each period opens with a burst at
+    /// `burst_tps` lasting `burst_fraction` of the period, then falls back
+    /// to `base_tps`.  Arrivals within each regime are Poisson.
+    Burst {
+        /// Rate outside the burst window, in transactions per second.
+        base_tps: f64,
+        /// Rate inside the burst window, in transactions per second.
+        burst_tps: f64,
+        /// Length of one base+burst cycle, in virtual seconds.
+        period_secs: f64,
+        /// Fraction of each period spent bursting, in `(0, 1)`.
+        burst_fraction: f64,
+    },
+    /// A sinusoidally modulated ("diurnal") rate:
+    /// `base_tps × (1 + amplitude · sin(2πt / period_secs))`.
+    Diurnal {
+        /// Mean arrival rate in transactions per second.
+        base_tps: f64,
+        /// Relative swing around the mean, in `[0, 1)` so the rate stays
+        /// positive.
+        amplitude: f64,
+        /// Length of one full cycle, in virtual seconds.
+        period_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Check the parameters describe a well-formed process.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = |name: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be a positive finite number, got {v}"))
+            }
+        };
+        match *self {
+            ArrivalProcess::Poisson { rate_tps } => positive("rate_tps", rate_tps),
+            ArrivalProcess::Burst {
+                base_tps,
+                burst_tps,
+                period_secs,
+                burst_fraction,
+            } => {
+                positive("base_tps", base_tps)?;
+                positive("burst_tps", burst_tps)?;
+                positive("period_secs", period_secs)?;
+                if !burst_fraction.is_finite() || burst_fraction <= 0.0 || burst_fraction >= 1.0 {
+                    return Err(format!(
+                        "burst_fraction must lie strictly inside (0, 1), got {burst_fraction}"
+                    ));
+                }
+                Ok(())
+            }
+            ArrivalProcess::Diurnal {
+                base_tps,
+                amplitude,
+                period_secs,
+            } => {
+                positive("base_tps", base_tps)?;
+                positive("period_secs", period_secs)?;
+                if !amplitude.is_finite() || !(0.0..1.0).contains(&amplitude) {
+                    return Err(format!(
+                        "amplitude must lie in [0, 1) so the rate stays positive, got {amplitude}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The instantaneous arrival rate at virtual time `t_secs`, in
+    /// transactions per second.
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_tps } => rate_tps,
+            ArrivalProcess::Burst {
+                base_tps,
+                burst_tps,
+                period_secs,
+                burst_fraction,
+            } => {
+                let phase = (t_secs / period_secs).rem_euclid(1.0);
+                if phase < burst_fraction {
+                    burst_tps
+                } else {
+                    base_tps
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_tps,
+                amplitude,
+                period_secs,
+            } => {
+                base_tps * (1.0 + amplitude * (std::f64::consts::TAU * t_secs / period_secs).sin())
+            }
+        }
+    }
+
+    /// The maximum instantaneous rate the process can reach — the thinning
+    /// envelope.
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_tps } => rate_tps,
+            ArrivalProcess::Burst {
+                base_tps,
+                burst_tps,
+                ..
+            } => base_tps.max(burst_tps),
+            ArrivalProcess::Diurnal {
+                base_tps,
+                amplitude,
+                ..
+            } => base_tps * (1.0 + amplitude),
+        }
+    }
+
+    /// The mean arrival rate over one full cycle, in transactions per
+    /// second (for a homogeneous process, the rate itself).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_tps } => rate_tps,
+            ArrivalProcess::Burst {
+                base_tps,
+                burst_tps,
+                burst_fraction,
+                ..
+            } => burst_tps * burst_fraction + base_tps * (1.0 - burst_fraction),
+            // The sine integrates to zero over a full period.
+            ArrivalProcess::Diurnal { base_tps, .. } => base_tps,
+        }
+    }
+
+    /// Draw the next arrival strictly after `after_secs` by thinning: step
+    /// forward with exponential gaps at the peak rate and accept each
+    /// candidate with probability `rate_at(t) / peak`.  Deterministic given
+    /// the RNG state; consumes RNG draws independently of engine speed.
+    pub fn next_arrival_secs(&self, after_secs: f64, rng: &mut SmallRng) -> f64 {
+        let peak = self.peak_rate();
+        let homogeneous = matches!(self, ArrivalProcess::Poisson { .. });
+        let mut t = after_secs;
+        loop {
+            // gen_range yields [0, 1); flipping to (0, 1] keeps ln finite.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -(1.0 - u).ln() / peak;
+            if homogeneous {
+                return t;
+            }
+            let accept: f64 = rng.gen_range(0.0..1.0);
+            if accept * peak <= self.rate_at(t) {
+                return t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_count(p: &ArrivalProcess, horizon: f64, seed: u64) -> usize {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let mut n = 0;
+        loop {
+            t = p.next_arrival_secs(t, &mut rng);
+            if t >= horizon {
+                return n;
+            }
+            n += 1;
+        }
+    }
+
+    #[test]
+    fn poisson_hits_its_mean_rate() {
+        let p = ArrivalProcess::Poisson { rate_tps: 10_000.0 };
+        let n = sample_count(&p, 1.0, 7) as f64;
+        assert!(
+            (n - 10_000.0).abs() < 500.0,
+            "1s at 10k tps produced {n} arrivals"
+        );
+    }
+
+    #[test]
+    fn modulated_processes_hit_their_cycle_mean() {
+        let burst = ArrivalProcess::Burst {
+            base_tps: 2_000.0,
+            burst_tps: 20_000.0,
+            period_secs: 0.1,
+            burst_fraction: 0.25,
+        };
+        let diurnal = ArrivalProcess::Diurnal {
+            base_tps: 8_000.0,
+            amplitude: 0.9,
+            period_secs: 0.2,
+        };
+        for p in [burst, diurnal] {
+            let n = sample_count(&p, 1.0, 11) as f64;
+            let mean = p.mean_rate();
+            assert!(
+                (n - mean).abs() < 0.1 * mean,
+                "{p:?}: {n} arrivals over 1s, cycle mean is {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_strictly_increasing() {
+        let p = ArrivalProcess::Burst {
+            base_tps: 1_000.0,
+            burst_tps: 5_000.0,
+            period_secs: 0.05,
+            burst_fraction: 0.2,
+        };
+        let draw = || {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut t = 0.0;
+            (0..200)
+                .map(|_| {
+                    t = p.next_arrival_secs(t, &mut rng);
+                    t
+                })
+                .collect::<Vec<f64>>()
+        };
+        let a = draw();
+        let b = draw();
+        assert_eq!(a, b, "same seed must give the same arrival sequence");
+        assert!(a.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn burst_rate_switches_within_each_period() {
+        let p = ArrivalProcess::Burst {
+            base_tps: 100.0,
+            burst_tps: 900.0,
+            period_secs: 1.0,
+            burst_fraction: 0.3,
+        };
+        assert_eq!(p.rate_at(0.0), 900.0);
+        assert_eq!(p.rate_at(0.29), 900.0);
+        assert_eq!(p.rate_at(0.31), 100.0);
+        assert_eq!(p.rate_at(1.05), 900.0);
+        assert_eq!(p.peak_rate(), 900.0);
+    }
+
+    #[test]
+    fn diurnal_rate_stays_positive_and_peaks_correctly() {
+        let p = ArrivalProcess::Diurnal {
+            base_tps: 1_000.0,
+            amplitude: 0.8,
+            period_secs: 1.0,
+        };
+        for i in 0..100 {
+            let r = p.rate_at(i as f64 * 0.01);
+            assert!(r > 0.0 && r <= p.peak_rate() + 1e-9);
+        }
+        assert!((p.peak_rate() - 1_800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_processes() {
+        assert!(ArrivalProcess::Poisson { rate_tps: 100.0 }
+            .validate()
+            .is_ok());
+        assert!(ArrivalProcess::Poisson { rate_tps: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Poisson { rate_tps: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Poisson {
+            rate_tps: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Burst {
+            base_tps: 10.0,
+            burst_tps: 100.0,
+            period_secs: 1.0,
+            burst_fraction: 1.0,
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Burst {
+            base_tps: 10.0,
+            burst_tps: -5.0,
+            period_secs: 1.0,
+            burst_fraction: 0.5,
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Diurnal {
+            base_tps: 10.0,
+            amplitude: 1.0,
+            period_secs: 1.0,
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Diurnal {
+            base_tps: 10.0,
+            amplitude: 0.0,
+            period_secs: 1.0,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn processes_round_trip_through_json() {
+        for p in [
+            ArrivalProcess::Poisson { rate_tps: 1_234.5 },
+            ArrivalProcess::Burst {
+                base_tps: 10.0,
+                burst_tps: 100.0,
+                period_secs: 0.5,
+                burst_fraction: 0.125,
+            },
+            ArrivalProcess::Diurnal {
+                base_tps: 42.0,
+                amplitude: 0.5,
+                period_secs: 2.0,
+            },
+        ] {
+            let text = serde::json::to_string(&p);
+            let back: ArrivalProcess = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+}

@@ -1,16 +1,32 @@
 //! The deterministic virtual-time executor.
 //!
-//! The executor runs a closed-loop benchmark: one client per active core
-//! submits transactions back-to-back against a [`SystemDesign`], all in
-//! virtual time.  It tracks throughput, latency, hardware-counter-derived
-//! metrics (IPC, interconnect traffic), per-component time breakdowns, and a
-//! per-second throughput time series (for the adaptive experiments of the
-//! paper's Figures 10–13).  At monitoring-interval boundaries it hands
-//! control to the design, which may repartition and pause execution.
+//! The executor runs a closed-loop benchmark by default: one client per
+//! active core submits transactions back-to-back against a
+//! [`SystemDesign`], all in virtual time.  It tracks throughput, latency,
+//! hardware-counter-derived metrics (IPC, interconnect traffic),
+//! per-component time breakdowns, and a per-second throughput time series
+//! (for the adaptive experiments of the paper's Figures 10–13).  At
+//! monitoring-interval boundaries it hands control to the design, which
+//! may repartition and pause execution.
+//!
+//! ## Open-loop serving
+//!
+//! Installing an [`ArrivalProcess`] (see
+//! [`VirtualExecutor::set_arrival_process`]) switches the executor to
+//! *open loop*: transactions arrive on their own deterministic schedule
+//! and wait in a bounded admission queue for a free client, so offered
+//! load and service capacity decouple — the executor then also reports
+//! offered load, admission rejections, queue depths, and full latency
+//! distributions (queueing delay included).  Closed-loop runs never touch
+//! the open-loop machinery: `run_for` branches once at the top, and the
+//! closed-loop path is the exact code it always was, so fixed seeds keep
+//! producing bit-identical results.
 
 use crate::action::{TransactionSpec, TxnOutcome};
+use crate::arrival::ArrivalProcess;
 use crate::designs::{DesignStats, SystemDesign};
 use crate::workload::{ReconfigureError, Workload, WorkloadChange};
+use atrapos_core::LatencyHistogram;
 use atrapos_numa::{
     cycles_to_micros, frac_cycles_to_micros, secs_to_cycles, Breakdown, CoreId, Cycles,
     Interconnect, Machine, SocketId,
@@ -18,6 +34,7 @@ use atrapos_numa::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Executor parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,6 +66,10 @@ pub struct TimePoint {
     pub tps: f64,
 }
 
+/// Admission-queue bound used when an arrival process is installed without
+/// an explicit [`VirtualExecutor::set_admission_bound`] call.
+pub const DEFAULT_ADMISSION_BOUND: u64 = 1024;
+
 /// Statistics of one `run_for` segment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunStats {
@@ -58,15 +79,30 @@ pub struct RunStats {
     pub aborted: u64,
     /// Segment length in virtual seconds.
     pub virtual_secs: f64,
-    /// Committed transactions per virtual second.
+    /// Committed transactions per virtual second (the goodput, in open
+    /// loop).
     pub throughput_tps: f64,
-    /// Mean transaction latency in microseconds.
+    /// Mean transaction latency in microseconds.  In open loop this
+    /// includes the time spent waiting in the admission queue.
     pub avg_latency_us: f64,
+    /// Median latency of committed transactions in microseconds, from the
+    /// log-bucketed histogram (≤ 3.2% relative bucket error).
+    pub p50_latency_us: f64,
+    /// 95th-percentile latency of committed transactions in microseconds.
+    pub p95_latency_us: f64,
+    /// 99th-percentile latency of committed transactions in microseconds.
+    pub p99_latency_us: f64,
+    /// 99.9th-percentile latency of committed transactions in microseconds.
+    pub p999_latency_us: f64,
+    /// Latency distribution of the segment's committed transactions, in
+    /// CPU cycles (the source of the `p*_latency_us` fields).
+    pub latency_histogram: LatencyHistogram,
     /// Machine-wide instructions per cycle over the segment.
     pub ipc: f64,
     /// Per-component cycle breakdown accumulated during the segment.
     pub breakdown: Breakdown,
-    /// Ratio of interconnect to memory-controller traffic (cumulative).
+    /// Ratio of interconnect to memory-controller traffic over the
+    /// segment (computed from per-segment deltas).
     pub qpi_imc_ratio: f64,
     /// Aggregate interconnect bandwidth in Gbit/s over the segment.
     pub interconnect_gbps: f64,
@@ -77,6 +113,24 @@ pub struct RunStats {
     /// Committed transactions per socket of the submitting client (the
     /// per-instance throughput of Table I).
     pub committed_by_socket: Vec<u64>,
+    /// Whether the segment ran open-loop (an arrival process was
+    /// installed).  All the fields below are zero for closed-loop runs.
+    pub open_loop: bool,
+    /// Transactions the arrival process generated during the segment.
+    pub offered: u64,
+    /// Offered arrivals that entered the admission queue.
+    pub admitted: u64,
+    /// Offered arrivals turned away because the queue was full.
+    pub rejected: u64,
+    /// Offered arrivals per virtual second.
+    pub offered_tps: f64,
+    /// Admission-queue depth when the segment began (work carried over
+    /// from the previous segment).
+    pub queue_depth_start: u64,
+    /// Admission-queue depth when the segment ended.
+    pub queue_depth_end: u64,
+    /// Maximum admission-queue depth observed during the segment.
+    pub queue_depth_max: u64,
 }
 
 impl RunStats {
@@ -97,7 +151,104 @@ struct Client {
     active: bool,
 }
 
-/// The closed-loop virtual-time executor.
+/// Open-loop serving state: the arrival process, the sampled-but-not-yet-
+/// offered next arrival, and the bounded admission queue of arrival
+/// timestamps waiting for a free client.
+struct OpenLoopState {
+    process: ArrivalProcess,
+    bound: u64,
+    /// Dedicated arrival RNG: drawing arrivals never perturbs the workload
+    /// generator's stream, so installing a process cannot change what
+    /// transactions a given seed produces.
+    rng: SmallRng,
+    /// Absolute virtual time of the last sampled arrival, in seconds.
+    last_arrival_secs: f64,
+    /// Next sampled arrival (cycles), not yet counted as offered.
+    next_arrival: Option<Cycles>,
+    /// Admitted arrivals (their timestamps) waiting for a client.
+    queue: VecDeque<Cycles>,
+    // Per-segment accounting, reset by `run_open_loop`.
+    offered: u64,
+    admitted: u64,
+    rejected: u64,
+    depth_max: u64,
+}
+
+impl OpenLoopState {
+    /// The next arrival's timestamp, sampling it if necessary.
+    fn peek_next(&mut self, ghz: f64) -> Cycles {
+        if self.next_arrival.is_none() {
+            let t = self
+                .process
+                .next_arrival_secs(self.last_arrival_secs, &mut self.rng);
+            self.last_arrival_secs = t;
+            self.next_arrival = Some(secs_to_cycles(t, ghz));
+        }
+        self.next_arrival.unwrap()
+    }
+
+    /// Offer every arrival with timestamp strictly before `before` to the
+    /// admission queue, rejecting when it is full.
+    fn drain_arrivals(&mut self, before: Cycles, ghz: f64) {
+        loop {
+            let at = self.peek_next(ghz);
+            if at >= before {
+                return;
+            }
+            self.next_arrival = None;
+            self.offered += 1;
+            if self.queue.len() as u64 >= self.bound {
+                self.rejected += 1;
+            } else {
+                self.queue.push_back(at);
+                self.admitted += 1;
+                self.depth_max = self.depth_max.max(self.queue.len() as u64);
+            }
+        }
+    }
+}
+
+/// The segment's geometry: boundaries and time-series bucketing.
+struct SegFrame {
+    seg_start: Cycles,
+    seg_len: Cycles,
+    end_at: Cycles,
+    bucket_len: Cycles,
+    n_buckets: usize,
+}
+
+/// Hardware counters at the segment start, for per-segment deltas.
+struct HwSnapshot {
+    instr: u64,
+    cycles: Cycles,
+    breakdown: Breakdown,
+    qpi_bytes: u64,
+    local_bytes: u64,
+}
+
+/// Per-segment tallies shared by the closed- and open-loop paths.
+struct SegCounters {
+    committed: u64,
+    aborted: u64,
+    latency_sum: u128,
+    repartitions: u64,
+    committed_by_socket: Vec<u64>,
+    latency_histogram: LatencyHistogram,
+    buckets: Vec<u64>,
+}
+
+/// Open-loop accounting of one segment, for `finish_stats`.
+struct OpenLoopSeg {
+    offered: u64,
+    admitted: u64,
+    rejected: u64,
+    depth_start: u64,
+    depth_end: u64,
+    depth_max: u64,
+}
+
+/// The virtual-time executor (closed loop by default; see the module docs
+/// for the open-loop mode).
 pub struct VirtualExecutor {
     machine: Machine,
     design: Box<dyn SystemDesign>,
@@ -114,6 +265,11 @@ pub struct VirtualExecutor {
     /// once per transaction, so generation does not allocate per
     /// transaction.
     spec_buf: TransactionSpec,
+    /// Admission bound applied when (or while) an arrival process is
+    /// installed.
+    admission_bound: u64,
+    /// Open-loop serving state; `None` means closed loop.
+    open_loop: Option<OpenLoopState>,
 }
 
 impl VirtualExecutor {
@@ -152,6 +308,8 @@ impl VirtualExecutor {
             interval_committed: 0,
             total_committed: 0,
             spec_buf: TransactionSpec::empty(),
+            admission_bound: DEFAULT_ADMISSION_BOUND,
+            open_loop: None,
         }
     }
 
@@ -192,6 +350,60 @@ impl VirtualExecutor {
         self.config.default_interval_secs = secs;
     }
 
+    /// Install (or replace) an arrival process, switching the executor to
+    /// open-loop serving from the current virtual time on.  A pending
+    /// unconsumed arrival of a previous process is discarded and sampling
+    /// restarts from now; arrivals already admitted to the queue stay
+    /// queued.  The process must satisfy [`ArrivalProcess::validate`].
+    pub fn set_arrival_process(&mut self, process: ArrivalProcess) {
+        process
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid arrival process: {e}"));
+        let now = self.now_secs();
+        match &mut self.open_loop {
+            Some(ol) => {
+                ol.process = process;
+                ol.next_arrival = None;
+                ol.last_arrival_secs = ol.last_arrival_secs.max(now);
+            }
+            None => {
+                self.open_loop = Some(OpenLoopState {
+                    process,
+                    bound: self.admission_bound,
+                    // A fixed tweak keeps the arrival stream seeded from the
+                    // run's seed but distinct from the workload stream.
+                    rng: SmallRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9_7F4A_7C15),
+                    last_arrival_secs: now,
+                    next_arrival: None,
+                    queue: VecDeque::new(),
+                    offered: 0,
+                    admitted: 0,
+                    rejected: 0,
+                    depth_max: 0,
+                });
+            }
+        }
+    }
+
+    /// Set the admission-queue bound (must be ≥ 1).  Takes effect
+    /// immediately if a process is installed, and is remembered for
+    /// processes installed later.  Shrinking the bound below the current
+    /// queue depth rejects *new* arrivals only; queued work is never
+    /// dropped.
+    pub fn set_admission_bound(&mut self, bound: u64) {
+        assert!(bound >= 1, "admission bound must be at least 1");
+        self.admission_bound = bound;
+        if let Some(ol) = &mut self.open_loop {
+            ol.bound = bound;
+        }
+    }
+
+    /// Whether an arrival process is installed (the executor serves open
+    /// loop).
+    pub fn is_open_loop(&self) -> bool {
+        self.open_loop.is_some()
+    }
+
     /// Current virtual time in seconds since the executor started.
     pub fn now_secs(&self) -> f64 {
         self.machine.secs(self.clock)
@@ -226,27 +438,181 @@ impl VirtualExecutor {
         self.design.on_topology_change(&self.machine);
     }
 
-    /// Run the closed loop for `virtual_secs` of virtual time and return the
-    /// segment's statistics.  Can be called repeatedly; state (virtual
-    /// clock, client queues, design, workload) carries over.
+    /// Run for `virtual_secs` of virtual time and return the segment's
+    /// statistics.  Can be called repeatedly; state (virtual clock, client
+    /// queues, design, workload, admission queue) carries over.  The loop
+    /// is closed unless an arrival process is installed.
     pub fn run_for(&mut self, virtual_secs: f64) -> RunStats {
+        if self.open_loop.is_some() {
+            self.run_open_loop(virtual_secs)
+        } else {
+            self.run_closed_loop(virtual_secs)
+        }
+    }
+
+    /// Segment geometry for a `run_for` of `virtual_secs`.
+    fn seg_frame(&self, virtual_secs: f64) -> SegFrame {
         let ghz = self.machine.topology.frequency_ghz();
         let seg_start = self.clock;
         let seg_len = secs_to_cycles(virtual_secs, ghz);
-        let end_at = seg_start + seg_len;
         let bucket_len = secs_to_cycles(self.config.time_series_bucket_secs, ghz).max(1);
-        let n_buckets = seg_len.div_ceil(bucket_len) as usize;
-        let mut buckets = vec![0u64; n_buckets.max(1)];
+        let n_buckets = (seg_len.div_ceil(bucket_len) as usize).max(1);
+        SegFrame {
+            seg_start,
+            seg_len,
+            end_at: seg_start + seg_len,
+            bucket_len,
+            n_buckets,
+        }
+    }
 
-        let instr0 = self.machine.total_instructions();
-        let cycles0 = self.machine.total_occupied_cycles();
-        let breakdown0 = self.machine.breakdown();
-        let qpi_bytes0 = self.machine.interconnect.total_cross_socket_bytes();
-        let mut committed = 0u64;
-        let mut aborted = 0u64;
-        let mut latency_sum: u128 = 0;
-        let mut repartitions = 0u64;
-        let mut committed_by_socket = vec![0u64; self.machine.topology.num_sockets()];
+    fn hw_snapshot(&self) -> HwSnapshot {
+        HwSnapshot {
+            instr: self.machine.total_instructions(),
+            cycles: self.machine.total_occupied_cycles(),
+            breakdown: self.machine.breakdown(),
+            qpi_bytes: self.machine.interconnect.total_cross_socket_bytes(),
+            local_bytes: self.machine.interconnect.local_memory_bytes,
+        }
+    }
+
+    /// Cross every monitoring-interval boundary that elapsed before `t`,
+    /// handing control to the design at each one.
+    fn cross_interval_boundaries(&mut self, t: Cycles, ghz: f64, repartitions: &mut u64) {
+        while self.next_interval_at <= t {
+            let interval_secs = self.machine.secs(self.interval_len).max(1e-9);
+            let tput = self.interval_committed as f64 / interval_secs;
+            let boundary = self.next_interval_at;
+            let out = self.design.on_interval(&mut self.machine, boundary, tput);
+            self.interval_committed = 0;
+            if out.pause_cycles > 0 {
+                for c in &mut self.clients {
+                    c.next_free = c.next_free.max(boundary + out.pause_cycles);
+                }
+            }
+            if out.repartitioned {
+                *repartitions += 1;
+            }
+            let next_secs = out
+                .next_interval_secs
+                .unwrap_or(self.config.default_interval_secs);
+            self.interval_len = secs_to_cycles(next_secs, ghz).max(1);
+            self.next_interval_at = boundary + self.interval_len;
+        }
+    }
+
+    /// Assemble a segment's `RunStats` from its counters and hardware
+    /// deltas.  Shared verbatim by the closed- and open-loop paths.
+    fn finish_stats(
+        &self,
+        virtual_secs: f64,
+        frame: &SegFrame,
+        snap: &HwSnapshot,
+        counters: SegCounters,
+        open: Option<OpenLoopSeg>,
+    ) -> RunStats {
+        let ghz = self.machine.topology.frequency_ghz();
+        let SegCounters {
+            committed,
+            aborted,
+            latency_sum,
+            repartitions,
+            committed_by_socket,
+            latency_histogram,
+            buckets,
+        } = counters;
+        let executed = committed + aborted;
+        let d_instr = self.machine.total_instructions() - snap.instr;
+        let d_cycles = self.machine.total_occupied_cycles() - snap.cycles;
+        let breakdown = self.machine.breakdown().saturating_sub(&snap.breakdown);
+        // The last bucket may be truncated by the segment end
+        // (`seg_len % bucket_len != 0`); normalize each bucket's count by
+        // the bucket's actual width, not the configured width.
+        let time_series = buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let bucket_start = frame.seg_start + i as u64 * frame.bucket_len;
+                let bucket_end = (bucket_start + frame.bucket_len).min(frame.end_at);
+                let width_secs = self.machine.secs(bucket_end - bucket_start).max(1e-12);
+                TimePoint {
+                    secs: self.machine.secs(bucket_end),
+                    tps: n as f64 / width_secs,
+                }
+            })
+            .collect();
+        let d_qpi_bytes = self.machine.interconnect.total_cross_socket_bytes() - snap.qpi_bytes;
+        let d_local_bytes = self.machine.interconnect.local_memory_bytes - snap.local_bytes;
+        let d_mem_bytes = d_qpi_bytes + d_local_bytes;
+        let quantile_us = |q: f64| frac_cycles_to_micros(latency_histogram.quantile(q) as f64, ghz);
+        RunStats {
+            committed,
+            aborted,
+            virtual_secs,
+            throughput_tps: committed as f64 / virtual_secs,
+            avg_latency_us: if executed == 0 {
+                0.0
+            } else {
+                frac_cycles_to_micros(latency_sum as f64 / executed as f64, ghz)
+            },
+            p50_latency_us: quantile_us(0.50),
+            p95_latency_us: quantile_us(0.95),
+            p99_latency_us: quantile_us(0.99),
+            p999_latency_us: quantile_us(0.999),
+            latency_histogram,
+            ipc: if d_cycles == 0 {
+                0.0
+            } else {
+                d_instr as f64 / d_cycles as f64
+            },
+            breakdown,
+            qpi_imc_ratio: if d_mem_bytes == 0 {
+                0.0
+            } else {
+                d_qpi_bytes as f64 / d_mem_bytes as f64
+            },
+            interconnect_gbps: Interconnect::bandwidth_gbps(
+                d_qpi_bytes,
+                frame.seg_len.max(1),
+                &self.machine.topology,
+            ),
+            time_series,
+            repartitions,
+            committed_by_socket,
+            open_loop: open.is_some(),
+            offered: open.as_ref().map_or(0, |o| o.offered),
+            admitted: open.as_ref().map_or(0, |o| o.admitted),
+            rejected: open.as_ref().map_or(0, |o| o.rejected),
+            offered_tps: open
+                .as_ref()
+                .map_or(0.0, |o| o.offered as f64 / virtual_secs),
+            queue_depth_start: open.as_ref().map_or(0, |o| o.depth_start),
+            queue_depth_end: open.as_ref().map_or(0, |o| o.depth_end),
+            queue_depth_max: open.as_ref().map_or(0, |o| o.depth_max),
+        }
+    }
+
+    /// The closed loop: every client resubmits the moment it is free.
+    fn run_closed_loop(&mut self, virtual_secs: f64) -> RunStats {
+        let ghz = self.machine.topology.frequency_ghz();
+        let frame = self.seg_frame(virtual_secs);
+        let SegFrame {
+            seg_start,
+            end_at,
+            bucket_len,
+            n_buckets,
+            ..
+        } = frame;
+        let snap = self.hw_snapshot();
+        let mut counters = SegCounters {
+            committed: 0,
+            aborted: 0,
+            latency_sum: 0,
+            repartitions: 0,
+            committed_by_socket: vec![0u64; self.machine.topology.num_sockets()],
+            latency_histogram: LatencyHistogram::new(),
+            buckets: vec![0u64; n_buckets],
+        };
 
         // Keep picking the next client ready to submit until no client is
         // active or the segment ends.
@@ -263,26 +629,7 @@ impl VirtualExecutor {
                 break;
             }
             // Monitoring-interval boundaries that elapsed before `t`.
-            while self.next_interval_at <= t {
-                let interval_secs = self.machine.secs(self.interval_len).max(1e-9);
-                let tput = self.interval_committed as f64 / interval_secs;
-                let boundary = self.next_interval_at;
-                let out = self.design.on_interval(&mut self.machine, boundary, tput);
-                self.interval_committed = 0;
-                if out.pause_cycles > 0 {
-                    for c in &mut self.clients {
-                        c.next_free = c.next_free.max(boundary + out.pause_cycles);
-                    }
-                }
-                if out.repartitioned {
-                    repartitions += 1;
-                }
-                let next_secs = out
-                    .next_interval_secs
-                    .unwrap_or(self.config.default_interval_secs);
-                self.interval_len = secs_to_cycles(next_secs, ghz).max(1);
-                self.next_interval_at = boundary + self.interval_len;
-            }
+            self.cross_interval_boundaries(t, ghz, &mut counters.repartitions);
 
             let client_core = self.clients[ci].core;
             self.workload
@@ -292,18 +639,20 @@ impl VirtualExecutor {
                     .execute(&mut self.machine, &self.spec_buf, client_core, t);
             self.clients[ci].next_free = out.end;
             self.clock = self.clock.max(out.end.min(end_at));
-            latency_sum += u128::from(out.latency());
+            counters.latency_sum += u128::from(out.latency());
             if out.committed {
-                committed += 1;
-                committed_by_socket[self.machine.topology.socket_of(client_core).index()] += 1;
+                counters.committed += 1;
+                counters.committed_by_socket
+                    [self.machine.topology.socket_of(client_core).index()] += 1;
+                counters.latency_histogram.record(out.latency());
                 self.total_committed += 1;
                 self.interval_committed += 1;
                 if out.end < end_at {
                     let b = ((out.end - seg_start) / bucket_len) as usize;
-                    buckets[b.min(n_buckets - 1)] += 1;
+                    counters.buckets[b.min(n_buckets - 1)] += 1;
                 }
             } else {
-                aborted += 1;
+                counters.aborted += 1;
             }
         }
 
@@ -314,54 +663,122 @@ impl VirtualExecutor {
             }
         }
         self.clock = end_at;
+        self.finish_stats(virtual_secs, &frame, &snap, counters, None)
+    }
 
-        let executed = committed + aborted;
-        let d_instr = self.machine.total_instructions() - instr0;
-        let d_cycles = self.machine.total_occupied_cycles() - cycles0;
-        let breakdown = self.machine.breakdown().saturating_sub(&breakdown0);
-        // The last bucket may be truncated by the segment end
-        // (`seg_len % bucket_len != 0`); normalize each bucket's count by
-        // the bucket's actual width, not the configured width.
-        let time_series = buckets
+    /// The open loop: arrivals come from the installed process, wait in
+    /// the bounded admission queue, and are served by whichever client
+    /// frees up first.  Latency spans arrival to commit, queue wait
+    /// included.
+    fn run_open_loop(&mut self, virtual_secs: f64) -> RunStats {
+        let ghz = self.machine.topology.frequency_ghz();
+        let frame = self.seg_frame(virtual_secs);
+        let SegFrame {
+            seg_start,
+            end_at,
+            bucket_len,
+            n_buckets,
+            ..
+        } = frame;
+        let snap = self.hw_snapshot();
+        let mut counters = SegCounters {
+            committed: 0,
+            aborted: 0,
+            latency_sum: 0,
+            repartitions: 0,
+            committed_by_socket: vec![0u64; self.machine.topology.num_sockets()],
+            latency_histogram: LatencyHistogram::new(),
+            buckets: vec![0u64; n_buckets],
+        };
+        let mut ol = self.open_loop.take().expect("open-loop state installed");
+        let depth_start = ol.queue.len() as u64;
+        ol.offered = 0;
+        ol.admitted = 0;
+        ol.rejected = 0;
+        ol.depth_max = depth_start;
+
+        while let Some((ci, t)) = self
+            .clients
             .iter()
             .enumerate()
-            .map(|(i, &n)| {
-                let bucket_start = seg_start + i as u64 * bucket_len;
-                let bucket_end = (bucket_start + bucket_len).min(end_at);
-                let width_secs = self.machine.secs(bucket_end - bucket_start).max(1e-12);
-                TimePoint {
-                    secs: self.machine.secs(bucket_end),
-                    tps: n as f64 / width_secs,
+            .filter(|(_, c)| c.active)
+            .map(|(i, c)| (i, c.next_free))
+            .min_by_key(|&(_, t)| t)
+        {
+            let t_ready = t.max(seg_start);
+            if t_ready >= end_at {
+                break;
+            }
+            // Everything that arrived while this client was busy gets
+            // offered (admitted or rejected) before service resumes.
+            ol.drain_arrivals(t_ready.saturating_add(1), ghz);
+            let (arrival, submit_at) = match ol.queue.pop_front() {
+                // Queued work: the client starts it the moment it is free.
+                Some(arrival) => (arrival, t_ready),
+                None => {
+                    // The system is idle; jump to the next arrival.
+                    let next = ol.peek_next(ghz);
+                    if next >= end_at {
+                        break;
+                    }
+                    ol.drain_arrivals(next.saturating_add(1), ghz);
+                    match ol.queue.pop_front() {
+                        Some(arrival) => (arrival, next.max(t_ready)),
+                        // Unreachable with bound ≥ 1 and an empty queue.
+                        None => continue,
+                    }
                 }
-            })
-            .collect();
-        let d_qpi_bytes = self.machine.interconnect.total_cross_socket_bytes() - qpi_bytes0;
-        RunStats {
-            committed,
-            aborted,
-            virtual_secs,
-            throughput_tps: committed as f64 / virtual_secs,
-            avg_latency_us: if executed == 0 {
-                0.0
+            };
+            self.cross_interval_boundaries(submit_at, ghz, &mut counters.repartitions);
+
+            let client_core = self.clients[ci].core;
+            self.workload
+                .next_transaction_into(&mut self.rng, client_core, &mut self.spec_buf);
+            let out: TxnOutcome =
+                self.design
+                    .execute(&mut self.machine, &self.spec_buf, client_core, submit_at);
+            self.clients[ci].next_free = out.end;
+            self.clock = self.clock.max(out.end.min(end_at));
+            // Open-loop latency spans arrival to completion.
+            let latency = out.end.saturating_sub(arrival);
+            counters.latency_sum += u128::from(latency);
+            if out.committed {
+                counters.committed += 1;
+                counters.committed_by_socket
+                    [self.machine.topology.socket_of(client_core).index()] += 1;
+                counters.latency_histogram.record(latency);
+                self.total_committed += 1;
+                self.interval_committed += 1;
+                if out.end < end_at {
+                    let b = ((out.end - seg_start) / bucket_len) as usize;
+                    counters.buckets[b.min(n_buckets - 1)] += 1;
+                }
             } else {
-                frac_cycles_to_micros(latency_sum as f64 / executed as f64, ghz)
-            },
-            ipc: if d_cycles == 0 {
-                0.0
-            } else {
-                d_instr as f64 / d_cycles as f64
-            },
-            breakdown,
-            qpi_imc_ratio: self.machine.interconnect.qpi_to_imc_ratio(),
-            interconnect_gbps: Interconnect::bandwidth_gbps(
-                d_qpi_bytes,
-                seg_len.max(1),
-                &self.machine.topology,
-            ),
-            time_series,
-            repartitions,
-            committed_by_socket,
+                counters.aborted += 1;
+            }
         }
+
+        // Arrivals up to the segment end are offered even if no client got
+        // to them — they queue (or are rejected) and carry into the next
+        // segment, so per-segment accounting is exact.
+        ol.drain_arrivals(end_at, ghz);
+
+        for c in &mut self.clients {
+            if c.active {
+                c.next_free = c.next_free.max(end_at);
+            }
+        }
+        self.clock = end_at;
+        let open = OpenLoopSeg {
+            offered: ol.offered,
+            admitted: ol.admitted,
+            rejected: ol.rejected,
+            depth_start,
+            depth_end: ol.queue.len() as u64,
+            depth_max: ol.depth_max,
+        };
+        self.open_loop = Some(ol);
+        self.finish_stats(virtual_secs, &frame, &snap, counters, Some(open))
     }
 }
 
@@ -514,6 +931,34 @@ mod tests {
     }
 
     #[test]
+    fn qpi_imc_ratio_is_per_segment_not_cumulative() {
+        // Same shape as the interconnect_gbps regression above: re-deriving
+        // each segment's QPI and local-memory byte deltas from the machine's
+        // cumulative counters must reproduce the reported ratio for *every*
+        // segment.  The old code reported the all-time running ratio, so
+        // later segments leaked earlier traffic into the metric.
+        let mut ex = executor_with("centralized", 2, 2);
+        let mut prev_qpi = ex.machine().interconnect.total_cross_socket_bytes();
+        let mut prev_local = ex.machine().interconnect.local_memory_bytes;
+        for seg in 0..3 {
+            let stats = ex.run_for(0.01);
+            let now_qpi = ex.machine().interconnect.total_cross_socket_bytes();
+            let now_local = ex.machine().interconnect.local_memory_bytes;
+            let d_qpi = now_qpi - prev_qpi;
+            let d_local = now_local - prev_local;
+            prev_qpi = now_qpi;
+            prev_local = now_local;
+            let expect = d_qpi as f64 / (d_qpi + d_local) as f64;
+            assert!(d_qpi + d_local > 0, "segment {seg} moved no memory bytes");
+            assert!(
+                (stats.qpi_imc_ratio - expect).abs() <= 1e-12,
+                "segment {seg}: reported ratio {}, segment deltas imply {expect}",
+                stats.qpi_imc_ratio
+            );
+        }
+    }
+
+    #[test]
     fn avg_latency_keeps_sub_cycle_precision() {
         let mut ex = executor_with("centralized", 1, 2);
         let stats = ex.run_for(0.01);
@@ -540,5 +985,133 @@ mod tests {
             l.throughput_tps,
             s.throughput_tps
         );
+    }
+
+    #[test]
+    fn closed_loop_reports_latency_quantiles() {
+        let mut ex = executor_with("atrapos", 2, 2);
+        let stats = ex.run_for(0.02);
+        assert!(!stats.open_loop);
+        assert_eq!(stats.offered, 0);
+        assert_eq!(stats.latency_histogram.count(), stats.committed);
+        assert!(stats.p50_latency_us > 0.0);
+        assert!(stats.p50_latency_us <= stats.p95_latency_us);
+        assert!(stats.p95_latency_us <= stats.p99_latency_us);
+        assert!(stats.p99_latency_us <= stats.p999_latency_us);
+    }
+
+    #[test]
+    fn open_loop_conserves_and_reports_queueing() {
+        let mut ex = executor_with("atrapos", 2, 2);
+        ex.set_admission_bound(32);
+        ex.set_arrival_process(ArrivalProcess::Poisson {
+            rate_tps: 100_000.0,
+        });
+        assert!(ex.is_open_loop());
+        let stats = ex.run_for(0.02);
+        assert!(stats.open_loop);
+        assert!(stats.offered > 0, "no arrivals were generated");
+        assert!(stats.committed > 0, "nothing got served");
+        assert_eq!(stats.offered, stats.admitted + stats.rejected);
+        assert_eq!(
+            stats.admitted + stats.queue_depth_start,
+            stats.committed + stats.aborted + stats.queue_depth_end,
+            "admission-queue accounting must balance"
+        );
+        assert_eq!(stats.latency_histogram.count(), stats.committed);
+        assert!(stats.offered_tps > 0.0);
+        assert!(stats.queue_depth_max >= stats.queue_depth_end);
+    }
+
+    #[test]
+    fn overload_rejects_and_underload_does_not() {
+        // 1 000× the servable rate against a bound of 1: almost everything
+        // is rejected, but the engine keeps committing (goodput survives).
+        let mut hot = executor_with("atrapos", 2, 2);
+        hot.set_admission_bound(1);
+        hot.set_arrival_process(ArrivalProcess::Poisson {
+            rate_tps: 50_000_000.0,
+        });
+        let h = hot.run_for(0.005);
+        assert!(h.rejected > 0, "a full queue must reject");
+        assert!(h.committed > 0, "overload must not stop goodput");
+        assert!(h.rejected > h.committed);
+
+        // A trickle far below capacity: nothing is ever rejected.
+        let mut cold = executor_with("atrapos", 2, 2);
+        cold.set_admission_bound(1);
+        cold.set_arrival_process(ArrivalProcess::Poisson { rate_tps: 2_000.0 });
+        let c = cold.run_for(0.02);
+        assert!(c.offered > 0);
+        assert_eq!(c.rejected, 0, "an idle system must admit everything");
+        assert_eq!(c.committed + c.aborted + c.queue_depth_end, c.admitted);
+    }
+
+    #[test]
+    fn open_loop_replays_byte_identically() {
+        let run = || {
+            let mut ex = executor_with("atrapos", 2, 2);
+            ex.set_admission_bound(64);
+            ex.set_arrival_process(ArrivalProcess::Burst {
+                base_tps: 20_000.0,
+                burst_tps: 200_000.0,
+                period_secs: 0.005,
+                burst_fraction: 0.3,
+            });
+            let s1 = ex.run_for(0.01);
+            let s2 = ex.run_for(0.01);
+            serde::json::to_string(&vec![s1, s2])
+        };
+        assert_eq!(run(), run(), "same seed must replay byte-identically");
+    }
+
+    #[test]
+    fn open_loop_queue_carries_across_segments() {
+        let mut ex = executor_with("atrapos", 2, 2);
+        ex.set_admission_bound(10_000);
+        ex.set_arrival_process(ArrivalProcess::Poisson {
+            rate_tps: 20_000_000.0,
+        });
+        let s1 = ex.run_for(0.002);
+        assert!(
+            s1.queue_depth_end > 0,
+            "a 20M tps flood must leave a backlog"
+        );
+        let s2 = ex.run_for(0.002);
+        assert_eq!(
+            s2.queue_depth_start, s1.queue_depth_end,
+            "the backlog must carry into the next segment"
+        );
+    }
+
+    #[test]
+    fn installing_an_arrival_process_does_not_change_the_workload_stream() {
+        // The arrival RNG is separate from the workload RNG: a closed-loop
+        // run and an open-loop run at effectively unbounded rate generate
+        // the same transaction sequence, so they commit the same count.
+        let mut closed = executor_with("centralized", 1, 2);
+        let c = closed.run_for(0.01);
+        let mut open = executor_with("centralized", 1, 2);
+        open.set_admission_bound(1_000_000);
+        open.set_arrival_process(ArrivalProcess::Poisson {
+            rate_tps: 1_000_000_000.0,
+        });
+        let o = open.run_for(0.01);
+        // At 1G tps the queue never starves, so clients are as busy as in
+        // the closed loop and the committed counts match.
+        assert_eq!(c.committed, o.committed);
+        assert_eq!(c.aborted, o.aborted);
+    }
+
+    #[test]
+    fn run_stats_round_trip_through_json() {
+        let mut ex = executor_with("atrapos", 2, 2);
+        ex.set_arrival_process(ArrivalProcess::Poisson { rate_tps: 50_000.0 });
+        let stats = ex.run_for(0.01);
+        let text = serde::json::to_string(&stats);
+        let back: RunStats = serde::json::from_str(&text).unwrap();
+        assert_eq!(serde::json::to_string(&back), text);
+        assert_eq!(back.latency_histogram, stats.latency_histogram);
+        assert_eq!(back.offered, stats.offered);
     }
 }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod arrival;
 pub mod designs;
 pub mod executor;
 pub mod meta;
@@ -62,6 +63,7 @@ pub mod workers;
 pub mod workload;
 
 pub use action::{Action, ActionOp, Phase, SpecRefill, TransactionSpec, TxnOutcome};
+pub use arrival::ArrivalProcess;
 pub use designs::atrapos::{AtraposConfig, AtraposDesign};
 pub use designs::centralized::CentralizedDesign;
 pub use designs::plp::PlpDesign;

@@ -23,6 +23,7 @@
 //! assert_eq!(Scenario::from_json(&json).unwrap(), scenario);
 //! ```
 
+use crate::arrival::ArrivalProcess;
 use crate::designs::DesignStats;
 use crate::executor::{RunStats, TimePoint, VirtualExecutor};
 use crate::workload::{ReconfigureError, WorkloadChange};
@@ -81,6 +82,26 @@ pub enum ScenarioEvent {
     SetInterval {
         /// New default interval in virtual seconds.
         secs: f64,
+    },
+    /// Switch the executor to open-loop serving with Poisson arrivals at
+    /// the given mean rate (or retune the rate of an already-installed
+    /// process).  The rate must be positive and finite.
+    SetArrivalRate {
+        /// Mean offered load in transactions per virtual second.
+        rate_tps: f64,
+    },
+    /// Set the admission-queue bound for open-loop serving (must be ≥ 1).
+    /// Applies immediately if a process is installed, and is remembered
+    /// for processes installed later on the timeline.
+    SetAdmissionBound {
+        /// Maximum queued arrivals before new ones are rejected.
+        bound: u64,
+    },
+    /// Install an arbitrary arrival process — the escape hatch covering
+    /// the full [`ArrivalProcess`] vocabulary (bursts, diurnal cycles).
+    SetArrivalProcess {
+        /// The process.
+        process: ArrivalProcess,
     },
     /// Pure measurement boundary: close the current segment and start a
     /// new one without changing anything.
@@ -211,6 +232,33 @@ impl Scenario {
                         reason: format!(
                             "event {i}: SetInterval needs a positive interval, got {secs}"
                         ),
+                    });
+                }
+            }
+            if let ScenarioEvent::SetArrivalRate { rate_tps } = &e.event {
+                if !rate_tps.is_finite() || *rate_tps <= 0.0 {
+                    return Err(ScenarioError::BadTimeline {
+                        scenario: self.name.clone(),
+                        reason: format!(
+                            "event {i}: SetArrivalRate needs a positive finite rate, \
+                             got {rate_tps}"
+                        ),
+                    });
+                }
+            }
+            if let ScenarioEvent::SetAdmissionBound { bound } = &e.event {
+                if *bound < 1 {
+                    return Err(ScenarioError::BadTimeline {
+                        scenario: self.name.clone(),
+                        reason: format!("event {i}: SetAdmissionBound needs a bound ≥ 1"),
+                    });
+                }
+            }
+            if let ScenarioEvent::SetArrivalProcess { process } = &e.event {
+                if let Err(reason) = process.validate() {
+                    return Err(ScenarioError::BadTimeline {
+                        scenario: self.name.clone(),
+                        reason: format!("event {i}: {reason}"),
                     });
                 }
             }
@@ -387,6 +435,15 @@ impl VirtualExecutor {
                         self.restore_socket(SocketId(*socket))
                     }
                     ScenarioEvent::SetInterval { secs } => self.set_default_interval_secs(*secs),
+                    ScenarioEvent::SetArrivalRate { rate_tps } => {
+                        self.set_arrival_process(ArrivalProcess::Poisson {
+                            rate_tps: *rate_tps,
+                        })
+                    }
+                    ScenarioEvent::SetAdmissionBound { bound } => self.set_admission_bound(*bound),
+                    ScenarioEvent::SetArrivalProcess { process } => {
+                        self.set_arrival_process(*process)
+                    }
                     ScenarioEvent::Measure => {}
                     // Workload changes were handled above.
                     _ => {}
@@ -515,6 +572,62 @@ mod tests {
         let nan_theta =
             Scenario::new("nt", 1.0).at(0.5, "x", ScenarioEvent::SetZipfTheta { theta: f64::NAN });
         assert!(nan_theta.validate().is_err());
+        // Open-loop events are validated up front too.
+        let bad_rate =
+            Scenario::new("br", 1.0).at(0.5, "x", ScenarioEvent::SetArrivalRate { rate_tps: 0.0 });
+        assert!(bad_rate.validate().is_err());
+        let nan_rate = Scenario::new("nr", 1.0).at(
+            0.5,
+            "x",
+            ScenarioEvent::SetArrivalRate { rate_tps: f64::NAN },
+        );
+        assert!(nan_rate.validate().is_err());
+        let bad_bound =
+            Scenario::new("bb", 1.0).at(0.5, "x", ScenarioEvent::SetAdmissionBound { bound: 0 });
+        assert!(bad_bound.validate().is_err());
+        let bad_process = Scenario::new("bp", 1.0).at(
+            0.5,
+            "x",
+            ScenarioEvent::SetArrivalProcess {
+                process: ArrivalProcess::Diurnal {
+                    base_tps: 100.0,
+                    amplitude: 1.5,
+                    period_secs: 1.0,
+                },
+            },
+        );
+        assert!(bad_process.validate().is_err());
+    }
+
+    #[test]
+    fn arrival_events_switch_a_scenario_to_open_loop() {
+        // A closed-loop warmup segment, then open loop at a modest rate:
+        // only the open segments carry offered-load accounting, and the
+        // closed segment is byte-identical to a plain closed-loop run.
+        let scenario = Scenario::new("open", 0.03)
+            .starting_as("closed")
+            .at(0.01, "open", ScenarioEvent::SetAdmissionBound { bound: 16 })
+            .at_unlabelled(0.01, ScenarioEvent::SetArrivalRate { rate_tps: 50_000.0 })
+            .at_unlabelled(0.02, ScenarioEvent::Measure);
+        let outcome = executor().run_scenario(&scenario).unwrap();
+        assert_eq!(outcome.segments.len(), 3);
+        let closed = &outcome.segments[0].stats;
+        assert!(!closed.open_loop);
+        assert_eq!(closed.offered, 0);
+        for seg in &outcome.segments[1..] {
+            let s = &seg.stats;
+            assert!(s.open_loop, "segment '{}' should be open loop", seg.label);
+            assert!(s.offered > 0);
+            assert_eq!(s.offered, s.admitted + s.rejected);
+            assert_eq!(
+                s.admitted + s.queue_depth_start,
+                s.committed + s.aborted + s.queue_depth_end
+            );
+        }
+        // The warmup is untouched by the later open-loop events.
+        let plain = executor().run_for(0.01);
+        assert_eq!(plain.committed, closed.committed);
+        assert_eq!(plain.aborted, closed.aborted);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //!   `reports/BENCH_figures.json`.
 //! * [`svg`] — a dependency-free deterministic SVG emitter: multi-series
 //!   line charts and grouped bar charts.
-//! * [`verdict`] — the reference-trend checks: for each headline experiment,
-//!   whether the recorded rows show the trend the paper's conclusions rest
-//!   on.
+//! * [`verdict`] — the reference-trend and SLO checks: for each headline
+//!   experiment, whether the recorded rows show the trend the paper's
+//!   conclusions rest on (or, for the open-loop overload extensions, meet
+//!   the stated service-level objective).
 //! * [`reproduction`] — the `REPRODUCTION.md` generator gluing the three
 //!   together: one section per experiment with a markdown table, a chart,
 //!   and a verdict.
@@ -30,4 +31,4 @@ pub mod verdict;
 
 pub use model::{fmt, FigureResult, FiguresFile, CANONICAL_ORDER, FIGURES_SCHEMA};
 pub use reproduction::{chart, generate, Reproduction};
-pub use verdict::{assess, Assessment, Verdict};
+pub use verdict::{assess, Assessment, CheckKind, Verdict};

@@ -108,11 +108,31 @@ impl FigureResult {
 
 /// The canonical experiment order of `BENCH_figures.json` and
 /// `REPRODUCTION.md`: paper order, then the ablations, then the YCSB
-/// extension pair.
+/// extension pair, then the open-loop overload pair.
 pub const CANONICAL_ORDER: &[&str] = &[
-    "fig01", "fig02", "fig03", "fig04", "tab01", "fig05", "fig06", "fig07", "fig08", "tab02",
-    "fig09", "fig10", "fig11", "fig12", "fig13", "abl01", "abl02", "abl03", "abl04", "ycsb01",
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "tab01",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "tab02",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "abl01",
+    "abl02",
+    "abl03",
+    "abl04",
+    "ycsb01",
     "ycsb02",
+    "overload01",
+    "overload02",
 ];
 
 /// Sort key of an experiment id in [`CANONICAL_ORDER`]; unknown ids sort

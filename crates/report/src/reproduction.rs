@@ -10,7 +10,7 @@
 
 use crate::model::{FigureResult, FiguresFile};
 use crate::svg::{self, Series};
-use crate::verdict::{assess, Verdict};
+use crate::verdict::{assess, CheckKind, Verdict};
 use std::fmt::Write as _;
 
 /// A fully rendered reproduction report: the markdown document plus the
@@ -37,7 +37,12 @@ fn chart_spec(id: &str) -> ChartSpec {
     let (value_cols, y_label): (Option<&'static [usize]>, &'static str) = match id {
         "fig08" => (Some(&[3]), "ATraPos / PLP throughput"),
         "tab02" => (Some(&[1, 2]), "TPS"),
-        "fig10" | "fig11" | "fig12" | "fig13" | "ycsb01" | "ycsb02" => (None, "KTPS"),
+        "fig10" | "fig11" | "fig12" | "fig13" | "ycsb01" | "ycsb02" | "overload02" => {
+            (None, "KTPS")
+        }
+        // The load sweep's chart plots the goodput group; the p99 and
+        // rejection columns live in the table.
+        "overload01" => (Some(&[1, 2, 3, 4]), "goodput (KTPS)"),
         "abl01" => (Some(&[3]), "ATraPos / PLP speedup"),
         "abl02" => (Some(&[1, 2]), "KTPS"),
         "abl03" => (Some(&[1, 2]), "KTPS"),
@@ -182,12 +187,20 @@ pub fn generate(figures: &FiguresFile, svg_dir: &str) -> Reproduction {
     md.push_str("| experiment | result | verdict |\n|---|---|---|\n");
     let mut passes = 0usize;
     let mut checks = 0usize;
+    let mut slo_passes = 0usize;
+    let mut slo_checks = 0usize;
     for fig in &figures.figures {
         let verdict_cell = match assess(fig) {
             Some(a) => {
-                checks += 1;
-                if a.verdict == Verdict::Pass {
-                    passes += 1;
+                match a.kind {
+                    CheckKind::ReferenceTrend => {
+                        checks += 1;
+                        passes += usize::from(a.verdict == Verdict::Pass);
+                    }
+                    CheckKind::Slo => {
+                        slo_checks += 1;
+                        slo_passes += usize::from(a.verdict == Verdict::Pass);
+                    }
                 }
                 a.verdict.badge().to_string()
             }
@@ -200,10 +213,12 @@ pub fn generate(figures: &FiguresFile, svg_dir: &str) -> Reproduction {
             title = cell(&fig.title),
         );
     }
-    let _ = writeln!(
-        md,
-        "\n**{passes} of {checks} reference trends reproduced.**\n"
-    );
+    md.push('\n');
+    let _ = write!(md, "**{passes} of {checks} reference trends reproduced.**");
+    if slo_checks > 0 {
+        let _ = write!(md, " **{slo_passes} of {slo_checks} open-loop SLOs met.**");
+    }
+    md.push_str("\n\n");
 
     // One section per experiment.
     for fig in &figures.figures {
@@ -228,9 +243,14 @@ pub fn generate(figures: &FiguresFile, svg_dir: &str) -> Reproduction {
         }
         match assess(fig) {
             Some(a) => {
+                let source = match a.kind {
+                    CheckKind::ReferenceTrend => "paper",
+                    CheckKind::Slo => "target",
+                };
                 let _ = writeln!(
                     md,
-                    "**Verdict: {}** — paper: {}. This run: {}.\n",
+                    "**{}: {}** — {source}: {}. This run: {}.\n",
+                    a.kind.label(),
                     a.verdict.badge(),
                     a.expected,
                     a.observed
@@ -302,6 +322,37 @@ mod tests {
         // axis → lines.
         assert!(r.svgs[0].1.contains("<rect"));
         assert!(r.svgs[1].1.contains("<polyline"));
+    }
+
+    #[test]
+    fn slo_experiments_render_their_own_verdict_kind_and_summary_count() {
+        let mut file = sample_figures();
+        let mut ov = FigureResult::new(
+            "overload02",
+            "Burst recovery under open-loop load",
+            vec![
+                "time (s)",
+                "Centralized",
+                "Shared-nothing",
+                "PLP",
+                "ATraPos",
+            ],
+        );
+        for (t, v) in [(0.1, 35.0), (0.2, 12.0), (0.3, 34.0)] {
+            ov.push_row(vec![
+                format!("{t:.1}"),
+                format!("{}", v * 0.2),
+                format!("{}", v * 0.6),
+                format!("{}", v * 0.8),
+                format!("{v}"),
+            ]);
+        }
+        file.upsert(ov);
+        let r = generate(&file, "reports/figures");
+        assert!(r.markdown.contains("**SLO verdict: ✅ pass** — target:"));
+        assert!(r
+            .markdown
+            .contains("**2 of 2 reference trends reproduced.** **1 of 1 open-loop SLOs met.**"));
     }
 
     #[test]

@@ -1,12 +1,17 @@
-//! Pass/warn verdicts against the paper's reference trends.
+//! Pass/warn verdicts against the paper's reference trends and the
+//! open-loop SLOs.
 //!
 //! The reproduction report does not compare absolute numbers to the paper —
 //! the simulator's virtual-time constants are calibrated, not identical to
 //! 2013 hardware — it checks the *trends* the paper's conclusions rest on
 //! (e.g. "ATraPos exceeds PLP on every standard benchmark", "after a socket
-//! failure the adaptive system out-performs the static one").  Each check
-//! reads the serialized [`FigureResult`] rows, so a verdict can be
-//! recomputed from `BENCH_figures.json` without re-running any simulation.
+//! failure the adaptive system out-performs the static one").  The open-loop
+//! overload experiments carry a second kind of check, an [SLO](CheckKind::Slo)
+//! verdict: a service-level objective over goodput, tail latency, and
+//! rejection ("nothing is rejected below saturation", "goodput degrades
+//! gracefully past it", "a burst's backlog drains").  Each check reads the
+//! serialized [`FigureResult`] rows, so a verdict can be recomputed from
+//! `BENCH_figures.json` without re-running any simulation.
 
 use crate::model::FigureResult;
 
@@ -38,13 +43,37 @@ impl Verdict {
     }
 }
 
-/// One checked reference trend: the verdict, what the paper reports, and
-/// what the recorded data shows.
+/// What a check is checking: a trend from the paper, or a service-level
+/// objective of the open-loop extension experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// A trend the paper's evaluation reports (the default for every
+    /// reproduced figure and ablation).
+    ReferenceTrend,
+    /// A service-level objective over the open-loop metrics — goodput,
+    /// tail latency, rejection — with no counterpart in the paper.
+    Slo,
+}
+
+impl CheckKind {
+    /// The label used when rendering the verdict line.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckKind::ReferenceTrend => "Verdict",
+            CheckKind::Slo => "SLO verdict",
+        }
+    }
+}
+
+/// One checked reference trend or SLO: the verdict, what was expected,
+/// and what the recorded data shows.
 #[derive(Debug, Clone)]
 pub struct Assessment {
     /// Pass or warn.
     pub verdict: Verdict,
-    /// The paper's reference trend, as prose.
+    /// Reference trend or SLO.
+    pub kind: CheckKind,
+    /// The paper's reference trend (or the SLO), as prose.
     pub expected: String,
     /// The observed numbers backing the verdict.
     pub observed: String,
@@ -69,9 +98,19 @@ fn settled_mean(values: &[f64]) -> f64 {
     mean(&values[n - (n / 3).max(1)..])
 }
 
-/// Assess `fig` against its paper reference trend, if one is defined for
-/// its id.  Experiments without a reference check (the motivation figures,
-/// which are qualitative) return `None`.
+/// Mean over the first third of a column — the pre-event baseline of a
+/// burst timeline, mirroring [`settled_mean`].
+fn leading_mean(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    mean(&values[..(n / 3).max(1)])
+}
+
+/// Assess `fig` against its paper reference trend or open-loop SLO, if
+/// one is defined for its id.  Experiments without a check (the motivation
+/// figures, which are qualitative) return `None`.
 pub fn assess(fig: &FigureResult) -> Option<Assessment> {
     match fig.id.as_str() {
         "fig08" => {
@@ -92,6 +131,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                 .filter(|row| row.first().is_some_and(|l| l.starts_with("TATP")))
                 .count();
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(
                     tatp_count > 0
                         && tatp_ok
@@ -113,6 +153,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
             let overheads = fig.column(3);
             let hi = overheads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(!overheads.is_empty() && hi <= 5.0),
                 expected: "monitoring costs at most a few percent of throughput \
                            (paper: ≤ 3.32%)"
@@ -130,6 +171,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
             let s = settled_mean(&statics);
             let a = settled_mean(&adaptives);
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(!adaptives.is_empty() && s > 0.0 && a >= 0.95 * s),
                 expected: "throughput follows each workload switch and ATraPos stays \
                            within monitoring overhead (< 5%) of the static \
@@ -154,6 +196,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                 "after the socket failure"
             };
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(!adaptives.is_empty() && a >= s),
                 expected: format!(
                     "ATraPos repartitions and overtakes the static configuration {context}"
@@ -180,6 +223,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
             let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
             let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(means.len() >= 2 && lo > 0.35 * hi),
                 expected: "throughput keeps recovering under frequent A/B alternation; \
                            no phase collapses"
@@ -194,6 +238,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
             let westmere = fig.num(0, 3).unwrap_or(0.0);
             let uniform = fig.num(1, 3).unwrap_or(0.0);
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(
                     westmere >= 1.15 && westmere > uniform && (uniform - 1.0).abs() <= 0.25,
                 ),
@@ -211,6 +256,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                 ratios.last().copied().unwrap_or(0.0),
             );
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(ratios.len() >= 2 && last > first && last >= 1.0),
                 expected: "the ATraPos layout's advantage over the naive \
                            one-partition-per-table-per-core scheme grows with the \
@@ -232,6 +278,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
             let coarse = after(2.0).unwrap_or(0.0);
             let paper_choice = after(10.0).unwrap_or(0.0);
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(paper_choice >= coarse && paper_choice > 0.0),
                 expected: "10 sub-partitions per partition (the paper's choice) adapts to \
                            the hotspot at least as well as the coarsest granule"
@@ -248,6 +295,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
             let range_tps = fig.num(0, 3).unwrap_or(0.0);
             let advised_tps = fig.num(1, 3).unwrap_or(0.0);
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(advised_dist < range_dist && advised_tps > range_tps),
                 expected: "the §VII advisor's plan removes nearly all distributed \
                            transactions of the shifted workload and raises throughput"
@@ -277,6 +325,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                 .fold(f64::INFINITY, f64::min);
             let uniform_win = n > 0 && atrapos[0] >= 1.1 * plp[0];
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(n >= 2 && matched == n && uniform_win),
                 expected: "the partitioned shared-everything advantage carries over to \
                            YCSB-A: ATraPos clearly beats PLP at uniform load and at \
@@ -299,6 +348,7 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                 .fold(f64::NEG_INFINITY, f64::max);
             let atrapos = settled_mean(&fig.column(4));
             Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
                 verdict: Verdict::from_bool(atrapos > 0.0 && atrapos >= best_static),
                 expected: "under a continuously drifting hotspot the adaptive ATraPos \
                            configuration keeps repartitioning toward the moving hot \
@@ -313,6 +363,81 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                     } else {
                         0.0
                     }
+                ),
+            })
+        }
+        "overload01" => {
+            // Columns: multiplier | goodput ×4 | p99 ×4 | rejected% ×4,
+            // one row per offered-load multiple of saturation.
+            let row_at = |mult: f64| (0..fig.rows.len()).find(|&r| fig.num(r, 0) == Some(mult));
+            let (half, one, three) = (row_at(0.5), row_at(1.0), row_at(3.0));
+            // Below saturation the queue must shed (almost) nothing.
+            let max_rejected_below_sat = half
+                .map(|r| {
+                    (9..=12)
+                        .filter_map(|c| fig.num(r, c))
+                        .fold(0.0f64, f64::max)
+                })
+                .unwrap_or(f64::INFINITY);
+            // Past saturation goodput must hold near capacity — the worst
+            // per-design 3×/1× goodput ratio bounds the degradation.
+            let worst_degradation = match (one, three) {
+                (Some(r1), Some(r3)) => (1..=4)
+                    .map(|c| {
+                        let at_sat = fig.num(r1, c).unwrap_or(0.0);
+                        let overloaded = fig.num(r3, c).unwrap_or(0.0);
+                        if at_sat > 0.0 {
+                            overloaded / at_sat
+                        } else {
+                            0.0
+                        }
+                    })
+                    .fold(f64::INFINITY, f64::min),
+                _ => 0.0,
+            };
+            Some(Assessment {
+                kind: CheckKind::Slo,
+                verdict: Verdict::from_bool(
+                    max_rejected_below_sat <= 1.0 && worst_degradation >= 0.7,
+                ),
+                expected: "at 0.5x saturation the admission queue rejects at most 1% on \
+                           every design, and past saturation goodput degrades \
+                           gracefully: at 3x offered load every design keeps at least \
+                           70% of its 1x goodput"
+                    .into(),
+                observed: format!(
+                    "worst rejection at 0.5x load {max_rejected_below_sat:.2}%; worst \
+                     3x/1x goodput ratio {worst_degradation:.2}x"
+                ),
+            })
+        }
+        "overload02" => {
+            // Columns: time | Centralized | Shared-nothing | PLP | ATraPos.
+            // The timeline is baseline / burst / recovery in equal-ish
+            // thirds; the SLO is that every design's goodput returns to
+            // its own baseline once the burst's backlog drains.
+            let worst_recovery = (1..=4)
+                .map(|c| {
+                    let series = fig.column(c);
+                    let baseline = leading_mean(&series);
+                    let recovered = settled_mean(&series);
+                    if baseline > 0.0 {
+                        recovered / baseline
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            Some(Assessment {
+                kind: CheckKind::Slo,
+                verdict: Verdict::from_bool(!fig.rows.is_empty() && worst_recovery >= 0.85),
+                expected: "after the 2.5x burst subsides, every design drains its \
+                           backlog and recovers to at least 85% of its pre-burst \
+                           goodput within the recovery window"
+                    .into(),
+                observed: format!(
+                    "worst recovered/baseline goodput ratio across the four designs \
+                     {worst_recovery:.2}x"
                 ),
             })
         }
@@ -468,6 +593,87 @@ mod tests {
             ],
         );
         assert_eq!(assess(&f).unwrap().verdict, Verdict::Warn);
+    }
+
+    #[test]
+    fn overload01_checks_rejection_below_and_degradation_past_saturation() {
+        let header = vec![
+            "offered (x sat)",
+            "C goodput (KTPS)",
+            "SN goodput (KTPS)",
+            "PLP goodput (KTPS)",
+            "ATraPos goodput (KTPS)",
+            "C p99 (us)",
+            "SN p99 (us)",
+            "PLP p99 (us)",
+            "ATraPos p99 (us)",
+            "C rejected (%)",
+            "SN rejected (%)",
+            "PLP rejected (%)",
+            "ATraPos rejected (%)",
+        ];
+        let good = vec![
+            vec![
+                "0.5", "5", "15", "20", "25", "40", "40", "40", "40", "0", "0", "0", "0",
+            ],
+            vec![
+                "1", "10", "30", "40", "50", "90", "90", "90", "90", "2", "2", "2", "2",
+            ],
+            vec![
+                "3", "9.5", "29", "38", "48", "300", "300", "300", "300", "66", "66", "66", "66",
+            ],
+        ];
+        let a = assess(&fig("overload01", header.clone(), good.clone())).unwrap();
+        assert_eq!(a.verdict, Verdict::Pass);
+        assert_eq!(a.kind, CheckKind::Slo);
+        // Rejecting under light load violates the SLO…
+        let mut rejecting = good.clone();
+        rejecting[0][9] = "5";
+        let a = assess(&fig("overload01", header.clone(), rejecting)).unwrap();
+        assert_eq!(a.verdict, Verdict::Warn);
+        // …and so does a goodput collapse past saturation, even on one
+        // design.
+        let mut collapsing = good;
+        collapsing[2][4] = "20";
+        let a = assess(&fig("overload01", header, collapsing)).unwrap();
+        assert_eq!(a.verdict, Verdict::Warn);
+    }
+
+    #[test]
+    fn overload02_requires_every_design_to_recover_its_baseline() {
+        let header = vec![
+            "time (s)",
+            "Centralized",
+            "Shared-nothing",
+            "PLP",
+            "ATraPos",
+        ];
+        let good = vec![
+            vec!["0.1", "7", "21", "28", "35"],
+            vec!["0.2", "10", "30", "40", "50"],
+            vec!["0.3", "7", "20", "27", "34"],
+        ];
+        let a = assess(&fig("overload02", header.clone(), good.clone())).unwrap();
+        assert_eq!(a.verdict, Verdict::Pass);
+        assert_eq!(a.kind, CheckKind::Slo);
+        // One design failing to drain its backlog is a warn.
+        let mut stuck = good;
+        stuck[2][3] = "10";
+        let a = assess(&fig("overload02", header, stuck)).unwrap();
+        assert_eq!(a.verdict, Verdict::Warn);
+    }
+
+    #[test]
+    fn paper_figures_are_reference_trends() {
+        let f = fig(
+            "tab02",
+            vec!["w", "off", "on", "overhead"],
+            vec![vec!["m", "10", "9.8", "2.0"]],
+        );
+        let a = assess(&f).unwrap();
+        assert_eq!(a.kind, CheckKind::ReferenceTrend);
+        assert_eq!(CheckKind::ReferenceTrend.label(), "Verdict");
+        assert_eq!(CheckKind::Slo.label(), "SLO verdict");
     }
 
     #[test]

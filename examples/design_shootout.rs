@@ -21,7 +21,9 @@ use atrapos_bench::Scale;
 
 fn main() {
     let scale = Scale::quick();
-    for fig in design_sweep("micro", &scale, &[1, 8]).expect("micro is a known sweep workload") {
+    for fig in
+        design_sweep("micro", &scale, &[1, 8], None).expect("micro is a known sweep workload")
+    {
         fig.print();
     }
 }

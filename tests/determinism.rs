@@ -66,6 +66,48 @@ fn ycsb_drift_experiment_is_byte_identical_across_runs() {
     );
 }
 
+/// The open-loop overload02 variant (Poisson arrivals, admission queue,
+/// burst timeline) twice in one process must serialize byte-identically —
+/// the arrival RNG is seeded from the job's config, so a rerun replays
+/// the exact same arrival sequence.
+#[test]
+fn open_loop_experiment_is_byte_identical_across_runs() {
+    use atrapos_bench::figures::overload02_jobs;
+    use atrapos_bench::Scale;
+
+    let scale = {
+        let mut s = Scale::quick();
+        s.ycsb_records = 4_000;
+        s.measure_secs = 0.004;
+        s.phase_secs = 0.004;
+        s.interval_min_secs = 0.002;
+        s.interval_max_secs = 0.008;
+        s
+    };
+    let run_open_loop = || {
+        let job = overload02_jobs(&scale)
+            .into_iter()
+            .find(|j| j.name.ends_with("ATraPos"))
+            .expect("the adaptive variant is in the job list");
+        job.run().expect("overload02 scenario runs")
+    };
+    let first = run_open_loop();
+    let second = run_open_loop();
+    assert!(first.total_committed() > 0);
+    assert!(
+        first
+            .segments
+            .iter()
+            .all(|s| s.stats.open_loop && s.stats.offered > 0),
+        "every overload02 segment serves open loop"
+    );
+    assert_eq!(
+        serde::json::to_string_pretty(&first),
+        serde::json::to_string_pretty(&second),
+        "two in-process runs of the overload02 open-loop experiment serialized differently"
+    );
+}
+
 #[test]
 fn replay_experiment_is_byte_identical_across_runs() {
     let mut replay = shipped_replay();

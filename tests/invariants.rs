@@ -14,6 +14,12 @@
 //!   transaction per client straddling the segment end);
 //! * the reported throughput is exactly committed / virtual seconds.
 //!
+//! A second family covers *open-loop* serving over proptest-generated
+//! arrival timelines (Poisson, burst, diurnal) on the same four designs:
+//! every generated arrival is admitted or rejected, the admission queue's
+//! books balance across segments, and the latency histogram records
+//! exactly the committed transactions with monotone quantiles.
+//!
 //! These hold by construction today; the test pins them against any
 //! future executor or design change that breaks the books.
 
@@ -21,8 +27,8 @@ use atrapos_bench::harness::machine;
 use atrapos_core::KeyDistribution;
 use atrapos_engine::workload::WorkloadChange;
 use atrapos_engine::{
-    DesignSpec, ExecutorConfig, ReconfigureError, RunStats, TableSpec, TransactionSpec,
-    VirtualExecutor, Workload,
+    ArrivalProcess, DesignSpec, ExecutorConfig, ReconfigureError, RunStats, TableSpec,
+    TransactionSpec, VirtualExecutor, Workload,
 };
 use atrapos_numa::CoreId;
 use atrapos_storage::{Database, Key, TableId};
@@ -232,6 +238,147 @@ proptest! {
     fn conservation_invariants_hold_across_designs(case in case_strategy()) {
         for spec in four_designs() {
             run_case(&case, &spec);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Open-loop conservation
+// ---------------------------------------------------------------------
+
+/// One proptest-generated open-loop experiment: an admission bound plus a
+/// timeline of (arrival process, phase length) steps.
+#[derive(Debug, Clone)]
+struct OpenLoopCase {
+    config: YcsbConfig,
+    seed: u64,
+    bound: u64,
+    phases: Vec<(ArrivalProcess, f64)>,
+}
+
+/// Arrival processes sized for millisecond phases: rates from a trickle
+/// to well past the tiny machine's capacity, so the generated timelines
+/// cover both the empty-queue and the rejecting regimes.
+fn arrival_strategy() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        2 => (10_000.0f64..5_000_000.0).prop_map(|rate_tps| ArrivalProcess::Poisson { rate_tps }),
+        1 => (10_000.0f64..1_000_000.0, 2.0f64..8.0, 0.0005f64..0.002, 0.2f64..0.8).prop_map(
+            |(base_tps, mult, period_secs, burst_fraction)| ArrivalProcess::Burst {
+                base_tps,
+                burst_tps: base_tps * mult,
+                period_secs,
+                burst_fraction,
+            }
+        ),
+        1 => (10_000.0f64..1_000_000.0, 0.0f64..0.95, 0.0005f64..0.002).prop_map(
+            |(base_tps, amplitude, period_secs)| ArrivalProcess::Diurnal {
+                base_tps,
+                amplitude,
+                period_secs,
+            }
+        ),
+    ]
+}
+
+fn open_loop_case_strategy() -> impl Strategy<Value = OpenLoopCase> {
+    (
+        prop::sample::select(vec!["A", "B", "C"]),
+        0.0f64..1.0,
+        0u64..1_000,
+        1u64..64,
+        prop::collection::vec((arrival_strategy(), 0.001f64..0.004), 1..=3),
+    )
+        .prop_map(|(mix, theta, seed, bound, phases)| OpenLoopCase {
+            config: YcsbConfig::named(mix, 1_500)
+                .expect("core mix")
+                .with_theta(theta),
+            seed,
+            bound,
+            phases,
+        })
+}
+
+/// Check one open-loop segment's serving books.
+fn check_open_segment(label: &str, stats: &RunStats, attempted: u64) {
+    assert!(stats.open_loop, "{label}: segment must report open loop");
+    assert_eq!(
+        stats.offered,
+        stats.admitted + stats.rejected,
+        "{label}: every generated arrival is admitted or rejected"
+    );
+    assert_eq!(
+        stats.admitted + stats.queue_depth_start,
+        stats.committed + stats.aborted + stats.queue_depth_end,
+        "{label}: queue accounting must balance"
+    );
+    assert_eq!(
+        stats.committed + stats.aborted,
+        attempted,
+        "{label}: committed + aborted must equal the {attempted} generated transactions"
+    );
+    assert_eq!(
+        stats.latency_histogram.count(),
+        stats.committed,
+        "{label}: the latency histogram records exactly the committed transactions"
+    );
+    assert!(
+        stats.p50_latency_us <= stats.p95_latency_us
+            && stats.p95_latency_us <= stats.p99_latency_us
+            && stats.p99_latency_us <= stats.p999_latency_us,
+        "{label}: latency quantiles must be monotone \
+         (p50 {} / p95 {} / p99 {} / p999 {})",
+        stats.p50_latency_us,
+        stats.p95_latency_us,
+        stats.p99_latency_us,
+        stats.p999_latency_us
+    );
+    assert!(
+        stats.queue_depth_max >= stats.queue_depth_start.max(stats.queue_depth_end),
+        "{label}: the max queue depth bounds the endpoints"
+    );
+}
+
+fn run_open_loop_case(case: &OpenLoopCase, spec: &DesignSpec) {
+    let m = machine(2, 2);
+    let generated = Arc::new(AtomicU64::new(0));
+    let workload = Counting {
+        inner: Ycsb::new(case.config.clone()),
+        generated: Arc::clone(&generated),
+    };
+    let design = spec.build(&m, &workload.inner);
+    let mut ex = VirtualExecutor::new(
+        m,
+        design,
+        Box::new(workload),
+        ExecutorConfig {
+            seed: case.seed,
+            default_interval_secs: 0.001,
+            time_series_bucket_secs: 0.001,
+        },
+    );
+    ex.set_admission_bound(case.bound);
+    for (i, (process, secs)) in case.phases.iter().enumerate() {
+        ex.set_arrival_process(*process);
+        let before = generated.load(Ordering::Relaxed);
+        let stats = ex.run_for(*secs);
+        let attempted = generated.load(Ordering::Relaxed) - before;
+        let label = format!("{} open-loop phase {i}", spec.label());
+        check_open_segment(&label, &stats, attempted);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The open-loop serving books balance for every design on every
+    /// generated arrival timeline: generated == admitted + rejected,
+    /// admitted (plus the carried queue) == committed + aborted (plus the
+    /// remaining queue), and the latency histogram covers exactly the
+    /// committed transactions.
+    #[test]
+    fn open_loop_conservation_holds_across_designs(case in open_loop_case_strategy()) {
+        for spec in four_designs() {
+            run_open_loop_case(&case, &spec);
         }
     }
 }

@@ -4,7 +4,9 @@
 
 use atrapos_core::{AdaptiveInterval, ControllerConfig, KeyDistribution};
 use atrapos_engine::scenario::{Scenario, ScenarioEvent, TimedEvent};
-use atrapos_engine::{AtraposConfig, DesignSpec, ExecutorConfig, VirtualExecutor, WorkloadChange};
+use atrapos_engine::{
+    ArrivalProcess, AtraposConfig, DesignSpec, ExecutorConfig, VirtualExecutor, WorkloadChange,
+};
 use atrapos_numa::{CostModel, Machine, Topology};
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
 use proptest::prelude::*;
@@ -51,6 +53,27 @@ fn change_strategy() -> impl Strategy<Value = WorkloadChange> {
     ]
 }
 
+fn arrival_process_strategy() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        2 => (100.0f64..200_000.0).prop_map(|rate_tps| ArrivalProcess::Poisson { rate_tps }),
+        1 => (100.0f64..50_000.0, 1.1f64..4.0, 0.01f64..0.5, 0.05f64..0.95).prop_map(
+            |(base_tps, mult, period_secs, burst_fraction)| ArrivalProcess::Burst {
+                base_tps,
+                burst_tps: base_tps * mult,
+                period_secs,
+                burst_fraction,
+            }
+        ),
+        1 => (100.0f64..50_000.0, 0.0f64..0.99, 0.01f64..0.5).prop_map(
+            |(base_tps, amplitude, period_secs)| ArrivalProcess::Diurnal {
+                base_tps,
+                amplitude,
+                period_secs,
+            }
+        ),
+    ]
+}
+
 fn event_strategy() -> impl Strategy<Value = ScenarioEvent> {
     prop_oneof![
         2 => change_strategy().prop_map(|change| ScenarioEvent::ChangeWorkload { change }),
@@ -66,6 +89,10 @@ fn event_strategy() -> impl Strategy<Value = ScenarioEvent> {
         1 => (0u16..8).prop_map(|socket| ScenarioEvent::RestoreSocket { socket }),
         1 => (0.001f64..0.5).prop_map(|secs| ScenarioEvent::SetInterval { secs }),
         1 => (0u32..1).prop_map(|_| ScenarioEvent::Measure),
+        1 => (100.0f64..200_000.0).prop_map(|rate_tps| ScenarioEvent::SetArrivalRate { rate_tps }),
+        1 => (1u64..10_000).prop_map(|bound| ScenarioEvent::SetAdmissionBound { bound }),
+        1 => arrival_process_strategy()
+            .prop_map(|process| ScenarioEvent::SetArrivalProcess { process }),
     ]
 }
 
@@ -135,6 +162,62 @@ proptest! {
         let json = scenario.to_json();
         let back = Scenario::from_json(&json).unwrap();
         prop_assert_eq!(back, scenario);
+    }
+
+    /// Non-positive or non-finite arrival rates — and zero admission
+    /// bounds — are rejected by `Scenario::validate` wherever they sit on
+    /// the timeline.
+    #[test]
+    fn malformed_arrival_events_are_rejected_by_validation(
+        bad_rate in prop_oneof![
+            Just(0.0f64),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            -1e9f64..0.0,
+        ],
+        at in 0.0f64..0.5,
+    ) {
+        let rate = Scenario::new("bad-rate", 1.0)
+            .at_unlabelled(at, ScenarioEvent::SetArrivalRate { rate_tps: bad_rate });
+        prop_assert!(rate.validate().is_err());
+        let bound = Scenario::new("bad-bound", 1.0)
+            .at_unlabelled(at, ScenarioEvent::SetAdmissionBound { bound: 0 });
+        prop_assert!(bound.validate().is_err());
+    }
+
+    /// Malformed arrival processes (diurnal amplitude outside [0, 1),
+    /// burst fraction outside (0, 1)) are rejected through
+    /// `SetArrivalProcess` validation.
+    #[test]
+    fn malformed_arrival_processes_are_rejected_by_validation(
+        amplitude in 1.0f64..3.0,
+        bad_fraction in prop_oneof![Just(0.0f64), 1.0f64..2.0],
+        base_tps in 100.0f64..10_000.0,
+    ) {
+        let diurnal = Scenario::new("bad-diurnal", 1.0).at_unlabelled(
+            0.0,
+            ScenarioEvent::SetArrivalProcess {
+                process: ArrivalProcess::Diurnal {
+                    base_tps,
+                    amplitude,
+                    period_secs: 0.1,
+                },
+            },
+        );
+        prop_assert!(diurnal.validate().is_err());
+        let burst = Scenario::new("bad-burst", 1.0).at_unlabelled(
+            0.0,
+            ScenarioEvent::SetArrivalProcess {
+                process: ArrivalProcess::Burst {
+                    base_tps,
+                    burst_tps: 2.0 * base_tps,
+                    period_secs: 0.1,
+                    burst_fraction: bad_fraction,
+                },
+            },
+        );
+        prop_assert!(burst.validate().is_err());
     }
 
     /// Design specs re-serialize to identical JSON after a round-trip
