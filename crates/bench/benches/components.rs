@@ -1,6 +1,10 @@
 //! Criterion microbenchmarks for the performance-critical components of the
 //! library: the B+-tree, the lock manager, the cost model, the partitioning
 //! search, and end-to-end transaction execution of two system designs.
+//!
+//! Set `ATRAPOS_BENCH_SMOKE=1` to shrink the measurement budget to a few
+//! milliseconds per benchmark (CI runs this to keep the benches compiling
+//! and executing without paying for stable numbers).
 
 use atrapos_core::{
     choose_scheme, resource_utilization, sync_overhead, KeyDomain, PartitioningScheme,
@@ -156,12 +160,20 @@ fn bench_designs(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full measurement budget by default, a few milliseconds per benchmark
+/// under `ATRAPOS_BENCH_SMOKE`.
+fn config() -> Criterion {
+    let smoke = std::env::var("ATRAPOS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (samples, warm_ms, measure_ms) = if smoke { (5, 5, 20) } else { (20, 300, 2000) };
+    Criterion::default()
+        .sample_size(samples)
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms))
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2));
+    config = config();
     targets = bench_btree,
         bench_lock_manager,
         bench_cost_model_and_search,

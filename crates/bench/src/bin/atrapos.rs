@@ -19,6 +19,7 @@
 //! datasets; `ATRAPOS_REPORT_DIR` moves the JSON/SVG output directory;
 //! `ATRAPOS_THREADS` pins the experiment lab's thread pool.
 
+use atrapos_bench::cli::{self, FlagSpec};
 use atrapos_bench::figures::{
     run_by_id, ABLATION_IDS, ALL_IDS, OVERLOAD_IDS, REPORT_IDS, YCSB_IDS,
 };
@@ -43,6 +44,14 @@ COMMANDS:
   wallclock [--label L] [--threads N] [--smoke]
                             Time the fixed simulator bundle and append the
                             entry to reports/BENCH_wallclock.json.
+  wallclock --check [--tolerance PCT]
+                            Perf-regression gate: compare the last recorded
+                            entry against the most recent earlier entry with
+                            the same host fingerprint, thread count, and
+                            smoke flag; exit 1 if any component's wall_ms or
+                            the total regressed beyond PCT% (default 10).
+                            Passes with a notice when no comparable baseline
+                            exists (e.g. a fresh host).
   sweep [--workload micro|tatp|tpcc|ycsb] [--sockets 1,8]
         [--arrival TPS] [--bound N]
                             Compare the five system designs on a workload.
@@ -96,29 +105,25 @@ fn main() {
 /// `atrapos figures [ids..] [--all] [--only id]`
 fn cmd_figures(args: &[String]) -> Result<(), String> {
     let scale = Scale::from_env();
-    let all = args.iter().any(|a| a == "--all");
+    let parsed = cli::parse(
+        args,
+        &[FlagSpec::switch("--all"), FlagSpec::repeated("--only")],
+        usize::MAX,
+        "atrapos figures [ids..] [--all] [--only id]",
+    )?;
+    let all = parsed.has("--all");
     // `--only <id>` pulls one experiment out of the bundle; it may repeat
     // and combines with positional ids.
-    let mut ids: Vec<String> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--only" => {
-                let id = args
-                    .get(i + 1)
-                    .filter(|a| !a.starts_with('-'))
-                    .ok_or("--only needs an experiment id (e.g. --only ycsb01)")?;
-                ids.push(id.clone());
-                i += 2;
-            }
-            a if !a.starts_with('-') => {
-                ids.push(a.to_string());
-                i += 1;
-            }
-            _ => i += 1,
-        }
+    let mut ids: Vec<String> = parsed
+        .positionals()
+        .iter()
+        .cloned()
+        .chain(parsed.values("--only").iter().map(|s| s.to_string()))
+        .collect();
+    if all && !ids.is_empty() {
+        return Err("--all combines with no explicit experiment ids".to_string());
     }
-    let ids: Vec<String> = if !ids.is_empty() {
+    ids = if !ids.is_empty() {
         ids
     } else if all {
         ALL_IDS
@@ -174,16 +179,21 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
 /// `atrapos sweep [--workload W] [--sockets 1,8] [--arrival TPS] [--bound N]`
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let scale = Scale::from_env();
-    let workload = args
-        .iter()
-        .position(|a| a == "--workload")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("micro");
-    let sockets: Vec<usize> = match args.iter().position(|a| a == "--sockets") {
-        Some(i) => args
-            .get(i + 1)
-            .ok_or("--sockets needs a comma-separated list (e.g. 1,8)")?
+    let parsed = cli::parse(
+        args,
+        &[
+            FlagSpec::value("--workload"),
+            FlagSpec::value("--sockets"),
+            FlagSpec::value("--arrival"),
+            FlagSpec::value("--bound"),
+        ],
+        0,
+        "atrapos sweep [--workload micro|tatp|tpcc|ycsb] [--sockets 1,8] \
+         [--arrival TPS] [--bound N]",
+    )?;
+    let workload = parsed.value("--workload").unwrap_or("micro");
+    let sockets: Vec<usize> = match parsed.value("--sockets") {
+        Some(list) => list
             .split(',')
             .map(|s| {
                 s.trim()
@@ -195,24 +205,24 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => vec![1, scale.max_sockets],
     };
-    let arrival: Option<f64> = match args.iter().position(|a| a == "--arrival") {
-        Some(i) => Some(
-            args.get(i + 1)
-                .and_then(|a| a.parse::<f64>().ok())
+    let arrival: Option<f64> = match parsed.value("--arrival") {
+        Some(a) => Some(
+            a.parse::<f64>()
+                .ok()
                 .filter(|r| r.is_finite() && *r > 0.0)
                 .ok_or("--arrival needs a positive rate in TPS (e.g. --arrival 50000)")?,
         ),
         None => None,
     };
-    let bound: u64 = match args.iter().position(|a| a == "--bound") {
-        Some(i) => args
-            .get(i + 1)
-            .and_then(|a| a.parse::<u64>().ok())
+    let bound: u64 = match parsed.value("--bound") {
+        Some(b) => b
+            .parse::<u64>()
+            .ok()
             .filter(|&b| b >= 1)
             .ok_or("--bound needs an admission-queue depth of at least 1")?,
         None => 128,
     };
-    if arrival.is_none() && args.iter().any(|a| a == "--bound") {
+    if arrival.is_none() && parsed.has("--bound") {
         return Err("--bound only applies to open-loop sweeps (add --arrival TPS)".into());
     }
     let open_loop = arrival.map(|rate| (rate, bound));
@@ -224,13 +234,19 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 
 /// `atrapos replay [file.json] [--emit-sample]`
 fn cmd_replay(args: &[String]) -> Result<(), String> {
-    if args.iter().any(|a| a == "--emit-sample") {
+    let parsed = cli::parse(
+        args,
+        &[FlagSpec::switch("--emit-sample")],
+        1,
+        "atrapos replay [file.json] [--emit-sample]",
+    )?;
+    if parsed.has("--emit-sample") {
         println!("{}", serde::json::to_string_pretty(&replay::sample()));
         return Ok(());
     }
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with('-'))
+    let path = parsed
+        .positionals()
+        .first()
         .cloned()
         .unwrap_or_else(|| replay::DEFAULT_REPLAY_PATH.to_string());
     let replay_file = replay::ReplayFile::load(&path)?;
@@ -241,7 +257,13 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 
 /// `atrapos report [--check]`
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let check = args.iter().any(|a| a == "--check");
+    let parsed = cli::parse(
+        args,
+        &[FlagSpec::switch("--check")],
+        0,
+        "atrapos report [--check]",
+    )?;
+    let check = parsed.has("--check");
     let figures = {
         let path = figures_path();
         if !path.exists() {

@@ -1,0 +1,214 @@
+//! Strict argument parsing for the `atrapos` subcommands.
+//!
+//! Every subcommand declares the flags it understands as a [`FlagSpec`]
+//! table and runs its raw argument list through [`parse`].  Anything the
+//! table does not name is an error: `--smok`, `--thread 4`, or a value
+//! flag at the end of the line (`--label` with nothing after it) all used
+//! to be silently ignored, so a typo could run a whole benchmark bundle
+//! with defaults and nobody would notice.  A misspelled flag now aborts
+//! before any work starts, with the subcommand's usage line attached.
+
+/// One flag a subcommand accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The literal flag, including dashes (e.g. `"--threads"`).
+    pub name: &'static str,
+    /// Whether the flag consumes the following argument as its value.
+    pub takes_value: bool,
+    /// Whether the flag may appear more than once (e.g. `--only`).
+    pub repeatable: bool,
+}
+
+impl FlagSpec {
+    /// A boolean flag (`--smoke`).
+    pub const fn switch(name: &'static str) -> Self {
+        Self {
+            name,
+            takes_value: false,
+            repeatable: false,
+        }
+    }
+
+    /// A flag that takes one value (`--label L`).
+    pub const fn value(name: &'static str) -> Self {
+        Self {
+            name,
+            takes_value: true,
+            repeatable: false,
+        }
+    }
+
+    /// A value flag that may repeat (`--only a --only b`).
+    pub const fn repeated(name: &'static str) -> Self {
+        Self {
+            name,
+            takes_value: true,
+            repeatable: true,
+        }
+    }
+}
+
+/// The validated result of [`parse`].
+#[derive(Debug, Default)]
+pub struct ParsedArgs {
+    flags: Vec<(&'static str, Option<String>)>,
+    positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Whether `name` appeared at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The value of `name`, if it appeared (last occurrence wins for
+    /// non-repeatable flags, which [`parse`] limits to one anyway).
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// All values of a repeatable flag, in order of appearance.
+    pub fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
+    /// Positional (non-flag) arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+/// Parse `args` against the accepted `flags`, allowing up to
+/// `max_positionals` non-flag arguments.  Rejects unknown flags, value
+/// flags with a missing value (end of line or another flag where the
+/// value should be), duplicated non-repeatable flags, and excess
+/// positionals; `usage` is appended to every error so the caller's help
+/// text surfaces next to the complaint.
+pub fn parse(
+    args: &[String],
+    flags: &[FlagSpec],
+    max_positionals: usize,
+    usage: &str,
+) -> Result<ParsedArgs, String> {
+    let mut out = ParsedArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with('-') {
+            let spec = flags
+                .iter()
+                .find(|f| f.name == arg)
+                .ok_or_else(|| format!("unknown flag '{arg}'\n\nUSAGE: {usage}"))?;
+            if spec.takes_value {
+                let value = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with('-'))
+                    .ok_or_else(|| format!("flag '{arg}' needs a value\n\nUSAGE: {usage}"))?;
+                if !spec.repeatable && out.has(spec.name) {
+                    return Err(format!(
+                        "flag '{arg}' given more than once\n\nUSAGE: {usage}"
+                    ));
+                }
+                out.flags.push((spec.name, Some(value.clone())));
+                i += 2;
+            } else {
+                if out.has(spec.name) {
+                    return Err(format!(
+                        "flag '{arg}' given more than once\n\nUSAGE: {usage}"
+                    ));
+                }
+                out.flags.push((spec.name, None));
+                i += 1;
+            }
+        } else {
+            if out.positionals.len() >= max_positionals {
+                return Err(format!("unexpected argument '{arg}'\n\nUSAGE: {usage}"));
+            }
+            out.positionals.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    const FLAGS: &[FlagSpec] = &[
+        FlagSpec::switch("--smoke"),
+        FlagSpec::value("--label"),
+        FlagSpec::value("--threads"),
+        FlagSpec::repeated("--only"),
+    ];
+
+    #[test]
+    fn accepts_known_flags_and_values() {
+        let p = parse(
+            &argv(&["--smoke", "--label", "run", "--threads", "2"]),
+            FLAGS,
+            0,
+            "u",
+        )
+        .unwrap();
+        assert!(p.has("--smoke"));
+        assert_eq!(p.value("--label"), Some("run"));
+        assert_eq!(p.value("--threads"), Some("2"));
+        assert!(!p.has("--only"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        // The misspellings that used to be silently ignored.
+        for bad in [["--smok"].as_slice(), &["--thread", "4"], &["-x"]] {
+            let err = parse(&argv(bad), FLAGS, 0, "usage-line").unwrap_err();
+            assert!(err.contains("unknown flag"), "{err}");
+            assert!(err.contains("usage-line"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_value_flag_without_value() {
+        // At the end of the line…
+        let err = parse(&argv(&["--label"]), FLAGS, 0, "u").unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        // …and when another flag sits where the value should be (the old
+        // parser would have taken `--smoke` as the label).
+        let err = parse(&argv(&["--label", "--smoke"]), FLAGS, 0, "u").unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_non_repeatable_flags() {
+        let err = parse(&argv(&["--label", "a", "--label", "b"]), FLAGS, 0, "u").unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        let err = parse(&argv(&["--smoke", "--smoke"]), FLAGS, 0, "u").unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn repeatable_flags_collect_in_order() {
+        let p = parse(&argv(&["--only", "a", "--only", "b"]), FLAGS, 0, "u").unwrap();
+        assert_eq!(p.values("--only"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn positionals_are_bounded() {
+        let p = parse(&argv(&["fig10", "abl04"]), FLAGS, 5, "u").unwrap();
+        assert_eq!(p.positionals(), ["fig10".to_string(), "abl04".to_string()]);
+        let err = parse(&argv(&["fig10"]), FLAGS, 0, "u").unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+}

@@ -4,6 +4,8 @@
 //! ATraPos (ICDE 2014) evaluation on the simulated hardware-Island machine,
 //! behind the single `atrapos` command-line binary.
 //!
+//! * [`cli`] — strict flag parsing shared by every subcommand (unknown
+//!   flags are errors, not silently ignored defaults).
 //! * [`figures`] — one function per experiment (`fig01` … `fig13`, `tab01`,
 //!   `tab02`, the ablations), each returning a serializable
 //!   [`report::FigureResult`] with the same rows or series the paper
@@ -30,6 +32,7 @@
 //! compile and run as doctests under `cargo test`:
 #![doc = include_str!("../../../README.md")]
 
+pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod replay;

@@ -68,6 +68,13 @@ pub enum KeyDistribution {
 /// key; the paper-scale datasets top out at 800 K keys, well below this).
 const MAX_ZIPFIAN_DOMAIN: i64 = 1 << 23;
 
+/// Bucket count of the Zipfian first-level index.  Must be a power of two:
+/// for `u` in `[0, 1)`, `u * 1024.0` only shifts the exponent, so
+/// `(u * 1024.0) as usize` computes `floor(u * B)` *exactly* and the
+/// bucket bounds below bracket the true CDF position without any rounding
+/// slop.  The index stays `u32` because [`MAX_ZIPFIAN_DOMAIN`] < 2^32.
+const ZIPFIAN_INDEX_BUCKETS: usize = 1 << 10;
+
 impl KeyDistribution {
     /// Draw a key head from `[lo, hi)`.
     ///
@@ -116,9 +123,9 @@ impl KeyDistribution {
                     n <= MAX_ZIPFIAN_DOMAIN,
                     "Zipfian CDF table over {n} keys exceeds the {MAX_ZIPFIAN_DOMAIN}-key cap"
                 );
-                SamplerKind::Zipfian {
-                    cdf: zipfian_cdf(n as usize, theta),
-                }
+                let cdf = zipfian_cdf(n as usize, theta);
+                let index = zipfian_index(&cdf);
+                SamplerKind::Zipfian { cdf, index }
             }
             KeyDistribution::Drift {
                 data_fraction,
@@ -162,12 +169,35 @@ fn zipfian_cdf(n: usize, theta: f64) -> Vec<f64> {
     cdf
 }
 
+/// First-level bucket index over a normalized CDF: `index[j]` is the
+/// number of CDF entries `<= j / B` (i.e. `cdf.partition_point(|&c| c <=
+/// j as f64 / B as f64)`), built in one monotone pass.  A draw `u` in
+/// bucket `j = floor(u * B)` then satisfies `index[j] <=
+/// partition_point(c <= u) <= index[j + 1]`, so the per-draw binary
+/// search only has to look inside `cdf[index[j]..index[j + 1]]` — for
+/// heavy skew that window is usually empty or a single entry.
+fn zipfian_index(cdf: &[f64]) -> Vec<u32> {
+    let b = ZIPFIAN_INDEX_BUCKETS;
+    let mut index = Vec::with_capacity(b + 1);
+    let mut i = 0usize;
+    for j in 0..=b {
+        let bound = j as f64 / b as f64;
+        while i < cdf.len() && cdf[i] <= bound {
+            i += 1;
+        }
+        index.push(i as u32);
+    }
+    index
+}
+
 /// A [`KeyDistribution`] instantiated over a fixed domain `[lo, hi)`,
 /// ready to draw keys without allocating.
 ///
 /// Cheap to build for the closed-form distributions; the Zipfian variant
-/// precomputes its CDF table once (O(domain) build, O(log domain) per
-/// draw via binary search), and the drifting variant carries the draw
+/// precomputes its CDF table plus a 1024-bucket first-level index once
+/// (O(domain) build; each draw binary-searches only the CDF slice its
+/// bucket brackets, usually zero or one entry under heavy skew), and the
+/// drifting variant carries the draw
 /// counter that moves its hot window.  Workloads hold one sampler per
 /// distribution and rebuild it only on reconfiguration, never per
 /// transaction.
@@ -183,9 +213,11 @@ enum SamplerKind {
     /// Uniform / hotspot: delegate to the exact closed form (same rng
     /// draw order as [`KeyDistribution::sample`], bit for bit).
     Closed(KeyDistribution),
-    /// Precomputed cumulative distribution over ranks; rank `i` maps to
-    /// key `lo + i`.
-    Zipfian { cdf: Vec<f64> },
+    /// Precomputed cumulative distribution over ranks (rank `i` maps to
+    /// key `lo + i`), plus the first-level bucket index that narrows each
+    /// draw's binary search to a handful of CDF entries (see
+    /// [`zipfian_index`]).
+    Zipfian { cdf: Vec<f64>, index: Vec<u32> },
     /// Rotating hot window, advanced one step per draw.
     Drift {
         data_fraction: f64,
@@ -205,9 +237,16 @@ impl KeySampler {
     pub fn sample(&mut self, rng: &mut SmallRng) -> i64 {
         match &mut self.kind {
             SamplerKind::Closed(d) => d.sample(rng, self.lo, self.hi),
-            SamplerKind::Zipfian { cdf } => {
+            SamplerKind::Zipfian { cdf, index } => {
                 let u = rng.gen_range(0.0f64..1.0);
-                let idx = cdf.partition_point(|&c| c <= u).min(cdf.len() - 1);
+                // `j` is exact (power-of-two bucket count, see
+                // [`ZIPFIAN_INDEX_BUCKETS`]), so the narrowed search
+                // returns bit-identical keys to a full `partition_point`
+                // over the whole CDF.
+                let j = (u * ZIPFIAN_INDEX_BUCKETS as f64) as usize;
+                let lo = index[j] as usize;
+                let hi = index[j + 1] as usize;
+                let idx = (lo + cdf[lo..hi].partition_point(|&c| c <= u)).min(cdf.len() - 1);
                 self.lo + idx as i64
             }
             SamplerKind::Drift {
@@ -317,6 +356,55 @@ mod tests {
         }
         // Rank 1 is the single hottest key.
         assert!(counts[0] > *counts[1..].iter().max().unwrap());
+    }
+
+    #[test]
+    fn zipfian_index_narrows_to_the_same_key_as_a_full_search() {
+        // The bucket index is a pure accelerator: for every draw the
+        // narrowed search must return exactly the rank a full
+        // `partition_point` over the whole CDF would have, including the
+        // degenerate single-key domain and theta = 0 (uniform CDF, where
+        // every bucket window is non-trivial).
+        for (n, theta) in [
+            (1usize, 0.99),
+            (2, 0.99),
+            (50, 0.99),
+            (50, 0.0),
+            (1_000, 0.5),
+            (1_000, 1.2),
+            (100_000, 0.99),
+        ] {
+            let cdf = zipfian_cdf(n, theta);
+            let mut s = KeyDistribution::Zipfian { theta }.sampler(0, n as i64);
+            let mut fast = SmallRng::seed_from_u64(7);
+            let mut slow = SmallRng::seed_from_u64(7);
+            for draw in 0..20_000 {
+                let key = s.sample(&mut fast);
+                let u = slow.gen_range(0.0f64..1.0);
+                let idx = cdf.partition_point(|&c| c <= u).min(cdf.len() - 1);
+                assert_eq!(key, idx as i64, "n={n} theta={theta} draw={draw} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_index_brackets_every_bucket() {
+        for (n, theta) in [(1usize, 0.0), (50, 0.99), (10_000, 0.99)] {
+            let cdf = zipfian_cdf(n, theta);
+            let index = zipfian_index(&cdf);
+            assert_eq!(index.len(), ZIPFIAN_INDEX_BUCKETS + 1);
+            assert_eq!(index[0], 0);
+            for j in 0..ZIPFIAN_INDEX_BUCKETS {
+                assert!(index[j] <= index[j + 1], "index not monotone at {j}");
+                let bound = j as f64 / ZIPFIAN_INDEX_BUCKETS as f64;
+                assert_eq!(
+                    index[j] as usize,
+                    cdf.partition_point(|&c| c <= bound),
+                    "n={n} theta={theta} bucket={j}"
+                );
+            }
+            assert!(index[ZIPFIAN_INDEX_BUCKETS] as usize <= n);
+        }
     }
 
     #[test]

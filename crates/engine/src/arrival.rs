@@ -165,14 +165,19 @@ impl ArrivalProcess {
     /// forward with exponential gaps at the peak rate and accept each
     /// candidate with probability `rate_at(t) / peak`.  Deterministic given
     /// the RNG state; consumes RNG draws independently of engine speed.
+    ///
+    /// The returned time is *strictly* greater than `after_secs`: the gap
+    /// mapping never yields zero (see `exponential_gap`), and adding a
+    /// sub-ulp gap that would vanish in the `f64` addition instead advances
+    /// to the next representable instant.
     pub fn next_arrival_secs(&self, after_secs: f64, rng: &mut SmallRng) -> f64 {
         let peak = self.peak_rate();
         let homogeneous = matches!(self, ArrivalProcess::Poisson { .. });
         let mut t = after_secs;
         loop {
-            // gen_range yields [0, 1); flipping to (0, 1] keeps ln finite.
             let u: f64 = rng.gen_range(0.0..1.0);
-            t += -(1.0 - u).ln() / peak;
+            let candidate = t + exponential_gap(u, peak);
+            t = if candidate > t { candidate } else { next_up(t) };
             if homogeneous {
                 return t;
             }
@@ -182,6 +187,32 @@ impl ArrivalProcess {
             }
         }
     }
+}
+
+/// Map a uniform draw `u ∈ [0, 1)` to a strictly positive exponential
+/// inter-arrival gap with mean `1/peak` seconds.
+///
+/// The natural inversion `-ln(1 - u) / peak` is finite for every `u` the
+/// generator can produce (flipping to `1 - u ∈ (0, 1]` keeps `ln` off the
+/// `ln(0)` pole) — but at `u = 0.0` exactly it returns a *zero* gap,
+/// which broke `next_arrival_secs`'s strictly-after contract.  That one
+/// measure-zero input is remapped to the smallest nonzero draw the
+/// 53-bit generator can produce (`2⁻⁵³`), so the gap distribution is
+/// unchanged everywhere else and every committed experiment reproduces
+/// bit-identically.
+fn exponential_gap(u: f64, peak: f64) -> f64 {
+    // The smallest nonzero value of a 53-bit uniform draw.
+    const MIN_UNIFORM: f64 = 1.0 / (1u64 << 53) as f64;
+    let u = if u > 0.0 { u } else { MIN_UNIFORM };
+    -(1.0 - u).ln() / peak
+}
+
+/// The next representable `f64` above a non-negative finite `t` (virtual
+/// times are non-negative, so incrementing the bit pattern suffices;
+/// `next_up(0.0)` is the smallest positive subnormal).
+fn next_up(t: f64) -> f64 {
+    debug_assert!(t >= 0.0 && t.is_finite());
+    f64::from_bits(t.to_bits() + 1)
 }
 
 #[cfg(test)]
@@ -257,6 +288,48 @@ mod tests {
         let b = draw();
         assert_eq!(a, b, "same seed must give the same arrival sequence");
         assert!(a.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn gap_is_strictly_positive_even_for_a_zero_draw() {
+        // Regression: `gen_range(0.0..1.0)` *can* yield exactly 0.0 (one
+        // u64 pattern in 2⁵³), and the raw inversion -ln(1 - 0)/peak gave
+        // a zero-length gap, violating the strictly-after contract the
+        // strictly-increasing test above asserts.
+        for peak in [1.0, 1e3, 1e6] {
+            assert!(
+                exponential_gap(0.0, peak) > 0.0,
+                "zero draw must still give a positive gap at peak {peak}"
+            );
+            // And the remap only touches u == 0.0: the smallest real draw
+            // maps exactly where it always did.
+            let min_u = 1.0 / (1u64 << 53) as f64;
+            assert_eq!(exponential_gap(0.0, peak), exponential_gap(min_u, peak));
+            assert!(exponential_gap(0.5, peak) > exponential_gap(min_u, peak));
+        }
+    }
+
+    #[test]
+    fn arrivals_stay_strictly_after_even_when_gaps_underflow() {
+        // At a huge `after_secs` every realistic gap is below one ulp, so
+        // naive addition returns `after_secs` unchanged; the guard must
+        // advance to the next representable instant instead.
+        let p = ArrivalProcess::Poisson { rate_tps: 50_000.0 };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let after = 1e18;
+        for _ in 0..100 {
+            let t = p.next_arrival_secs(after, &mut rng);
+            assert!(t > after, "arrival {t} not strictly after {after}");
+        }
+        // The inhomogeneous (thinning) path takes the same guard.
+        let b = ArrivalProcess::Burst {
+            base_tps: 1_000.0,
+            burst_tps: 5_000.0,
+            period_secs: 0.05,
+            burst_fraction: 0.2,
+        };
+        let t = b.next_arrival_secs(after, &mut rng);
+        assert!(t > after);
     }
 
     #[test]

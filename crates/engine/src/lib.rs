@@ -71,7 +71,7 @@ pub use designs::shared_nothing::{SharedNothingDesign, SharedNothingGranularity}
 pub use designs::spec::DesignSpec;
 pub use designs::{DesignStats, IntervalOutcome, SystemDesign};
 pub use executor::{ExecutorConfig, RunStats, TimePoint, VirtualExecutor};
-pub use meta::RunMeta;
+pub use meta::{HostFingerprint, RunMeta};
 pub use scenario::{Scenario, ScenarioEvent, ScenarioOutcome, SegmentStats, TimedEvent};
 pub use sweep::{default_threads, parallel_map, run_sweep, SweepJob, SweepResult};
 pub use workers::WorkerPool;

@@ -66,6 +66,70 @@ impl RunMeta {
     }
 }
 
+/// A fingerprint of the *real* machine a harness process ran on — as
+/// opposed to [`RunMeta`], which describes the *simulated* machine.
+///
+/// Simulated results are host-independent, but wall-clock numbers are
+/// only comparable between runs on the same hardware: the perf-regression
+/// gate (`atrapos wallclock --check`) uses equality of this fingerprint
+/// to decide whether two `BENCH_wallclock.json` entries may be compared
+/// at all.  Detection is best-effort and deterministic for a given host:
+/// OS, architecture, CPU model string (from `/proc/cpuinfo` where
+/// available), and the core count the process can use.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostFingerprint {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// CPU model name, or `"unknown"` where it cannot be read.
+    pub cpu_model: String,
+    /// Cores available to the process (`std::thread::available_parallelism`).
+    pub cpus: usize,
+}
+
+impl HostFingerprint {
+    /// Fingerprint the machine this process is running on.
+    pub fn detect() -> Self {
+        Self {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpu_model: cpu_model(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `linux/x86_64, 8 cpus, Intel(R) Xeon(R) ...`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{}, {} cpu{}, {}",
+            self.os,
+            self.arch,
+            self.cpus,
+            if self.cpus == 1 { "" } else { "s" },
+            self.cpu_model
+        )
+    }
+}
+
+/// The host CPU's model name, read from `/proc/cpuinfo` (Linux); other
+/// platforms report `"unknown"` and rely on OS/arch/core count.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Name a cost model by comparing it against the two built-in presets.
 fn cost_model_label(cost: &CostModel) -> &'static str {
     if *cost == CostModel::westmere() {
@@ -100,6 +164,22 @@ mod tests {
         custom.base_ipc *= 2.0;
         let c = Machine::new(Topology::multisocket(2, 2), custom);
         assert_eq!(RunMeta::of(&c, 7, 1).cost_model, "custom");
+    }
+
+    #[test]
+    fn host_fingerprint_is_stable_and_round_trips() {
+        let a = HostFingerprint::detect();
+        let b = HostFingerprint::detect();
+        // Same process, same host: detection must be deterministic — the
+        // gate's comparability rule is fingerprint equality.
+        assert_eq!(a, b);
+        assert!(!a.os.is_empty() && !a.arch.is_empty());
+        assert!(a.cpus >= 1);
+        assert!(!a.cpu_model.is_empty());
+        let json = serde::json::to_string_pretty(&a);
+        let back: HostFingerprint = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert!(back.summary().contains(&back.os));
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! Regression tests for the `atrapos wallclock --check` perf gate: the
+//! baseline-selection rule, the verdicts, the extended report schema
+//! (old entries without `meta` must keep loading), report-write error
+//! propagation, and the strict wallclock argument parser.
+
+use atrapos_bench::harness::run_meta;
+use atrapos_bench::wallclock::{
+    comparable, gate_last_run, select_baseline, speedup_vs_first, wallclock_path, write_report,
+    ComponentTiming, GateOutcome, WallclockMeta, WallclockReport, WallclockRun, SCHEMA,
+};
+use atrapos_engine::HostFingerprint;
+
+fn host(cpu_model: &str) -> HostFingerprint {
+    HostFingerprint {
+        os: "linux".to_string(),
+        arch: "x86_64".to_string(),
+        cpu_model: cpu_model.to_string(),
+        cpus: 8,
+    }
+}
+
+fn meta(cpu_model: &str) -> WallclockMeta {
+    WallclockMeta {
+        host: host(cpu_model),
+        lab: run_meta(4, 10),
+        source: "test".to_string(),
+    }
+}
+
+/// A synthetic run whose components are `(name, wall_ms)` pairs.
+fn run(
+    label: &str,
+    meta: Option<WallclockMeta>,
+    threads: Option<usize>,
+    smoke: bool,
+    components: &[(&str, f64)],
+) -> WallclockRun {
+    WallclockRun {
+        label: label.to_string(),
+        unix_secs: 1_000_000,
+        smoke,
+        threads,
+        meta,
+        components: components
+            .iter()
+            .map(|(name, ms)| ComponentTiming {
+                name: name.to_string(),
+                wall_ms: *ms,
+                committed: 42,
+            })
+            .collect(),
+        total_ms: components.iter().map(|(_, ms)| ms).sum(),
+        total_committed: 42 * components.len() as u64,
+    }
+}
+
+#[test]
+fn a_regressed_component_fails_the_gate() {
+    let runs = vec![
+        run(
+            "baseline",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 100.0), ("tatp/ATraPos", 100.0)],
+        ),
+        run(
+            "current",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 130.0), ("tatp/ATraPos", 100.0)],
+        ),
+    ];
+    let outcome = gate_last_run(&runs, 10.0).unwrap();
+    assert!(outcome.failed(), "a +30% component must fail at 10%");
+    let GateOutcome::Compared {
+        baseline_label,
+        rows,
+        unmatched,
+    } = outcome
+    else {
+        panic!("expected a comparison")
+    };
+    assert_eq!(baseline_label, "baseline");
+    assert!(unmatched.is_empty());
+    // fig10 regressed; tatp and (since the total is 230 vs 200, +15%) the
+    // TOTAL row both have verdicts of their own.
+    assert!(rows[0].regressed, "fig10 +30% beyond 10%");
+    assert!(!rows[1].regressed, "tatp unchanged");
+    assert_eq!(rows[2].name, "TOTAL");
+    assert!(rows[2].regressed, "total +15% beyond 10%");
+    // A wider tolerance lets the same trajectory through.
+    assert!(!gate_last_run(&runs, 50.0).unwrap().failed());
+}
+
+#[test]
+fn an_improved_run_passes_the_gate() {
+    let runs = vec![
+        run(
+            "baseline",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 100.0)],
+        ),
+        run(
+            "current",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 60.0)],
+        ),
+    ];
+    let outcome = gate_last_run(&runs, 10.0).unwrap();
+    assert!(!outcome.failed(), "a 40% improvement must pass");
+    let GateOutcome::Compared { rows, .. } = outcome else {
+        panic!("expected a comparison")
+    };
+    assert!(rows[0].delta_pct() < -35.0);
+}
+
+#[test]
+fn a_missing_baseline_passes_with_a_notice() {
+    // Sole entry: nothing to compare against.
+    let sole = vec![run(
+        "first",
+        Some(meta("cpu-a")),
+        Some(1),
+        false,
+        &[("fig10/atrapos", 100.0)],
+    )];
+    match gate_last_run(&sole, 10.0).unwrap() {
+        GateOutcome::NoBaseline { reason } => {
+            assert!(reason.contains("no earlier entry"), "got: {reason}")
+        }
+        _ => panic!("sole entry must have no baseline"),
+    }
+    // An empty report is an error, not a pass.
+    assert!(gate_last_run(&[], 10.0).is_err());
+}
+
+#[test]
+fn a_foreign_host_baseline_is_never_selected() {
+    let runs = vec![
+        run(
+            "other-machine",
+            Some(meta("cpu-b")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 10.0)],
+        ),
+        run(
+            "current",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 100.0)],
+        ),
+    ];
+    let outcome = gate_last_run(&runs, 10.0).unwrap();
+    assert!(!outcome.failed(), "a foreign host must not gate this run");
+    match outcome {
+        GateOutcome::NoBaseline { reason } => assert!(
+            reason.contains("no earlier entry was recorded on this host"),
+            "got: {reason}"
+        ),
+        _ => panic!("foreign-host entry must not be a baseline"),
+    }
+}
+
+#[test]
+fn a_thread_count_mismatch_is_rejected_and_explained() {
+    // The CI shape: a --threads 1 smoke entry followed by a --threads 2
+    // smoke entry.  Same host, but the thread counts differ, so the gate
+    // must pass with a notice that names the mismatch.
+    let runs = vec![
+        run(
+            "ci-smoke-t1",
+            Some(meta("cpu-a")),
+            Some(1),
+            true,
+            &[("fig10/atrapos", 100.0)],
+        ),
+        run(
+            "ci-smoke-t2",
+            Some(meta("cpu-a")),
+            Some(2),
+            true,
+            &[("fig10/atrapos", 100.0)],
+        ),
+    ];
+    match gate_last_run(&runs, 10.0).unwrap() {
+        GateOutcome::NoBaseline { reason } => {
+            assert!(reason.contains("thread-count mismatch"), "got: {reason}")
+        }
+        _ => panic!("t1 entry must not gate a t2 run"),
+    }
+}
+
+#[test]
+fn smoke_and_full_runs_never_gate_each_other() {
+    let runs = vec![
+        run(
+            "full",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 1000.0)],
+        ),
+        run(
+            "smoke",
+            Some(meta("cpu-a")),
+            Some(1),
+            true,
+            &[("fig10/atrapos", 10.0)],
+        ),
+    ];
+    match gate_last_run(&runs, 10.0).unwrap() {
+        GateOutcome::NoBaseline { reason } => {
+            assert!(reason.contains("full run"), "got: {reason}")
+        }
+        _ => panic!("a full run must not gate a smoke run"),
+    }
+}
+
+#[test]
+fn baseline_selection_prefers_the_most_recent_comparable_entry() {
+    let old = run(
+        "old",
+        Some(meta("cpu-a")),
+        Some(1),
+        false,
+        &[("fig10/atrapos", 100.0)],
+    );
+    let newer = run(
+        "newer",
+        Some(meta("cpu-a")),
+        Some(1),
+        false,
+        &[("fig10/atrapos", 90.0)],
+    );
+    let unfingerprinted = run("legacy", None, None, false, &[("fig10/atrapos", 80.0)]);
+    let foreign = run(
+        "foreign",
+        Some(meta("cpu-b")),
+        Some(1),
+        false,
+        &[("fig10/atrapos", 70.0)],
+    );
+    let current = run(
+        "current",
+        Some(meta("cpu-a")),
+        Some(1),
+        false,
+        &[("fig10/atrapos", 95.0)],
+    );
+    let pool = vec![old, newer, unfingerprinted, foreign];
+    let selected = select_baseline(&pool, &current).expect("a baseline qualifies");
+    assert_eq!(selected.label, "newer");
+    // Legacy (meta-less) entries are never comparable, in either role.
+    assert!(!comparable(&pool[2], &current));
+    assert!(!comparable(&current, &pool[2]));
+}
+
+#[test]
+fn new_and_vanished_components_are_listed_but_never_fail() {
+    let runs = vec![
+        run(
+            "baseline",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 100.0), ("old/component", 50.0)],
+        ),
+        run(
+            "current",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 100.0), ("ycsb/ATraPos", 50.0)],
+        ),
+    ];
+    let outcome = gate_last_run(&runs, 10.0).unwrap();
+    assert!(!outcome.failed(), "unmatched components must not fail");
+    let GateOutcome::Compared { unmatched, .. } = outcome else {
+        panic!("expected a comparison")
+    };
+    assert_eq!(unmatched.len(), 2);
+    assert!(unmatched[0].contains("ycsb/ATraPos"));
+    assert!(unmatched[1].contains("old/component"));
+}
+
+#[test]
+fn speedup_vs_first_only_spans_comparable_full_runs() {
+    let mk = |label: &str, m: Option<WallclockMeta>, threads, smoke, ms| {
+        run(label, m, threads, smoke, &[("fig10/atrapos", ms)])
+    };
+    // Legacy serial entries plus smoke noise must not leak into the ratio:
+    // only the two cpu-a/t1 full runs count (200 → 100 = 2.0x).
+    let runs = vec![
+        mk("legacy", None, None, false, 400.0),
+        mk(
+            "first-comparable",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            200.0,
+        ),
+        mk("smoke", Some(meta("cpu-a")), Some(1), true, 5.0),
+        mk("foreign", Some(meta("cpu-b")), Some(1), false, 10.0),
+        mk("newest", Some(meta("cpu-a")), Some(1), false, 100.0),
+    ];
+    let s = speedup_vs_first(&runs).expect("two comparable full runs");
+    assert!((s - 2.0).abs() < 1e-9, "got {s}");
+    // With a single comparable full run the ratio is undefined.
+    assert_eq!(speedup_vs_first(&runs[3..]), None);
+    assert_eq!(speedup_vs_first(&[]), None);
+    // All-legacy trajectories (the pre-gate file shape) report null too.
+    assert_eq!(speedup_vs_first(&runs[..1]), None);
+}
+
+#[test]
+fn report_round_trips_through_serde_with_meta() {
+    let report = WallclockReport {
+        schema: SCHEMA.to_string(),
+        runs: vec![run(
+            "entry",
+            Some(meta("cpu-a")),
+            Some(2),
+            false,
+            &[("fig10/atrapos", 123.5)],
+        )],
+        speedup_vs_first: Some(1.25),
+    };
+    let text = serde::json::to_string_pretty(&report);
+    // The extended schema's fields must actually serialize.
+    for key in [
+        "\"meta\"",
+        "\"host\"",
+        "\"cpu_model\"",
+        "\"source\"",
+        "\"threads\"",
+    ] {
+        assert!(text.contains(key), "serialized report lacks {key}");
+    }
+    let back: WallclockReport = serde::json::from_str(&text).unwrap();
+    assert_eq!(back.schema, SCHEMA);
+    assert_eq!(back.runs.len(), 1);
+    let r = &back.runs[0];
+    assert_eq!(r.meta, report.runs[0].meta);
+    assert_eq!(r.threads, Some(2));
+    assert_eq!(r.components[0].name, "fig10/atrapos");
+    assert!((r.components[0].wall_ms - 123.5).abs() < 1e-9);
+    assert_eq!(back.speedup_vs_first, Some(1.25));
+}
+
+#[test]
+fn entries_without_meta_still_load() {
+    // The committed trajectory predates the gate: its entries carry no
+    // `meta` key (and early ones no `threads`).  They must deserialize
+    // with `None` in both fields, not fail.
+    let text = r#"{
+        "schema": "atrapos-wallclock-v1",
+        "runs": [{
+            "label": "pre-refactor",
+            "unix_secs": 1754000000,
+            "smoke": false,
+            "components": [{"name": "fig10/static", "wall_ms": 6500.0, "committed": 2536187}],
+            "total_ms": 6500.0,
+            "total_committed": 2536187
+        }],
+        "speedup_vs_first": null
+    }"#;
+    let report: WallclockReport = serde::json::from_str(text).unwrap();
+    let r = &report.runs[0];
+    assert_eq!(r.meta, None);
+    assert_eq!(r.threads, None);
+    assert_eq!(r.label, "pre-refactor");
+    // And such an entry under test passes the gate with the legacy notice.
+    match gate_last_run(&report.runs, 10.0).unwrap() {
+        GateOutcome::NoBaseline { reason } => {
+            assert!(reason.contains("no host fingerprint"), "got: {reason}")
+        }
+        _ => panic!("legacy entry must have no baseline"),
+    }
+}
+
+#[test]
+fn write_report_propagates_filesystem_errors() {
+    // A regular file where the report *directory* should be: both the
+    // directory creation and the write beneath it must surface as Err,
+    // not an eprintln-and-pass.
+    let clash = std::env::temp_dir().join("atrapos_gate_test_dir_clash");
+    std::fs::write(&clash, b"not a directory").unwrap();
+    let report = WallclockReport {
+        schema: SCHEMA.to_string(),
+        runs: Vec::new(),
+        speedup_vs_first: None,
+    };
+    let err = write_report(&clash, &report).expect_err("writing into a file must fail");
+    assert!(err.contains("atrapos_gate_test_dir_clash"), "got: {err}");
+    std::fs::remove_file(&clash).unwrap();
+}
+
+#[test]
+fn write_report_writes_loadable_json() {
+    let dir = std::env::temp_dir().join("atrapos_gate_test_roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = WallclockReport {
+        schema: SCHEMA.to_string(),
+        runs: vec![run(
+            "entry",
+            Some(meta("cpu-a")),
+            Some(1),
+            false,
+            &[("fig10/atrapos", 1.0)],
+        )],
+        speedup_vs_first: None,
+    };
+    let path = write_report(&dir, &report).unwrap();
+    assert_eq!(path, wallclock_path(&dir));
+    let back = atrapos_bench::wallclock::load_report(&path).unwrap();
+    assert_eq!(back.runs.len(), 1);
+    assert_eq!(back.runs[0].meta, report.runs[0].meta);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn load_report_rejects_corrupt_files() {
+    let dir = std::env::temp_dir().join("atrapos_gate_test_corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = wallclock_path(&dir);
+    std::fs::write(&path, b"{ not json").unwrap();
+    let err = atrapos_bench::wallclock::load_report(&path).expect_err("corrupt file must error");
+    assert!(err.contains("unreadable"), "got: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+    // An absent file, by contrast, is an empty trajectory.
+    let empty = atrapos_bench::wallclock::load_report(&wallclock_path(&dir)).unwrap();
+    assert!(empty.runs.is_empty());
+}
+
+/// The strict argument parser: every malformed invocation from the bug
+/// report must be rejected with a usage message, not silently ignored.
+#[test]
+fn malformed_wallclock_flags_are_rejected() {
+    let reject = |args: &[&str], needle: &str| {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let err = atrapos_bench::wallclock::run(&args).expect_err("must reject");
+        assert!(
+            err.contains(needle),
+            "args {args:?}: expected '{needle}' in: {err}"
+        );
+        assert!(err.contains("USAGE"), "args {args:?}: no usage in: {err}");
+    };
+    reject(&["--smok"], "unknown flag '--smok'");
+    reject(&["--thread", "4"], "unknown flag '--thread'");
+    reject(&["--label"], "flag '--label' needs a value");
+    reject(&["--label", "--smoke"], "flag '--label' needs a value");
+    reject(&["--check", "--smoke"], "does not apply to --check");
+    reject(&["--check", "--tolerance", "nope"], "--tolerance needs");
+    reject(&["--tolerance", "5"], "only applies to --check");
+    reject(&["--threads", "0"], "--threads needs a positive integer");
+    reject(&["--smoke", "--smoke"], "given more than once");
+    reject(&["extra"], "unexpected argument 'extra'");
+}
+
+#[test]
+fn the_committed_trajectory_still_loads_and_gates() {
+    // The real accumulated file in the repo must load under the extended
+    // schema and pass the gate (its own tolerance) — this is exactly what
+    // CI's `atrapos wallclock --check` asserts from the repo root.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")) // crates/bench
+        .join("../../reports/BENCH_wallclock.json");
+    let report = atrapos_bench::wallclock::load_report(&path).unwrap();
+    assert!(
+        report.runs.len() >= 3,
+        "committed trajectory lost entries ({})",
+        report.runs.len()
+    );
+    assert_eq!(report.runs[0].meta, None, "pre-gate entries stay meta-less");
+    let outcome = gate_last_run(&report.runs, 1e9).unwrap();
+    assert!(
+        !outcome.failed(),
+        "committed trajectory must pass an arbitrarily wide gate"
+    );
+}
