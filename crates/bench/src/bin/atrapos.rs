@@ -65,6 +65,16 @@ COMMANDS:
   report [--check]          Render REPRODUCTION.md and reports/figures/*.svg
                             from reports/BENCH_figures.json; --check verifies
                             the committed copies instead of writing.
+  lint [root] [--only rule] [--list-rules]
+                            Static analysis: scan every .rs file for
+                            determinism hazards (std HashMap/HashSet,
+                            wall-clock reads, unseeded RNG in sim-visible
+                            crates) and hot-path allocation regressions.
+                            Findings print as `file:line: rule — message`
+                            and exit nonzero. Default root: the enclosing
+                            cargo workspace. --only <rule> restricts to one
+                            rule (repeatable); --list-rules prints the rule
+                            table.
   help                      Show this message.
 
 ENVIRONMENT:
@@ -87,6 +97,7 @@ fn main() {
         "sweep" => cmd_sweep(rest),
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -347,4 +358,65 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         );
         Ok(())
     }
+}
+
+/// `atrapos lint [root] [--only rule] [--list-rules]`
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let parsed = cli::parse(
+        args,
+        &[
+            FlagSpec::switch("--list-rules"),
+            FlagSpec::repeated("--only"),
+        ],
+        1,
+        "atrapos lint [root] [--only rule] [--list-rules]",
+    )?;
+    if parsed.has("--list-rules") {
+        for rule in atrapos_lint::RULES {
+            println!("{:16} {}", rule.name, rule.summary);
+            println!("{:16}   scope: {}", "", rule.scope);
+        }
+        return Ok(());
+    }
+    let root = match parsed.positionals().first() {
+        Some(p) => Path::new(p).to_path_buf(),
+        None => workspace_root()?,
+    };
+    let only: Vec<String> = parsed
+        .values("--only")
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let findings = atrapos_lint::lint_workspace(&root, &only)?;
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("lint clean ({})", root.display());
+        Ok(())
+    } else {
+        Err(format!(
+            "{} lint finding(s); waive intentional ones with \
+             `// lint: allow(<rule>) — <reason>`",
+            findings.len()
+        ))
+    }
+}
+
+/// The enclosing cargo workspace root: the nearest ancestor of the
+/// current directory whose `Cargo.toml` declares `[workspace]`.
+fn workspace_root() -> Result<std::path::PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+    }
+    Err(format!(
+        "no workspace root found above {} (pass the root explicitly: `atrapos lint <root>`)",
+        start.display()
+    ))
 }

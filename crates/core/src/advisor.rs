@@ -33,7 +33,7 @@ use crate::stats::{SubPartitionId, WorkloadStats};
 use atrapos_numa::Topology;
 use atrapos_storage::TableId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Cost parameters of the shared-nothing variant of the ATraPos model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -289,7 +289,7 @@ fn instance_of(plan: &ShardingPlan, sub: &SubPartitionId) -> usize {
 pub fn estimate_migration_bytes(
     old: &ShardingPlan,
     new: &ShardingPlan,
-    bytes_per_sub: &HashMap<TableId, u64>,
+    bytes_per_sub: &BTreeMap<TableId, u64>,
 ) -> u64 {
     let mut moved = 0u64;
     for table in new.tables() {
@@ -524,7 +524,7 @@ mod tests {
         let mut new = old.clone();
         new.assign(TableId(0), 0, 3);
         new.assign(TableId(1), 7, 0);
-        let bytes: HashMap<TableId, u64> = [(TableId(0), 1_000), (TableId(1), 2_000)]
+        let bytes: BTreeMap<TableId, u64> = [(TableId(0), 1_000), (TableId(1), 2_000)]
             .into_iter()
             .collect();
         assert_eq!(estimate_migration_bytes(&old, &old, &bytes), 0);

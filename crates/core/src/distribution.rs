@@ -234,6 +234,8 @@ impl KeySampler {
     }
 
     /// Draw one key head from the domain.  Never allocates.
+    // Called several times per generated action by every workload.
+    // lint: hot-path
     pub fn sample(&mut self, rng: &mut SmallRng) -> i64 {
         match &mut self.kind {
             SamplerKind::Closed(d) => d.sample(rng, self.lo, self.hi),

@@ -15,7 +15,6 @@ use atrapos_numa::Topology;
 use atrapos_storage::{Database, Key, StorageResult, TableId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
 
 /// One repartitioning action.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,9 +82,6 @@ pub struct RepartitionStats {
     pub records_moved: usize,
     /// Partition memory-node reassignments.
     pub reassignments: usize,
-    /// Wall-clock duration of the batch.
-    #[serde(skip)]
-    pub duration: Duration,
 }
 
 /// Compute the action batch that transforms the partition boundaries of
@@ -165,7 +161,6 @@ pub fn apply_plan(
     new_scheme: &PartitioningScheme,
     topo: &Topology,
 ) -> StorageResult<RepartitionStats> {
-    let start = Instant::now();
     let mut stats = RepartitionStats::default();
     for action in &plan.actions {
         match action {
@@ -211,7 +206,6 @@ pub fn apply_plan(
             }
         }
     }
-    stats.duration = start.elapsed();
     Ok(stats)
 }
 

@@ -332,6 +332,10 @@ impl SystemDesign for AtraposDesign {
         &self.name
     }
 
+    // Per-transaction path: scratch state (`phase_sockets`, `prev_sockets`,
+    // `pending_syncs`, `action_txn`) is reused across calls, so a steady
+    // run allocates nothing here.
+    // lint: hot-path
     fn execute(
         &mut self,
         machine: &mut Machine,

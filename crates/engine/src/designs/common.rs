@@ -19,6 +19,8 @@ pub const LOG_BYTES_PER_ROW: u64 = 120;
 /// Execute the storage part of an action against `db`, charging costs to
 /// `ctx`.  Returns the approximate number of payload bytes the action
 /// touched (used for synchronization-point sizing).
+// Called once per action by every design's execute loop.
+// lint: hot-path
 pub fn storage_op(ctx: &mut SimCtx<'_>, db: &mut Database, action: &Action) -> StorageResult<u64> {
     ctx.work(Component::XctExecution, action.extra_instructions);
     match &action.op {
@@ -63,6 +65,7 @@ pub fn storage_op(ctx: &mut SimCtx<'_>, db: &mut Database, action: &Action) -> S
         ActionOp::Insert { table, record } => {
             let t = db.table_mut(*table)?;
             let bytes = record.size_bytes();
+            // lint: allow(hot-path-alloc) — the table must own the inserted record; the spec keeps its copy for replay
             t.insert(ctx, record.clone())?;
             Ok(bytes.max(LOG_BYTES_PER_ROW))
         }
@@ -76,6 +79,8 @@ pub fn storage_op(ctx: &mut SimCtx<'_>, db: &mut Database, action: &Action) -> S
 
 /// Acquire the hierarchical locks an action needs (table intention lock +
 /// record lock) from `lm` on behalf of `txn`.
+// Called once per action by every design's execute loop.
+// lint: hot-path
 pub fn acquire_action_locks(
     ctx: &mut SimCtx<'_>,
     lm: &mut LockManager,
@@ -93,10 +98,11 @@ pub fn acquire_action_locks(
         ActionOp::Read { key, .. }
         | ActionOp::Update { key, .. }
         | ActionOp::Increment { key, .. }
+        // lint: allow(hot-path-alloc) — Key stores up to four ints inline; this clone copies no heap
         | ActionOp::Delete { key, .. } => Some(key.clone()),
         ActionOp::Insert { record, .. } => {
             // Lock the to-be-inserted key (next-key locking is out of scope).
-            Some(atrapos_storage::Key::int(action.op.routing_key_head()).clone())
+            Some(atrapos_storage::Key::int(action.op.routing_key_head()))
                 .filter(|_| record.arity() > 0)
         }
         ActionOp::ReadRange { .. } => None, // covered by the table lock

@@ -253,6 +253,10 @@ impl SystemDesign for SharedNothingDesign {
         }
     }
 
+    // Per-transaction path.  The single-site fast path is allocation-free;
+    // the waived allocations below only run for distributed transactions
+    // (the 2PC slow path, a few percent of any sane workload).
+    // lint: hot-path
     fn execute(
         &mut self,
         machine: &mut Machine,
@@ -295,6 +299,7 @@ impl SystemDesign for SharedNothingDesign {
         branches.insert(home, Txn::begin(txn_id));
 
         let mut ctx = machine.ctx(client, start);
+        // lint: allow(hot-path-alloc) — 2PC slow path only; empty Vec::new does not touch the heap until a remote participant appears
         let mut remote_tallies: Vec<(CoreId, Tally)> = Vec::new();
         ctx.work(Component::XctManagement, BEGIN_INSTRUCTIONS);
         if home != client_instance {
@@ -385,6 +390,7 @@ impl SystemDesign for SharedNothingDesign {
         // Commit: local transactions use the local log; multi-site
         // transactions run two-phase commit.
         ctx.work(Component::XctManagement, COMMIT_INSTRUCTIONS);
+        // lint: allow(hot-path-alloc) — collects to an empty Vec for single-site txns, so the fast path never touches the heap
         let participants: Vec<usize> = branches.keys().copied().filter(|&i| i != home).collect();
         let committed = !failed;
         if participants.is_empty() {
@@ -400,6 +406,7 @@ impl SystemDesign for SharedNothingDesign {
             let participant_sockets: Vec<SocketId> = participants
                 .iter()
                 .map(|&i| self.instances[i].socket)
+                // lint: allow(hot-path-alloc) — 2PC slow path only, reached by genuinely distributed transactions
                 .collect();
             let abort_vote = if failed { Some(0) } else { None };
             let home_inst = &mut self.instances[home];

@@ -615,7 +615,10 @@ impl VirtualExecutor {
         };
 
         // Keep picking the next client ready to submit until no client is
-        // active or the segment ends.
+        // active or the segment ends.  The loop body is the per-transaction
+        // path made allocation-free in PR 2 (spec buffers are reused);
+        // the marker makes the lint keep it that way.
+        // lint: hot-path
         while let Some((ci, t)) = self
             .clients
             .iter()
@@ -697,6 +700,9 @@ impl VirtualExecutor {
         ol.rejected = 0;
         ol.depth_max = depth_start;
 
+        // Allocation-free per-transaction serving loop, like the closed
+        // loop above.
+        // lint: hot-path
         while let Some((ci, t)) = self
             .clients
             .iter()

@@ -106,6 +106,11 @@ pub fn run_sweep(jobs: Vec<SweepJob>, threads: usize) -> Vec<SweepResult> {
     parallel_map(jobs, threads, |job| {
         let name = job.name.clone();
         let (scenario, mut ex) = job.into_executor();
+        // Harness-side instrumentation: `wall_ms` reports how long the host
+        // took to run the job, never feeds the simulation, and is excluded
+        // from all determinism comparisons (see tests/sweep_determinism.rs).
+        #[allow(clippy::disallowed_methods)]
+        // lint: allow(wall-clock) — host wall time of a finished job report, outside the simulated timeline
         let start = std::time::Instant::now();
         let outcome = ex.run_scenario(&scenario);
         SweepResult {

@@ -1,0 +1,331 @@
+//! A minimal Rust *surface* lexer: classify every byte of a source file as
+//! code, comment, or literal, without parsing.
+//!
+//! The scanner in [`crate::scan`] only needs two views of a file:
+//!
+//! * the **blanked code** — the original text with every comment and every
+//!   string/char literal body replaced by spaces (newlines preserved), so
+//!   that token searches, brace matching, and generic-argument counting
+//!   can run on plain bytes without being fooled by `"HashMap::new"` in a
+//!   string or `// Instant::now` in a comment;
+//! * the **line comments** — position + text of every `//` comment, which
+//!   is where lint directives (`// lint: hot-path`, `// lint: allow(..)`)
+//!   live.  Block comments and doc comments are blanked but not reported:
+//!   directives must be line comments, so prose *about* a directive in a
+//!   doc comment never acts as one.
+//!
+//! Handled literal forms: `"…"` with escapes, `r"…"`/`r#"…"#` raw strings
+//! (any hash depth), byte strings `b"…"`/`br#"…"#`, char and byte-char
+//! literals with escapes, lifetimes (`'a` is *not* a char literal), raw
+//! identifiers (`r#match`), and nested block comments.
+
+/// One `//` line comment.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the leading `/`.
+    pub start: usize,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Text after the `//`, untrimmed (doc-comment sigils `/`/`!` kept, so
+    /// callers can tell `///` and `//!` apart from plain comments).
+    pub text: String,
+}
+
+/// The two views of a lexed source file (see the module docs).
+#[derive(Debug)]
+pub struct Lexed {
+    /// The source with comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Every `//` comment, in file order.
+    pub comments: Vec<Comment>,
+    /// Byte offset at which each line starts (`line_starts[0] == 0`).
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// 1-based line number of byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// The blanked text of 1-based line `line` (without the newline), or
+    /// `""` past the end of the file.
+    pub fn code_line(&self, line: usize) -> &str {
+        let Some(&start) = self.line_starts.get(line - 1) else {
+            return "";
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e - 1)
+            .unwrap_or(self.code.len());
+        &self.code[start..end.max(start)]
+    }
+}
+
+/// Is `b` part of an identifier?
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into its blanked-code + comment views.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut code: Vec<u8> = b.to_vec();
+    let mut comments = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |pos: usize| line_starts.partition_point(|&s| s <= pos);
+
+    // Blank `lo..hi`, preserving newlines so line numbers survive.
+    let blank = |code: &mut Vec<u8>, lo: usize, hi: usize| {
+        for slot in code[lo..hi].iter_mut() {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        let at_ident_boundary = i == 0 || !is_ident_byte(b[i - 1]);
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                let mut j = i + 2;
+                while j < n && b[j] != b'\n' {
+                    j += 1;
+                }
+                comments.push(Comment {
+                    start,
+                    line: line_of(start),
+                    text: src[start + 2..j].to_string(),
+                });
+                blank(&mut code, start, j);
+                i = j;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comments nest in Rust.
+                let start = i;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if j + 1 < n && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut code, start, j);
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(b, i, /* raw_hashes */ None, &mut code, &blank);
+            }
+            b'r' | b'b' if at_ident_boundary => {
+                // Possible literal prefix: r", r#", b", br", b', r#ident.
+                if let Some((body_start, hashes)) = raw_string_start(b, i) {
+                    i = skip_string(b, body_start, Some(hashes), &mut code, &blank);
+                } else if b[i] == b'b' && i + 1 < n && b[i + 1] == b'"' {
+                    i = skip_string(b, i + 1, None, &mut code, &blank);
+                } else if b[i] == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+                    i = skip_char(b, i + 1, &mut code, &blank);
+                } else if b[i] == b'r' && i + 1 < n && b[i + 1] == b'#' {
+                    // Raw identifier `r#match`: skip the sigil so the `#`
+                    // is never mistaken for anything else.
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i = skip_char(b, i, &mut code, &blank);
+            }
+            _ => i += 1,
+        }
+    }
+
+    Lexed {
+        code: String::from_utf8(code).expect("blanking only rewrites ASCII bytes"),
+        comments,
+        line_starts,
+    }
+}
+
+/// If `b[i..]` starts a raw (byte) string `r"`/`r#"`/`br##"`, return the
+/// offset of its opening quote and the hash count.
+fn raw_string_start(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j < b.len() && b[j] == b'"').then_some((j, hashes))
+}
+
+/// Skip (and blank) a string literal whose opening quote is at `i`.
+/// `raw_hashes` is `Some(h)` for raw strings (no escapes, closed by
+/// `"` + `h` hashes).  Returns the offset just past the literal.
+fn skip_string(
+    b: &[u8],
+    i: usize,
+    raw_hashes: Option<usize>,
+    code: &mut Vec<u8>,
+    blank: &dyn Fn(&mut Vec<u8>, usize, usize),
+) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    match raw_hashes {
+        Some(h) => {
+            while j < n {
+                if b[j] == b'"' && b[j + 1..].iter().take(h).filter(|&&c| c == b'#').count() == h {
+                    j += 1 + h;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        None => {
+            while j < n {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+        }
+    }
+    let j = j.min(n);
+    blank(code, i, j);
+    j
+}
+
+/// Skip a `'`-introduced token at `i`: a char literal (blanked) or a
+/// lifetime (left in the code).  Returns the offset to resume at.
+fn skip_char(
+    b: &[u8],
+    i: usize,
+    code: &mut Vec<u8>,
+    blank: &dyn Fn(&mut Vec<u8>, usize, usize),
+) -> usize {
+    let n = b.len();
+    // `'\...'` is always a char literal.
+    if i + 1 < n && b[i + 1] == b'\\' {
+        let mut j = i + 2;
+        while j < n && b[j] != b'\'' {
+            j += 1;
+        }
+        let j = (j + 1).min(n);
+        blank(code, i, j);
+        return j;
+    }
+    // `'x'` (any single char, possibly multi-byte) is a char literal;
+    // `'a` followed by anything else is a lifetime (or a loop label).
+    if i + 1 < n {
+        let ch_len = utf8_len(b[i + 1]);
+        let close = i + 1 + ch_len;
+        if close < n && b[close] == b'\'' {
+            // A lifetime can still look like `'a'` in `x: &'a 'b`? No —
+            // but `'a'` where `a` could be a lifetime only arises as a
+            // char literal in real token streams.
+            blank(code, i, close + 1);
+            return close + 1;
+        }
+    }
+    i + 1
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"HashMap::new\"; // Instant::now\nlet b = 1;";
+        let l = lex(src);
+        assert!(!l.code.contains("HashMap"));
+        assert!(!l.code.contains("Instant"));
+        assert!(l.code.contains("let a ="));
+        assert!(l.code.contains("let b = 1;"));
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].text, " Instant::now");
+        assert_eq!(l.comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* a /* b */ c */ let x = r#\"quote \" inside\"#; let y = 2;";
+        let l = lex(src);
+        assert!(!l.code.contains("inside"));
+        assert!(l.code.contains("let x ="));
+        assert!(l.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '{'; let d = '\\''; c }";
+        let l = lex(src);
+        // The brace inside the char literal must be blanked, the lifetime
+        // must survive untouched.
+        assert!(l.code.contains("<'a>"));
+        assert!(l.code.contains("&'a str"));
+        assert_eq!(l.code.matches('{').count(), 1);
+        assert_eq!(l.code.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_identifiers() {
+        let src = "let a = b\"bytes{\"; let b = br#\"raw{\"#; let r#match = b'{';";
+        let l = lex(src);
+        assert!(!l.code.contains('{'));
+        assert!(l.code.contains("r#match") || l.code.contains("match"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let src = "a\nb\nc // hi\nd";
+        let l = lex(src);
+        assert_eq!(l.comments[0].line, 3);
+        assert_eq!(l.line_of(0), 1);
+        assert_eq!(l.line_of(2), 2);
+        assert_eq!(l.code_line(4), "d");
+    }
+
+    #[test]
+    fn multiline_strings_preserve_line_structure() {
+        let src = "let s = \"first\nsecond\";\nlet t = 3;";
+        let l = lex(src);
+        assert_eq!(l.line_of(l.code.find("let t").unwrap()), 3);
+        assert!(!l.code.contains("second"));
+    }
+}

@@ -14,7 +14,6 @@ use crate::lock::{LockId, LockMode};
 use crate::txn::{Txn, TxnId};
 use atrapos_numa::{Component, ContendedLine, Cycles, SimCtx, SocketId, WaitMode};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// A fast, deterministic multiply-xor hasher (FxHash-style) for the lock
@@ -84,6 +83,12 @@ impl Hasher for FxHasher64 {
 
 type FxBuild = BuildHasherDefault<FxHasher64>;
 
+/// A hash map with the deterministic [`FxHasher64`]: the hasher is fixed
+/// (not randomly seeded), so this type is exempt from the workspace-wide
+/// `HashMap` ban — every instance hashes identically in every process.
+#[allow(clippy::disallowed_types)]
+type FxMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
+
 /// Instruction cost of a lock-table probe + queue manipulation.
 const LOCK_TABLE_WORK: u64 = 120;
 /// Instruction cost of releasing one lock.
@@ -113,7 +118,7 @@ struct LockEntry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Bucket {
     latch: ContendedLine,
-    entries: HashMap<LockId, LockEntry, FxBuild>,
+    entries: FxMap<LockId, LockEntry>,
 }
 
 /// A lock manager instance.
@@ -140,7 +145,7 @@ impl LockManager {
         let buckets = (0..n_buckets)
             .map(|i| Bucket {
                 latch: ContendedLine::new(SocketId((i % n_sockets.max(1)) as u16)),
-                entries: HashMap::default(),
+                entries: FxMap::default(),
             })
             .collect();
         Self {
@@ -158,7 +163,7 @@ impl LockManager {
             kind: LockManagerKind::PartitionLocal,
             buckets: vec![Bucket {
                 latch: ContendedLine::new(home),
-                entries: HashMap::default(),
+                entries: FxMap::default(),
             }],
             wait_mode: WaitMode::Stall,
             acquisitions: 0,

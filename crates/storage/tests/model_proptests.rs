@@ -17,7 +17,12 @@ use atrapos_storage::{
     BTree, Key, LockId, LockManager, LockMode, Record, TableId, Txn, TxnId, Value,
 };
 use proptest::prelude::*;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+// `LockId` has no `Ord` impl, so the oracle's holder table must stay a
+// hash map; the oracle only does keyed access and sorts before comparing,
+// so iteration order never reaches an assertion.
+#[allow(clippy::disallowed_types)]
+use std::collections::HashMap;
 
 fn record_for(key: i64, payload: i64) -> Record {
     Record::new(vec![Value::Int(key), Value::Int(payload)])
@@ -110,6 +115,7 @@ proptest! {
 /// per transaction its grant list in acquisition order.
 #[derive(Debug, Default)]
 struct LockOracle {
+    #[allow(clippy::disallowed_types)]
     holders: HashMap<LockId, Vec<(TxnId, LockMode)>>,
     held: BTreeMap<TxnId, Vec<(LockId, LockMode)>>,
 }

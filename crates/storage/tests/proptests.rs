@@ -289,7 +289,7 @@ proptest! {
         };
         // The latest virtual time at which a key was released with write
         // intent, to check serialization below.
-        let mut write_release: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+        let mut write_release: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
         for (i, requests) in txn_requests.iter().enumerate() {
             let mut txn = Txn::begin(TxnId(i as u64 + 1));
             // Every transaction starts at virtual time 0: conflicts with the

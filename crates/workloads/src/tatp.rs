@@ -517,7 +517,7 @@ mod tests {
     fn standard_mix_generates_all_classes() {
         let mut w = small();
         let mut rng = SmallRng::seed_from_u64(7);
-        let mut classes = std::collections::HashSet::new();
+        let mut classes = std::collections::BTreeSet::new();
         for _ in 0..500 {
             let spec = w.next_transaction(&mut rng, CoreId(0));
             classes.insert(spec.class);

@@ -21,7 +21,7 @@ use atrapos_numa::CoreId;
 use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::generator::Mix;
 
@@ -133,12 +133,16 @@ impl TpccConfig {
 pub struct Tpcc {
     config: TpccConfig,
     mix: Mix<TpccTxn>,
-    /// Next order id per (warehouse, district).
-    next_o_id: HashMap<(i64, i64), i64>,
+    /// Next order id per (warehouse, district).  `BTreeMap` rather than a
+    /// std `HashMap` for all three: the generator state is sim-visible,
+    /// and an ordered map can never leak hash-iteration nondeterminism
+    /// into the spec stream (access here is keyed-only, but the ordered
+    /// type makes that safe by construction — see `atrapos lint`).
+    next_o_id: BTreeMap<(i64, i64), i64>,
     /// Oldest undelivered order per (warehouse, district).
-    undelivered: HashMap<(i64, i64), i64>,
+    undelivered: BTreeMap<(i64, i64), i64>,
     /// Next history sequence number per (warehouse, district).
-    next_h_seq: HashMap<(i64, i64), i64>,
+    next_h_seq: BTreeMap<(i64, i64), i64>,
     /// Reusable `(item, supply warehouse)` buffer for NewOrder generation.
     item_scratch: Vec<(i64, i64)>,
 }
@@ -146,9 +150,9 @@ pub struct Tpcc {
 impl Tpcc {
     /// Build the workload with the standard mix.
     pub fn new(config: TpccConfig) -> Self {
-        let mut next_o_id = HashMap::new();
-        let mut undelivered = HashMap::new();
-        let mut next_h_seq = HashMap::new();
+        let mut next_o_id = BTreeMap::new();
+        let mut undelivered = BTreeMap::new();
+        let mut next_h_seq = BTreeMap::new();
         for w in 1..=config.warehouses {
             for d in 1..=config.districts_per_warehouse {
                 next_o_id.insert((w, d), config.initial_orders_per_district + 1);
@@ -858,7 +862,7 @@ mod tests {
         let mut w = tiny();
         w.set_single(TpccTxn::NewOrder);
         let mut rng = SmallRng::seed_from_u64(2);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             let spec = w.next_transaction(&mut rng, CoreId(0));
             // The ORDER insert carries (w, d, o_id).
@@ -912,11 +916,44 @@ mod tests {
         assert_eq!(delete_count, 12);
     }
 
+    /// FNV-1a over the debug rendering of a seeded spec stream: every
+    /// key, record value, phase boundary, and class label feeds the hash,
+    /// so any behavioural change to generation moves it.
+    fn spec_stream_digest(w: &mut Tpcc, seed: u64, n: usize) -> u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..n {
+            let spec = w.next_transaction(&mut rng, CoreId((i % 4) as u32));
+            for b in format!("{spec:?}").bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Pins the generated transaction stream across the internal-map
+    /// change from std `HashMap` to `BTreeMap`: the order-id, delivery,
+    /// and history-sequence state is keyed-access only, so the container
+    /// swap must not move a single byte of any spec.  The constant was
+    /// captured from the `HashMap`-based generator.
+    #[test]
+    fn spec_stream_is_bit_identical_across_map_swap() {
+        let mut w = tiny();
+        assert_eq!(spec_stream_digest(&mut w, 42, 300), DIGEST_BEFORE_SWAP);
+        // State carries across calls (order ids advanced, deliveries
+        // consumed), so a second stream from the same workload has its
+        // own pinned value.
+        assert_eq!(spec_stream_digest(&mut w, 43, 300), DIGEST_AFTER_CARRYOVER);
+    }
+
+    const DIGEST_BEFORE_SWAP: u64 = 9383646677652672317;
+    const DIGEST_AFTER_CARRYOVER: u64 = 8061377527235854923;
+
     #[test]
     fn standard_mix_produces_every_type() {
         let mut w = tiny();
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut classes = std::collections::HashSet::new();
+        let mut classes = std::collections::BTreeSet::new();
         for _ in 0..400 {
             classes.insert(w.next_transaction(&mut rng, CoreId(0)).class);
         }

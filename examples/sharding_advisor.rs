@@ -53,7 +53,7 @@ fn main() {
 
     // 3. How much data would the migration move?  Physical movement is the
     //    dominant repartitioning cost in shared-nothing systems (§VII).
-    let bytes_per_sub: std::collections::HashMap<TableId, u64> = domains
+    let bytes_per_sub: std::collections::BTreeMap<TableId, u64> = domains
         .iter()
         .map(|&(t, d)| (t, (d.width() as u64 / sub_per_table as u64) * 16))
         .collect();
