@@ -21,10 +21,10 @@
 
 use atrapos_bench::cli::{self, FlagSpec};
 use atrapos_bench::figures::{
-    run_by_id, ABLATION_IDS, ALL_IDS, OVERLOAD_IDS, REPORT_IDS, YCSB_IDS,
+    run_by_id, ABLATION_IDS, ALL_IDS, OVERLOAD_IDS, REPORT_IDS, SPEC_IDS, YCSB_IDS,
 };
 use atrapos_bench::report::{figures_path, load_figures, report_dir, save_figures};
-use atrapos_bench::{replay, shootout, wallclock, Scale};
+use atrapos_bench::{replay, shootout, wallclock, workload_cmd, Scale};
 use std::path::Path;
 
 const USAGE: &str = "\
@@ -52,7 +52,18 @@ COMMANDS:
                             the total regressed beyond PCT% (default 10).
                             Passes with a notice when no comparable baseline
                             exists (e.g. a fresh host).
-  sweep [--workload micro|tatp|tpcc|ycsb] [--sockets 1,8]
+  workload check <spec.json>...
+                            Validate declarative WorkloadSpec files: parse,
+                            run the typed structural checks, and print a
+                            summary per spec; exit 1 if any is rejected.
+  workload run <spec.json> [--parity ycsb-a|simple-ab] [--secs S] [--threads N]
+                            Compile a spec and run it across the four
+                            YCSB-family designs, printing per-design
+                            committed/aborted counts and throughput.
+                            --parity re-runs the same jobs with the named
+                            hand-rolled workload and fails unless every
+                            design's outcome is byte-identical.
+  sweep [--workload micro|tatp|tpcc|ycsb|spec:<file.json>] [--sockets 1,8]
         [--arrival TPS] [--bound N]
                             Compare the five system designs on a workload.
                             --arrival switches to open-loop serving at the
@@ -93,6 +104,7 @@ fn main() {
     };
     let result = match command {
         "figures" => cmd_figures(rest),
+        "workload" => workload_cmd::cmd(rest),
         "wallclock" => wallclock::run(rest),
         "sweep" => cmd_sweep(rest),
         "replay" => cmd_replay(rest),
@@ -142,6 +154,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
             .chain(ABLATION_IDS.iter())
             .chain(YCSB_IDS.iter())
             .chain(OVERLOAD_IDS.iter())
+            .chain(SPEC_IDS.iter())
             .map(|s| s.to_string())
             .collect()
     } else {
@@ -155,6 +168,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
             || ABLATION_IDS.contains(&id)
             || YCSB_IDS.contains(&id)
             || OVERLOAD_IDS.contains(&id)
+            || SPEC_IDS.contains(&id)
     };
     if let Some(bad) = ids.iter().find(|id| !known(id)) {
         return Err(format!(
@@ -164,6 +178,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
                 .chain(ABLATION_IDS.iter())
                 .chain(YCSB_IDS.iter())
                 .chain(OVERLOAD_IDS.iter())
+                .chain(SPEC_IDS.iter())
                 .copied()
                 .collect::<Vec<_>>()
                 .join(", ")

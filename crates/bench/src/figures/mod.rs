@@ -5,6 +5,7 @@ pub mod adaptive;
 pub mod motivation;
 pub mod overload;
 pub mod partitioning;
+pub mod specs;
 pub mod standard;
 pub mod ycsb;
 
@@ -29,6 +30,10 @@ pub use overload::{
     OVERLOAD_IDS, OVERLOAD_MULTIPLIERS,
 };
 pub use partitioning::{fig06_placement, fig07_neworder_flowgraph};
+pub use specs::{
+    load_spec, shipped_spec, shipped_specs_dir, spec01_declarative_workloads, spec01_jobs,
+    spec_job, SPEC01_FILES, SPEC_IDS,
+};
 pub use standard::{fig08_standard_benchmarks, tab02_monitoring_overhead};
 pub use ycsb::{
     ycsb01_skew_sweep, ycsb02_drifting_hotspot, ycsb02_jobs, ycsb02_scenario, ycsb02_workload,
@@ -60,6 +65,7 @@ pub const REPORT_IDS: &[&str] = &[
     "ycsb02",
     "overload01",
     "overload02",
+    "spec01",
 ];
 
 /// Run one experiment by id.
@@ -85,6 +91,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<FigureResult> {
         "ycsb02" => Some(ycsb02_drifting_hotspot(scale)),
         "overload01" => Some(overload01_load_sweep(scale)),
         "overload02" => Some(overload02_burst_recovery(scale)),
+        "spec01" => Some(spec01_declarative_workloads(scale)),
         // Ablations (not figures of the paper; see `ablation`).
         other => run_ablation(other, scale),
     }

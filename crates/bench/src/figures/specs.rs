@@ -1,0 +1,210 @@
+//! The declarative-workload experiment (`spec01`) — workloads the paper
+//! never had, expressed purely as data.
+//!
+//! Every row is a shipped `examples/specs/*.json` file compiled by
+//! [`WorkloadSpec::compile`] onto the same sampler + buffer-reuse hot
+//! path as the hand-rolled modules, then run across the four YCSB-family
+//! designs on the 4×4 machine:
+//!
+//! * **secondary-index** — Zipfian point lookups through an index table
+//!   into a base table, mixed with index-maintenance updates that touch
+//!   both tables across a sync point.  The foreign key lets the
+//!   partitioning advisor co-locate index and base partitions.
+//! * **scan-write** — hotspot range scans racing tail inserts and
+//!   uniform single-row updates: the scan/write interference pattern.
+//! * **multi-tenant** — four small per-tenant tables with a heavily
+//!   skewed tenant mix (55/25/15/5), each tenant hammering its own 20%
+//!   hot set.
+//!
+//! The same helpers back the `atrapos workload check|run` subcommand.
+
+use super::ycsb::ycsb_designs;
+use crate::harness::{machine, run_meta, Scale};
+use crate::report::{fmt, FigureResult};
+use atrapos_engine::scenario::Scenario;
+use atrapos_engine::sweep::{default_threads, run_sweep, SweepJob};
+use atrapos_engine::{DesignSpec, ExecutorConfig, RunMeta};
+use atrapos_workloads::spec::{CompiledWorkload, WorkloadSpec};
+use std::path::{Path, PathBuf};
+
+/// The experiment identifiers this module provides.
+pub const SPEC_IDS: &[&str] = &["spec01"];
+
+/// The shipped spec-only workload files behind `spec01`, in row order.
+pub const SPEC01_FILES: &[&str] = &[
+    "secondary_index.json",
+    "scan_write.json",
+    "multi_tenant.json",
+];
+
+/// The provenance record of the spec runs (the 4×4 machine).
+pub(crate) fn spec_meta() -> RunMeta {
+    run_meta(4, 4)
+}
+
+/// The shipped spec directory: `examples/specs/` under the current
+/// directory when run from the workspace root, else resolved relative to
+/// this crate (tests and benches run from `crates/bench`).
+pub fn shipped_specs_dir() -> PathBuf {
+    let local = Path::new("examples/specs");
+    if local.is_dir() {
+        return local.to_path_buf();
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs")
+}
+
+/// Load a spec file (parse only — callers validate or compile next).
+pub fn load_spec(path: &Path) -> Result<WorkloadSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    WorkloadSpec::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Load one shipped `examples/specs/` file by name.
+pub fn shipped_spec(file: &str) -> Result<WorkloadSpec, String> {
+    load_spec(&shipped_specs_dir().join(file))
+}
+
+/// The executor configuration of every spec job — identical to the YCSB
+/// family: fixed seed, the monitoring interval and time-series bucket of
+/// the adaptive figures.
+fn spec_config(scale: &Scale) -> ExecutorConfig {
+    ExecutorConfig {
+        seed: 42,
+        default_interval_secs: scale.interval_min_secs,
+        time_series_bucket_secs: scale.interval_min_secs,
+    }
+}
+
+/// Package one compiled spec workload × design as a lab job on the 4×4
+/// machine.
+pub fn spec_job(
+    name: impl Into<String>,
+    scale: &Scale,
+    workload: CompiledWorkload,
+    design: DesignSpec,
+    scenario: &Scenario,
+) -> SweepJob {
+    SweepJob {
+        name: name.into(),
+        machine: machine(4, 4),
+        design,
+        workload: Box::new(workload),
+        scenario: scenario.clone(),
+        config: spec_config(scale),
+    }
+}
+
+/// The spec01 lab jobs: every shipped spec-only workload × every design,
+/// in table order.
+pub fn spec01_jobs(scale: &Scale) -> Vec<SweepJob> {
+    let designs = ycsb_designs(scale);
+    let scenario = Scenario::new("spec01-declarative", scale.measure_secs);
+    let mut jobs = Vec::new();
+    for file in SPEC01_FILES {
+        let spec = shipped_spec(file).unwrap_or_else(|e| panic!("shipped spec {file}: {e}"));
+        for (label, design) in &designs {
+            let workload = spec
+                .compile()
+                .unwrap_or_else(|e| panic!("shipped spec {file} does not compile: {e}"));
+            jobs.push(spec_job(
+                format!("{}/{label}", spec.name),
+                scale,
+                workload,
+                design.clone(),
+                &scenario,
+            ));
+        }
+    }
+    jobs
+}
+
+/// spec01: throughput of the three spec-only workloads across the four
+/// designs.
+pub fn spec01_declarative_workloads(scale: &Scale) -> FigureResult {
+    let designs = ycsb_designs(scale);
+    let mut header = vec!["workload"];
+    header.extend(designs.iter().map(|(label, _)| *label));
+    let mut fig = FigureResult::new(
+        "spec01",
+        "Declarative spec-only workloads across the designs (KTPS)",
+        header,
+    );
+    let results = run_sweep(spec01_jobs(scale), default_threads());
+    for (file, chunk) in SPEC01_FILES.iter().zip(results.chunks(designs.len())) {
+        let name = chunk[0].name.split('/').next().unwrap_or(file).to_string();
+        let mut row = vec![name];
+        for r in chunk {
+            let outcome = r
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("spec01 job '{}' failed: {e}", r.name));
+            row.push(fmt(outcome.segments[0].stats.throughput_tps / 1e3));
+        }
+        fig.push_row(row);
+    }
+    fig.note(
+        "workloads defined entirely in examples/specs/*.json and compiled onto the \
+         hand-rolled generators' sampler + buffer-reuse hot path; no Rust per workload",
+    );
+    fig.note(
+        "expected shape: the partition-friendly specs (secondary-index with its \
+         co-locatable foreign key, multi-tenant with disjoint per-tenant tables) reward \
+         the partitioned designs, and ATraPos stays at or above PLP on every row",
+    );
+    fig.set_meta(spec_meta());
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_specs_parse_validate_and_compile() {
+        for file in SPEC01_FILES {
+            let spec = shipped_spec(file).unwrap();
+            spec.compile().unwrap_or_else(|e| panic!("{file}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parity_spec_files_match_their_constructors_byte_for_byte() {
+        // The shipped parity files are generated from the Rust
+        // constructors (`cargo run -p atrapos-workloads --example
+        // regen_parity_specs`); a drifted file would silently decouple
+        // the CLI parity check from the in-crate digest tests.
+        for (file, spec) in [
+            ("ycsb_a.json", atrapos_workloads::spec::ycsb_a(25_000)),
+            ("simple_ab.json", atrapos_workloads::spec::simple_ab(10_000)),
+        ] {
+            let path = shipped_specs_dir().join(file);
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(
+                text,
+                spec.to_json() + "\n",
+                "{file} drifted from its constructor; regenerate with \
+                 `cargo run -p atrapos-workloads --example regen_parity_specs`"
+            );
+        }
+    }
+
+    #[test]
+    fn spec01_runs_at_tiny_scale() {
+        let scale = Scale {
+            ycsb_records: 4_000,
+            measure_secs: 0.002,
+            phase_secs: 0.004,
+            interval_min_secs: 0.002,
+            interval_max_secs: 0.008,
+            ..Scale::quick()
+        };
+        let fig = spec01_declarative_workloads(&scale);
+        assert_eq!(fig.rows.len(), SPEC01_FILES.len());
+        for row in &fig.rows {
+            for cell in &row[1..] {
+                assert!(cell.parse::<f64>().unwrap() > 0.0, "empty cell in {row:?}");
+            }
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //!   JSON files.
 //! * [`shootout`] — ad-hoc design sweeps over a workload.
 //! * [`wallclock`] — the simulator's own wall-clock benchmark bundle.
+//! * [`workload_cmd`] — the `atrapos workload check|run` subcommand over
+//!   declarative `WorkloadSpec` JSON files.
 //!
 //! Run `cargo run --release -p atrapos-bench --bin atrapos -- help` for the
 //! CLI surface; `atrapos figures && atrapos report` regenerates the
@@ -39,6 +41,7 @@ pub mod replay;
 pub mod report;
 pub mod shootout;
 pub mod wallclock;
+pub mod workload_cmd;
 
 pub use atrapos_engine::DesignSpec;
 pub use harness::Scale;

@@ -35,24 +35,40 @@ pub fn shootout_designs() -> Vec<DesignSpec> {
 }
 
 /// Build one instance of a named sweep workload, sized for `scale` and the
-/// given core count.
-fn build_workload(name: &str, scale: &Scale, total_cores: usize) -> Option<Box<dyn Workload>> {
+/// given core count.  `spec:<file.json>` loads a declarative
+/// [`WorkloadSpec`](atrapos_workloads::WorkloadSpec) instead of a
+/// hand-rolled module.
+fn build_workload(
+    name: &str,
+    scale: &Scale,
+    total_cores: usize,
+) -> Result<Box<dyn Workload>, String> {
+    if let Some(path) = name.strip_prefix("spec:") {
+        let spec = crate::figures::load_spec(std::path::Path::new(path))?;
+        return spec
+            .compile()
+            .map(|w| Box::new(w) as Box<dyn Workload>)
+            .map_err(|e| format!("{path}: {e}"));
+    }
     match name {
-        "micro" => Some(Box::new(ReadOneRow::partitionable(
+        "micro" => Ok(Box::new(ReadOneRow::partitionable(
             scale.micro_rows,
             total_cores,
             1,
         ))),
-        "tatp" => Some(Box::new(Tatp::new(TatpConfig::scaled(
+        "tatp" => Ok(Box::new(Tatp::new(TatpConfig::scaled(
             scale.tatp_subscribers,
         )))),
-        "tpcc" => Some(Box::new(Tpcc::new(TpccConfig::scaled(
+        "tpcc" => Ok(Box::new(Tpcc::new(TpccConfig::scaled(
             scale.tpcc_warehouses,
         )))),
-        "ycsb" => Some(Box::new(Ycsb::new(
+        "ycsb" => Ok(Box::new(Ycsb::new(
             YcsbConfig::workload_a(scale.ycsb_records).with_distribution(KeyDistribution::Uniform),
         ))),
-        _ => None,
+        other => Err(format!(
+            "unknown workload '{other}' (known: {}, or spec:<file.json>)",
+            SWEEP_WORKLOADS.join(", ")
+        )),
     }
 }
 
@@ -71,13 +87,7 @@ pub fn design_sweep(
     let mut jobs = Vec::new();
     for &sockets in socket_counts {
         for spec in &designs {
-            let workload = build_workload(workload_name, scale, sockets * scale.cores_per_socket)
-                .ok_or_else(|| {
-                format!(
-                    "unknown workload '{workload_name}' (known: {})",
-                    SWEEP_WORKLOADS.join(", ")
-                )
-            })?;
+            let workload = build_workload(workload_name, scale, sockets * scale.cores_per_socket)?;
             let name = format!("{sockets}-socket/{}", spec.label());
             jobs.push(match open_loop {
                 Some((rate_tps, bound)) => SweepJob {

@@ -37,7 +37,7 @@ fn chart_spec(id: &str) -> ChartSpec {
     let (value_cols, y_label): (Option<&'static [usize]>, &'static str) = match id {
         "fig08" => (Some(&[3]), "ATraPos / PLP throughput"),
         "tab02" => (Some(&[1, 2]), "TPS"),
-        "fig10" | "fig11" | "fig12" | "fig13" | "ycsb01" | "ycsb02" | "overload02" => {
+        "fig10" | "fig11" | "fig12" | "fig13" | "ycsb01" | "ycsb02" | "overload02" | "spec01" => {
             (None, "KTPS")
         }
         // The load sweep's chart plots the goodput group; the p99 and

@@ -441,6 +441,45 @@ pub fn assess(fig: &FigureResult) -> Option<Assessment> {
                 ),
             })
         }
+        "spec01" => {
+            // Columns: workload | Centralized | Shared-nothing | PLP |
+            // ATraPos, one row per shipped spec-only workload.  These
+            // workloads exist only as data, so the check is the figure's
+            // promised shape: the compiled engine keeps the adaptive
+            // design's edge — ATraPos at or above PLP (within 3% jitter)
+            // on every row.
+            let n = fig.rows.len();
+            let matched = (0..n)
+                .filter(|&r| {
+                    let plp = fig.num(r, 3).unwrap_or(f64::INFINITY);
+                    let atrapos = fig.num(r, 4).unwrap_or(0.0);
+                    atrapos > 0.0 && atrapos >= 0.97 * plp
+                })
+                .count();
+            let worst_ratio = (0..n)
+                .map(|r| {
+                    let plp = fig.num(r, 3).unwrap_or(0.0);
+                    let atrapos = fig.num(r, 4).unwrap_or(0.0);
+                    if plp > 0.0 {
+                        atrapos / plp
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            Some(Assessment {
+                kind: CheckKind::ReferenceTrend,
+                verdict: Verdict::from_bool(n >= 3 && matched == n),
+                expected: "the declarative engine preserves the design ranking on \
+                           workloads that exist only as spec files: ATraPos matches \
+                           or beats PLP (within 3%) on every spec-only row"
+                    .into(),
+                observed: format!(
+                    "ATraPos matches or beats PLP on {matched} of {n} spec workloads \
+                     (worst ATraPos/PLP ratio {worst_ratio:.2}x)"
+                ),
+            })
+        }
         _ => None,
     }
 }
@@ -660,6 +699,33 @@ mod tests {
         let mut stuck = good;
         stuck[2][3] = "10";
         let a = assess(&fig("overload02", header, stuck)).unwrap();
+        assert_eq!(a.verdict, Verdict::Warn);
+    }
+
+    #[test]
+    fn spec01_requires_atrapos_to_match_plp_on_every_spec_row() {
+        let header = vec![
+            "workload",
+            "Centralized",
+            "Shared-nothing",
+            "PLP",
+            "ATraPos",
+        ];
+        let good = vec![
+            vec!["secondary-index", "10", "30", "40", "41"],
+            vec!["scan-write", "8", "20", "25", "24.5"],
+            vec!["multi-tenant", "9", "28", "35", "44"],
+        ];
+        let a = assess(&fig("spec01", header.clone(), good.clone())).unwrap();
+        assert_eq!(a.verdict, Verdict::Pass);
+        assert_eq!(a.kind, CheckKind::ReferenceTrend);
+        // One row where ATraPos clearly trails PLP is a warn…
+        let mut bad = good.clone();
+        bad[1][4] = "20";
+        let a = assess(&fig("spec01", header.clone(), bad)).unwrap();
+        assert_eq!(a.verdict, Verdict::Warn);
+        // …and so is a truncated table (fewer than the three shipped specs).
+        let a = assess(&fig("spec01", header, good[..2].to_vec())).unwrap();
         assert_eq!(a.verdict, Verdict::Warn);
     }
 

@@ -1,0 +1,24 @@
+//! Regenerate the shipped parity spec files from their Rust
+//! constructors, so `examples/specs/ycsb_a.json` and
+//! `examples/specs/simple_ab.json` stay byte-equal to
+//! `spec::ycsb_a(25_000)` / `spec::simple_ab(10_000)`:
+//!
+//! ```text
+//! cargo run -p atrapos-workloads --example regen_parity_specs
+//! ```
+
+use atrapos_workloads::spec::{simple_ab, ycsb_a};
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    std::fs::create_dir_all(&dir).expect("create examples/specs");
+    for (file, spec) in [
+        ("ycsb_a.json", ycsb_a(25_000)),
+        ("simple_ab.json", simple_ab(10_000)),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, spec.to_json() + "\n").expect("write spec file");
+        println!("wrote {}", path.display());
+    }
+}

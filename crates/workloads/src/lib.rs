@@ -17,12 +17,17 @@
 //! * [`ycsb`] — the YCSB workload family (core mixes A–F over one table),
 //!   an extension beyond the paper: Zipfian and continuously drifting
 //!   skew for the adaptive-controller experiments.
+//! * [`spec`] — workloads as data: the declarative [`WorkloadSpec`]
+//!   language, validated at load with typed errors and compiled by
+//!   [`CompiledWorkload`] onto the same precomputed-sampler,
+//!   buffer-reuse hot path the hand-rolled generators use.
 //! * [`generator`] — shared key-distribution helpers (uniform, hotspot,
 //!   Zipfian, and drifting-hotspot skew) and transaction-mix selection.
 
 pub mod generator;
 pub mod micro;
 pub mod simple_ab;
+pub mod spec;
 pub mod tatp;
 pub mod tpcc;
 pub mod ycsb;
@@ -30,6 +35,7 @@ pub mod ycsb;
 pub use generator::{KeyDistribution, KeySampler, Mix};
 pub use micro::{MultiSiteUpdate, ReadManyRows, ReadOneRow};
 pub use simple_ab::SimpleAb;
+pub use spec::{CompiledWorkload, SpecError, WorkloadSpec};
 pub use tatp::{Tatp, TatpConfig, TatpTxn};
 pub use tpcc::{Tpcc, TpccConfig, TpccTxn};
 pub use ycsb::{Ycsb, YcsbConfig, YcsbOp};

@@ -1,0 +1,1599 @@
+//! Workloads as data: the declarative [`WorkloadSpec`] engine.
+//!
+//! Every workload the paper's designs are evaluated on (TATP, TPC-C,
+//! YCSB, SimpleAb) is a hand-written Rust module, so opening a new access
+//! pattern for the partitioning advisor to chase used to mean a
+//! crate-level change.  This module makes workloads *data*: a
+//! serializable [`WorkloadSpec`] describes tables (key domains, record
+//! shapes, optional parent links) and weighted transaction templates over
+//! the existing op vocabulary — read / update / insert / scan / RMW —
+//! with per-argument [`KeyDistribution`]s, and [`WorkloadSpec::compile`]
+//! turns it into a [`CompiledWorkload`] running on exactly the machinery
+//! the hand-rolled generators use:
+//!
+//! * every `Key` argument becomes a precomputed [`KeySampler`] built once
+//!   at compile time, so per-transaction draws never allocate;
+//! * transactions are built through the same
+//!   [`TransactionSpec::refill`] buffer-reuse path as YCSB;
+//! * the template mix is a [`Mix`] over template indices with the same
+//!   cumulative-weight selection the hand-rolled mixes use.
+//!
+//! Because the sampler, mix, and refill layers are shared — and arguments
+//! draw from the rng in declaration order — a spec that transcribes a
+//! hand-rolled workload is *bit-identical* to it: same seed, same
+//! transaction stream, same simulated history.  [`ycsb_a`] and
+//! [`simple_ab`] are shipped transcriptions proven equal to their Rust
+//! originals by digest and full-run parity tests.
+//!
+//! Malformed specs are rejected at load with typed [`SpecError`]s
+//! (zero-weight mixes, dangling table references, out-of-range key
+//! domains, empty tables, unknown ops or arguments), never at run time.
+//!
+//! ```
+//! use atrapos_engine::Workload;
+//! use atrapos_workloads::spec::WorkloadSpec;
+//!
+//! let json = r#"{
+//!   "name": "tiny-reads",
+//!   "tables": [{ "name": "t", "keys": 1000, "sub_rows": 1, "payload_fields": 1 }],
+//!   "templates": [{
+//!     "name": "Read",
+//!     "weight": 1.0,
+//!     "args": [{ "Key": { "name": "k", "table": "t", "distribution": "Uniform" } }],
+//!     "phases": [{ "ops": [{ "Read": { "table": "t", "key": ["k"] } }] }]
+//!   }]
+//! }"#;
+//! let mut w = WorkloadSpec::from_json(json).unwrap().compile().unwrap();
+//! let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(42);
+//! let txn = w.next_transaction(&mut rng, atrapos_numa::CoreId(0));
+//! assert_eq!(txn.class, "Read");
+//! assert_eq!(txn.phases.len(), 1);
+//! ```
+
+use crate::generator::{KeyDistribution, KeySampler, Mix};
+use atrapos_core::KeyDomain;
+use atrapos_engine::workload::{ensure_tables, ReconfigureError, WorkloadChange};
+use atrapos_engine::{Action, ActionOp, TableSpec, TransactionSpec, Workload};
+use atrapos_numa::CoreId;
+use atrapos_storage::{Column, ColumnType, Database, Key, Record, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Largest key domain a `Zipfian` argument may sample (the core layer
+/// materializes one CDF entry per key; see `atrapos_core::distribution`).
+const MAX_ZIPFIAN_KEYS: i64 = 1 << 23;
+
+// ---------------------------------------------------------------------
+// The spec vocabulary
+// ---------------------------------------------------------------------
+
+/// One table of a spec workload.
+///
+/// `keys` head keys make up the domain `[0, keys)`.  With `sub_rows = 1`
+/// the table has a single-column integer primary key and `keys` rows;
+/// with `sub_rows > 1` the primary key is the composite
+/// `(head, sub)` with `sub` in `[0, sub_rows)`, for `keys × sub_rows`
+/// rows — the SimpleAb "B holds N rows per A row" shape.  `parent`
+/// declares that the head key references another table's head key, which
+/// the placement advisor uses to co-locate the correlated partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name (referenced by templates and `parent` links).
+    pub name: String,
+    /// Distinct head keys; the key domain is `[0, keys)`.
+    pub keys: i64,
+    /// Rows per head key (`1` = plain single-column primary key).
+    pub sub_rows: i64,
+    /// Integer payload columns after the key column(s).
+    pub payload_fields: usize,
+    /// Head keys reference this table's head keys (foreign key).
+    pub parent: Option<String>,
+}
+
+/// One drawn argument of a transaction template.  Arguments draw from
+/// the rng **in declaration order**, one draw each — this is how a spec
+/// expresses the exact draw sequence of a hand-rolled generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArgDef {
+    /// A head key of `table`, drawn from `distribution` over the table's
+    /// key domain (compiled to a precomputed [`KeySampler`]).
+    Key {
+        /// Argument name (referenced by ops).
+        name: String,
+        /// The table whose domain is sampled.
+        table: String,
+        /// How the key is drawn.
+        distribution: KeyDistribution,
+    },
+    /// An integer drawn uniformly from `[lo, hi)`.
+    Uniform {
+        /// Argument name (referenced by ops).
+        name: String,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl ArgDef {
+    /// The argument's name.
+    pub fn name(&self) -> &str {
+        match self {
+            ArgDef::Key { name, .. } | ArgDef::Uniform { name, .. } => name,
+        }
+    }
+}
+
+/// One operation of a template phase.  Key references name arguments;
+/// a single-column key is `["k"]`, a composite key `["a", "b"]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpDef {
+    /// Read one record by key.
+    Read {
+        /// Target table.
+        table: String,
+        /// Key argument name(s), matching the table's key arity.
+        key: Vec<String>,
+    },
+    /// Overwrite one field of one record: column index `field` (a
+    /// `Uniform` argument bounded by the table's column count) is set to
+    /// the integer value of argument `value`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Key argument name(s).
+        key: Vec<String>,
+        /// Argument naming the column index to overwrite.
+        field: String,
+        /// Argument providing the new value.
+        value: String,
+    },
+    /// Read the head-key range `[key, key + len)` (at most `len`
+    /// records); `len` is a `Uniform` argument with `lo ≥ 1`.
+    Scan {
+        /// Target table.
+        table: String,
+        /// Argument naming the range start (head key).
+        key: String,
+        /// Argument naming the range length.
+        len: String,
+    },
+    /// Insert a new record at the tail of the keyspace (the per-table
+    /// insert cursor starts at `keys` and grows monotonically, exactly
+    /// like YCSB's tail inserts).  Plain tables only.
+    Insert {
+        /// Target table.
+        table: String,
+    },
+}
+
+/// One phase of a template: its ops run in parallel and synchronize at
+/// the phase boundary.  `sync_bytes` overrides the default
+/// synchronization payload of one cache line (64 B) per op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDef {
+    /// The phase's operations.
+    pub ops: Vec<OpDef>,
+    /// Synchronization payload override (`null` = 64 B per op).
+    pub sync_bytes: Option<u64>,
+}
+
+/// One weighted transaction template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateDef {
+    /// Template name — becomes the transaction class.
+    pub name: String,
+    /// Mix weight (ratios matter, not the sum; `0` excludes the template
+    /// from the standard mix but keeps it addressable by
+    /// `WorkloadChange::SingleTransaction`).
+    pub weight: f64,
+    /// Drawn arguments, in rng draw order.
+    pub args: Vec<ArgDef>,
+    /// Phases in execution order.
+    pub phases: Vec<PhaseDef>,
+}
+
+/// A complete declarative workload: tables plus weighted transaction
+/// templates.  Serializable, validated at load, compiled by
+/// [`WorkloadSpec::compile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (reported by `Workload::name`).
+    pub name: String,
+    /// The tables, in [`TableId`] order.
+    pub tables: Vec<TableDef>,
+    /// The transaction templates.
+    pub templates: Vec<TemplateDef>,
+}
+
+// ---------------------------------------------------------------------
+// Typed validation errors
+// ---------------------------------------------------------------------
+
+/// Why a spec was rejected at load time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The JSON did not parse into the spec vocabulary (including
+    /// unknown op or argument variants).
+    Parse {
+        /// The underlying parse error.
+        message: String,
+    },
+    /// The spec declares no tables.
+    NoTables,
+    /// The spec declares no templates.
+    NoTemplates,
+    /// Two tables share a name.
+    DuplicateTable {
+        /// The repeated name.
+        table: String,
+    },
+    /// A table declares no rows (`keys < 1` or `sub_rows < 1`).
+    EmptyTable {
+        /// The offending table.
+        table: String,
+    },
+    /// A `parent` link or op references a table the spec never declares.
+    UnknownTable {
+        /// Where the dangling reference sits (template or table name).
+        context: String,
+        /// The missing table name.
+        table: String,
+    },
+    /// A child table's key domain exceeds its parent's (its head keys
+    /// could reference rows that do not exist).
+    DomainExceedsParent {
+        /// The child table.
+        table: String,
+        /// Its declared parent.
+        parent: String,
+    },
+    /// A `Zipfian` argument samples a domain too large to materialize.
+    ZipfianDomain {
+        /// The template declaring the argument.
+        template: String,
+        /// The oversized table.
+        table: String,
+    },
+    /// Two templates share a name.
+    DuplicateTemplate {
+        /// The repeated name.
+        template: String,
+    },
+    /// A template weight is negative.
+    NegativeWeight {
+        /// The offending template.
+        template: String,
+    },
+    /// The template weights sum to zero — the mix describes no workload.
+    ZeroWeightSum,
+    /// A template has no phases.
+    EmptyTemplate {
+        /// The offending template.
+        template: String,
+    },
+    /// A phase has no ops.
+    EmptyPhase {
+        /// The offending template.
+        template: String,
+    },
+    /// Two arguments of one template share a name.
+    DuplicateArg {
+        /// The template.
+        template: String,
+        /// The repeated argument name.
+        arg: String,
+    },
+    /// A `Uniform` argument's range `[lo, hi)` is empty.
+    EmptyRange {
+        /// The template.
+        template: String,
+        /// The offending argument.
+        arg: String,
+    },
+    /// An op references an argument the template never declares.
+    UnknownArg {
+        /// The template.
+        template: String,
+        /// The missing argument name.
+        arg: String,
+    },
+    /// An op's key reference does not match the table's key arity.
+    KeyArity {
+        /// The template.
+        template: String,
+        /// The table.
+        table: String,
+        /// The table's key arity (1 or 2).
+        expected: usize,
+        /// The op's key reference length.
+        got: usize,
+    },
+    /// An update's `field` argument is not a `Uniform` bounded inside
+    /// the table's column range.
+    FieldOutOfRange {
+        /// The template.
+        template: String,
+        /// The table.
+        table: String,
+        /// The offending argument.
+        arg: String,
+    },
+    /// A scan's `len` argument is not a `Uniform` with `lo ≥ 1`.
+    BadScanLength {
+        /// The template.
+        template: String,
+        /// The offending argument.
+        arg: String,
+    },
+    /// An insert targets a composite-key (child) table.
+    InsertIntoChild {
+        /// The template.
+        template: String,
+        /// The table.
+        table: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { message } => write!(f, "spec does not parse: {message}"),
+            SpecError::NoTables => write!(f, "spec declares no tables"),
+            SpecError::NoTemplates => write!(f, "spec declares no templates"),
+            SpecError::DuplicateTable { table } => {
+                write!(f, "table '{table}' is declared twice")
+            }
+            SpecError::EmptyTable { table } => {
+                write!(
+                    f,
+                    "table '{table}' is empty (keys and sub_rows must be >= 1)"
+                )
+            }
+            SpecError::UnknownTable { context, table } => {
+                write!(f, "'{context}' references unknown table '{table}'")
+            }
+            SpecError::DomainExceedsParent { table, parent } => write!(
+                f,
+                "table '{table}' has more head keys than its parent '{parent}'"
+            ),
+            SpecError::ZipfianDomain { template, table } => write!(
+                f,
+                "template '{template}': Zipfian argument over table '{table}' \
+                 exceeds the {MAX_ZIPFIAN_KEYS}-key cap"
+            ),
+            SpecError::DuplicateTemplate { template } => {
+                write!(f, "template '{template}' is declared twice")
+            }
+            SpecError::NegativeWeight { template } => {
+                write!(f, "template '{template}' has a negative weight")
+            }
+            SpecError::ZeroWeightSum => {
+                write!(f, "template weights must sum to a positive value")
+            }
+            SpecError::EmptyTemplate { template } => {
+                write!(f, "template '{template}' has no phases")
+            }
+            SpecError::EmptyPhase { template } => {
+                write!(f, "template '{template}' has a phase with no ops")
+            }
+            SpecError::DuplicateArg { template, arg } => {
+                write!(f, "template '{template}' declares argument '{arg}' twice")
+            }
+            SpecError::EmptyRange { template, arg } => write!(
+                f,
+                "template '{template}': argument '{arg}' has an empty range"
+            ),
+            SpecError::UnknownArg { template, arg } => write!(
+                f,
+                "template '{template}' references unknown argument '{arg}'"
+            ),
+            SpecError::KeyArity {
+                template,
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "template '{template}': table '{table}' has a {expected}-column key, \
+                 the op references {got} argument(s)"
+            ),
+            SpecError::FieldOutOfRange {
+                template,
+                table,
+                arg,
+            } => write!(
+                f,
+                "template '{template}': field argument '{arg}' must be a Uniform \
+                 bounded inside table '{table}'s column range"
+            ),
+            SpecError::BadScanLength { template, arg } => write!(
+                f,
+                "template '{template}': scan length '{arg}' must be a Uniform with lo >= 1"
+            ),
+            SpecError::InsertIntoChild { template, table } => write!(
+                f,
+                "template '{template}': cannot insert into composite-key table '{table}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+impl WorkloadSpec {
+    /// Parse a spec from JSON (no validation beyond the vocabulary; call
+    /// [`WorkloadSpec::validate`] or [`WorkloadSpec::compile`] next).
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde::json::from_str(text).map_err(|e| SpecError::Parse {
+            message: e.to_string(),
+        })
+    }
+
+    /// Serialize the spec as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// The index of `name` in the table list.
+    fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// The key arity of table `i` (1, or 2 for composite child tables).
+    fn key_arity(&self, i: usize) -> usize {
+        if self.tables[i].sub_rows > 1 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Total columns of table `i` (key column(s) plus payload fields).
+    fn columns(&self, i: usize) -> usize {
+        self.key_arity(i) + self.tables[i].payload_fields
+    }
+
+    /// Check every structural rule; compiled specs cannot fail at run
+    /// time.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.tables.is_empty() {
+            return Err(SpecError::NoTables);
+        }
+        if self.templates.is_empty() {
+            return Err(SpecError::NoTemplates);
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            if self.tables[..i].iter().any(|o| o.name == t.name) {
+                return Err(SpecError::DuplicateTable {
+                    table: t.name.clone(),
+                });
+            }
+            if t.keys < 1 || t.sub_rows < 1 {
+                return Err(SpecError::EmptyTable {
+                    table: t.name.clone(),
+                });
+            }
+            if let Some(parent) = &t.parent {
+                let p = self
+                    .table_index(parent)
+                    .ok_or_else(|| SpecError::UnknownTable {
+                        context: t.name.clone(),
+                        table: parent.clone(),
+                    })?;
+                if t.keys > self.tables[p].keys {
+                    return Err(SpecError::DomainExceedsParent {
+                        table: t.name.clone(),
+                        parent: parent.clone(),
+                    });
+                }
+            }
+        }
+        let mut total = 0.0f64;
+        for (i, tpl) in self.templates.iter().enumerate() {
+            if self.templates[..i].iter().any(|o| o.name == tpl.name) {
+                return Err(SpecError::DuplicateTemplate {
+                    template: tpl.name.clone(),
+                });
+            }
+            if tpl.weight < 0.0 {
+                return Err(SpecError::NegativeWeight {
+                    template: tpl.name.clone(),
+                });
+            }
+            total += tpl.weight;
+            self.validate_template(tpl)?;
+        }
+        // NaN weights (which slip past the negative check) must also land
+        // here, so test "not strictly positive" rather than `<= 0.0`.
+        if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(SpecError::ZeroWeightSum);
+        }
+        Ok(())
+    }
+
+    fn validate_template(&self, tpl: &TemplateDef) -> Result<(), SpecError> {
+        let name = || tpl.name.clone();
+        if tpl.phases.is_empty() {
+            return Err(SpecError::EmptyTemplate { template: name() });
+        }
+        for (i, arg) in tpl.args.iter().enumerate() {
+            if tpl.args[..i].iter().any(|o| o.name() == arg.name()) {
+                return Err(SpecError::DuplicateArg {
+                    template: name(),
+                    arg: arg.name().to_string(),
+                });
+            }
+            match arg {
+                ArgDef::Key {
+                    table,
+                    distribution,
+                    ..
+                } => {
+                    let t = self
+                        .table_index(table)
+                        .ok_or_else(|| SpecError::UnknownTable {
+                            context: name(),
+                            table: table.clone(),
+                        })?;
+                    if matches!(distribution, KeyDistribution::Zipfian { .. })
+                        && self.tables[t].keys > MAX_ZIPFIAN_KEYS
+                    {
+                        return Err(SpecError::ZipfianDomain {
+                            template: name(),
+                            table: table.clone(),
+                        });
+                    }
+                }
+                ArgDef::Uniform { name: arg, lo, hi } => {
+                    if lo >= hi {
+                        return Err(SpecError::EmptyRange {
+                            template: name(),
+                            arg: arg.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let arg_of = |a: &str| tpl.args.iter().find(|x| x.name() == a);
+        let resolve = |a: &str| {
+            arg_of(a).ok_or_else(|| SpecError::UnknownArg {
+                template: name(),
+                arg: a.to_string(),
+            })
+        };
+        for phase in &tpl.phases {
+            if phase.ops.is_empty() {
+                return Err(SpecError::EmptyPhase { template: name() });
+            }
+            for op in &phase.ops {
+                let table = match op {
+                    OpDef::Read { table, .. }
+                    | OpDef::Update { table, .. }
+                    | OpDef::Scan { table, .. }
+                    | OpDef::Insert { table } => table,
+                };
+                let t = self
+                    .table_index(table)
+                    .ok_or_else(|| SpecError::UnknownTable {
+                        context: name(),
+                        table: table.clone(),
+                    })?;
+                let check_key = |key: &[String]| -> Result<(), SpecError> {
+                    if key.len() != self.key_arity(t) {
+                        return Err(SpecError::KeyArity {
+                            template: name(),
+                            table: table.clone(),
+                            expected: self.key_arity(t),
+                            got: key.len(),
+                        });
+                    }
+                    for a in key {
+                        resolve(a)?;
+                    }
+                    Ok(())
+                };
+                match op {
+                    OpDef::Read { key, .. } => check_key(key)?,
+                    OpDef::Update {
+                        key, field, value, ..
+                    } => {
+                        check_key(key)?;
+                        match resolve(field)? {
+                            ArgDef::Uniform { lo, hi, .. }
+                                if *lo >= 0 && *hi <= self.columns(t) as i64 => {}
+                            _ => {
+                                return Err(SpecError::FieldOutOfRange {
+                                    template: name(),
+                                    table: table.clone(),
+                                    arg: field.clone(),
+                                })
+                            }
+                        }
+                        resolve(value)?;
+                    }
+                    OpDef::Scan { key, len, .. } => {
+                        // Scans range over head keys, so a single
+                        // argument regardless of arity.
+                        resolve(key)?;
+                        match resolve(len)? {
+                            ArgDef::Uniform { lo, .. } if *lo >= 1 => {}
+                            _ => {
+                                return Err(SpecError::BadScanLength {
+                                    template: name(),
+                                    arg: len.clone(),
+                                })
+                            }
+                        }
+                    }
+                    OpDef::Insert { .. } => {
+                        if self.key_arity(t) != 1 {
+                            return Err(SpecError::InsertIntoChild {
+                                template: name(),
+                                table: table.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and compile the spec onto the precomputed-sampler +
+    /// buffer-reuse hot path.
+    pub fn compile(&self) -> Result<CompiledWorkload, SpecError> {
+        CompiledWorkload::compile(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The compiled form
+// ---------------------------------------------------------------------
+
+/// A compiled argument: ready to draw without allocation.
+#[derive(Debug, Clone)]
+enum CompiledArg {
+    /// A precomputed sampler over the table's key domain.  The table
+    /// index is kept so distribution reconfigurations can rebuild it.
+    Key { table: usize, sampler: KeySampler },
+    /// A uniform integer draw from `[lo, hi)`.
+    Uniform { lo: i64, hi: i64 },
+}
+
+/// How an op finds its key in the drawn-argument buffer.
+#[derive(Debug, Clone, Copy)]
+enum KeySlot {
+    /// Single-column key: argument index.
+    One(usize),
+    /// Composite key: (head, sub) argument indices.
+    Two(usize, usize),
+}
+
+/// A compiled op: argument and table references resolved to indices.
+#[derive(Debug, Clone)]
+enum CompiledOp {
+    Read {
+        table: TableId,
+        key: KeySlot,
+    },
+    Update {
+        table: TableId,
+        key: KeySlot,
+        field: usize,
+        value: usize,
+    },
+    Scan {
+        table: TableId,
+        key: usize,
+        len: usize,
+    },
+    Insert {
+        table: usize,
+    },
+}
+
+/// A compiled template: leaked class name (once, at compile time),
+/// arguments in draw order, resolved phases.
+#[derive(Debug, Clone)]
+struct CompiledTemplate {
+    class: &'static str,
+    args: Vec<CompiledArg>,
+    phases: Vec<(Vec<CompiledOp>, Option<u64>)>,
+}
+
+/// Shape of one compiled table (population and insert-cursor data).
+#[derive(Debug, Clone)]
+struct CompiledTable {
+    keys: i64,
+    sub_rows: i64,
+    payload_fields: usize,
+    parent: Option<usize>,
+}
+
+/// A [`WorkloadSpec`] compiled onto the allocation-free generation hot
+/// path.  The spec is retained and reconfigurations write through to it,
+/// so [`CompiledWorkload::spec`] always describes the workload as it
+/// currently runs.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    spec: WorkloadSpec,
+    tables: Vec<CompiledTable>,
+    templates: Vec<CompiledTemplate>,
+    /// Template selection by index; rebuilt on mix reconfigurations.
+    mix: Mix<usize>,
+    /// Per-table next insert key (starts at `keys`, grows monotonically).
+    insert_cursors: Vec<i64>,
+    /// Reusable buffer of drawn argument values.
+    arg_buf: Vec<i64>,
+}
+
+impl CompiledWorkload {
+    /// Validate `spec` and compile it.
+    pub fn compile(spec: WorkloadSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let tables: Vec<CompiledTable> = spec
+            .tables
+            .iter()
+            .map(|t| CompiledTable {
+                keys: t.keys,
+                sub_rows: t.sub_rows,
+                payload_fields: t.payload_fields,
+                parent: t.parent.as_deref().and_then(|p| spec.table_index(p)),
+            })
+            .collect();
+        let templates: Vec<CompiledTemplate> = spec
+            .templates
+            .iter()
+            .map(|tpl| Self::compile_template(&spec, tpl))
+            .collect();
+        let mix = standard_mix(&spec);
+        let insert_cursors = tables.iter().map(|t| t.keys).collect();
+        Ok(Self {
+            spec,
+            tables,
+            templates,
+            mix,
+            insert_cursors,
+            arg_buf: Vec::new(),
+        })
+    }
+
+    /// Compile one (already validated) template.
+    fn compile_template(spec: &WorkloadSpec, tpl: &TemplateDef) -> CompiledTemplate {
+        // The transaction class is a `&'static str` throughout the
+        // engine; each template name is leaked exactly once here, never
+        // per transaction.
+        let class: &'static str = Box::leak(tpl.name.clone().into_boxed_str());
+        let arg_index = |a: &str| {
+            tpl.args
+                .iter()
+                .position(|x| x.name() == a)
+                .expect("validated arg reference")
+        };
+        let args = tpl
+            .args
+            .iter()
+            .map(|arg| match arg {
+                ArgDef::Key {
+                    table,
+                    distribution,
+                    ..
+                } => {
+                    let t = spec.table_index(table).expect("validated table reference");
+                    CompiledArg::Key {
+                        table: t,
+                        sampler: distribution.sampler(0, spec.tables[t].keys),
+                    }
+                }
+                ArgDef::Uniform { lo, hi, .. } => CompiledArg::Uniform { lo: *lo, hi: *hi },
+            })
+            .collect();
+        let phases = tpl
+            .phases
+            .iter()
+            .map(|phase| {
+                let ops = phase
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        let table =
+                            |name: &str| spec.table_index(name).expect("validated table reference");
+                        match op {
+                            OpDef::Read { table: t, key } => CompiledOp::Read {
+                                table: TableId(table(t) as u32),
+                                key: key_slot(key, &arg_index),
+                            },
+                            OpDef::Update {
+                                table: t,
+                                key,
+                                field,
+                                value,
+                            } => CompiledOp::Update {
+                                table: TableId(table(t) as u32),
+                                key: key_slot(key, &arg_index),
+                                field: arg_index(field),
+                                value: arg_index(value),
+                            },
+                            OpDef::Scan { table: t, key, len } => CompiledOp::Scan {
+                                table: TableId(table(t) as u32),
+                                key: arg_index(key),
+                                len: arg_index(len),
+                            },
+                            OpDef::Insert { table: t } => CompiledOp::Insert { table: table(t) },
+                        }
+                    })
+                    .collect();
+                (ops, phase.sync_bytes)
+            })
+            .collect();
+        CompiledTemplate {
+            class,
+            args,
+            phases,
+        }
+    }
+
+    /// The spec as it currently runs (reconfigurations write through).
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The template class names, in declaration order.
+    pub fn classes(&self) -> Vec<&'static str> {
+        self.templates.iter().map(|t| t.class).collect()
+    }
+
+    /// Set every `Key` argument's distribution and rebuild its sampler —
+    /// the spec-workload equivalent of YCSB's `set_distribution`.
+    pub fn set_distribution(&mut self, d: KeyDistribution) {
+        for tpl in &mut self.spec.templates {
+            for arg in &mut tpl.args {
+                if let ArgDef::Key { distribution, .. } = arg {
+                    *distribution = d;
+                }
+            }
+        }
+        for tpl in &mut self.templates {
+            for arg in &mut tpl.args {
+                if let CompiledArg::Key { table, sampler } = arg {
+                    *sampler = d.sampler(0, self.spec.tables[*table].keys);
+                }
+            }
+        }
+    }
+}
+
+/// The standard mix over template indices: positive-weight templates in
+/// declaration order (identical selection to the hand-rolled mixes).
+fn standard_mix(spec: &WorkloadSpec) -> Mix<usize> {
+    Mix::new(
+        spec.templates
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.weight > 0.0)
+            .map(|(i, t)| (i, t.weight))
+            .collect(),
+    )
+}
+
+/// Resolve a key reference to argument-buffer slots.
+fn key_slot(key: &[String], arg_index: &dyn Fn(&str) -> usize) -> KeySlot {
+    match key {
+        [a] => KeySlot::One(arg_index(a)),
+        [a, b] => KeySlot::Two(arg_index(a), arg_index(b)),
+        _ => unreachable!("validated key arity"),
+    }
+}
+
+/// Build the storage key for a slot from the drawn arguments.
+fn key_of(slot: KeySlot, args: &[i64]) -> Key {
+    match slot {
+        KeySlot::One(a) => Key::int(args[a]),
+        KeySlot::Two(a, b) => Key::ints(&[args[a], args[b]]),
+    }
+}
+
+/// The record stored under head key `k` of a plain table: the key column
+/// plus `payload_fields` integer fields (the YCSB record shape).
+fn plain_record(k: i64, payload_fields: usize) -> Record {
+    let mut values = Vec::with_capacity(1 + payload_fields);
+    values.push(Value::Int(k));
+    for f in 0..payload_fields as i64 {
+        values.push(Value::Int(k * 10 + f));
+    }
+    Record::new(values)
+}
+
+/// The record stored under `(i, j)` of a composite-key table.
+fn composite_record(i: i64, j: i64, payload_fields: usize) -> Record {
+    let mut values = Vec::with_capacity(2 + payload_fields);
+    values.push(Value::Int(i));
+    values.push(Value::Int(j));
+    for f in 0..payload_fields as i64 {
+        values.push(Value::Int(i * 100 + j + f));
+    }
+    Record::new(values)
+}
+
+impl Workload for CompiledWorkload {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        self.spec
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let composite = t.sub_rows > 1;
+                let mut columns = if composite {
+                    vec![
+                        Column::new("pk_head", ColumnType::Int),
+                        Column::new("pk_sub", ColumnType::Int),
+                    ]
+                } else {
+                    vec![Column::new("id", ColumnType::Int)]
+                };
+                for f in 0..t.payload_fields {
+                    columns.push(Column::new(format!("f{f}"), ColumnType::Int));
+                }
+                let pk = if composite { vec![0, 1] } else { vec![0] };
+                let mut schema = Schema::new(t.name.clone(), columns, pk);
+                if let Some(p) = self.tables[i].parent {
+                    schema = schema.with_foreign_key(vec![0], TableId(p as u32));
+                }
+                TableSpec {
+                    id: TableId(i as u32),
+                    schema,
+                    domain: KeyDomain::new(0, t.keys),
+                    rows: (t.keys * t.sub_rows) as u64,
+                }
+            })
+            .collect()
+    }
+
+    fn populate(&self, db: &mut Database, filter: &dyn Fn(TableId, &Key) -> bool) {
+        ensure_tables(self, db);
+        for (i, t) in self.tables.iter().enumerate() {
+            let id = TableId(i as u32);
+            let table = db.table_mut(id).expect("spec table exists");
+            if t.sub_rows > 1 {
+                for k in 0..t.keys {
+                    for j in 0..t.sub_rows {
+                        let key = Key::ints(&[k, j]);
+                        if filter(id, &key) {
+                            table
+                                .load(composite_record(k, j, t.payload_fields))
+                                .expect("unique keys");
+                        }
+                    }
+                }
+            } else {
+                for k in 0..t.keys {
+                    let key = Key::int(k);
+                    if filter(id, &key) {
+                        table
+                            .load(plain_record(k, t.payload_fields))
+                            .expect("unique keys");
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_transaction(&mut self, rng: &mut SmallRng, client: CoreId) -> TransactionSpec {
+        let mut spec = TransactionSpec::empty();
+        self.next_transaction_into(rng, client, &mut spec);
+        spec
+    }
+
+    fn next_transaction_into(
+        &mut self,
+        rng: &mut SmallRng,
+        _client: CoreId,
+        out: &mut TransactionSpec,
+    ) {
+        // A single-template spec consumes no mix draw, matching the
+        // hand-rolled single-transaction workloads (SimpleAb, micro);
+        // multi-template specs always pick — even through a
+        // `Mix::single` reconfiguration — matching YCSB.
+        let t = if self.templates.len() == 1 {
+            0
+        } else {
+            self.mix.pick(rng)
+        };
+        let Self {
+            tables,
+            templates,
+            insert_cursors,
+            arg_buf,
+            ..
+        } = self;
+        let tpl = &mut templates[t];
+        // Arguments draw in declaration order — the contract that lets a
+        // spec reproduce a hand-rolled generator's rng stream bit for
+        // bit.
+        arg_buf.clear();
+        for arg in &mut tpl.args {
+            arg_buf.push(match arg {
+                CompiledArg::Key { sampler, .. } => sampler.sample(rng),
+                CompiledArg::Uniform { lo, hi } => rng.gen_range(*lo..*hi),
+            });
+        }
+        let mut w = out.refill(tpl.class);
+        for (ops, _) in &tpl.phases {
+            let phase = w.phase();
+            for op in ops {
+                phase.push(match op {
+                    CompiledOp::Read { table, key } => Action::new(ActionOp::Read {
+                        table: *table,
+                        key: key_of(*key, arg_buf),
+                    }),
+                    CompiledOp::Update {
+                        table,
+                        key,
+                        field,
+                        value,
+                    } => Action::new(ActionOp::Update {
+                        table: *table,
+                        key: key_of(*key, arg_buf),
+                        changes: vec![(arg_buf[*field] as usize, Value::Int(arg_buf[*value]))],
+                    }),
+                    CompiledOp::Scan { table, key, len } => {
+                        let start = arg_buf[*key];
+                        let len = arg_buf[*len];
+                        Action::new(ActionOp::ReadRange {
+                            table: *table,
+                            from: Key::int(start),
+                            to: Key::int(start + len),
+                            limit: len as usize,
+                        })
+                    }
+                    CompiledOp::Insert { table } => {
+                        let k = insert_cursors[*table];
+                        insert_cursors[*table] += 1;
+                        Action::new(ActionOp::Insert {
+                            table: TableId(*table as u32),
+                            record: plain_record(k, tables[*table].payload_fields),
+                        })
+                    }
+                });
+            }
+        }
+        w.finish();
+        // Explicit synchronization payloads override the one-cache-line
+        // default `finish` installs.
+        for (i, (_, sync)) in tpl.phases.iter().enumerate() {
+            if let Some(bytes) = sync {
+                out.phases[i].sync_bytes = *bytes;
+            }
+        }
+    }
+
+    fn reconfigure(&mut self, change: &WorkloadChange) -> Result<(), ReconfigureError> {
+        match change {
+            WorkloadChange::SingleTransaction { txn } => {
+                match self.templates.iter().position(|t| t.class == txn.as_str()) {
+                    Some(i) => {
+                        self.mix = Mix::single(i);
+                        Ok(())
+                    }
+                    None => Err(ReconfigureError::UnknownTransaction {
+                        workload: self.spec.name.clone(),
+                        txn: txn.clone(),
+                        known: self.classes(),
+                    }),
+                }
+            }
+            WorkloadChange::StandardMix => {
+                self.mix = standard_mix(&self.spec);
+                Ok(())
+            }
+            WorkloadChange::Distribution { distribution } => {
+                self.set_distribution(*distribution);
+                Ok(())
+            }
+            WorkloadChange::ZipfianTheta { theta } => {
+                self.set_distribution(KeyDistribution::Zipfian { theta: *theta });
+                Ok(())
+            }
+            other => Err(ReconfigureError::Unsupported {
+                workload: self.spec.name.clone(),
+                change: other.clone(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shipped transcriptions of the hand-rolled workloads
+// ---------------------------------------------------------------------
+
+/// YCSB core mix A (50% reads / 50% single-field updates, Zipfian
+/// θ = 0.99) over `records` keys, as a spec.  Bit-identical to
+/// `Ycsb::new(YcsbConfig::workload_a(records))` — the parity tests pin
+/// the digest of both transaction streams.
+pub fn ycsb_a(records: i64) -> WorkloadSpec {
+    let zipf = KeyDistribution::Zipfian { theta: 0.99 };
+    WorkloadSpec {
+        name: "ycsb-a-spec".to_string(),
+        tables: vec![TableDef {
+            name: "usertable".to_string(),
+            keys: records,
+            sub_rows: 1,
+            payload_fields: 4,
+            parent: None,
+        }],
+        templates: vec![
+            TemplateDef {
+                name: "Read".to_string(),
+                weight: 0.5,
+                args: vec![ArgDef::Key {
+                    name: "k".to_string(),
+                    table: "usertable".to_string(),
+                    distribution: zipf,
+                }],
+                phases: vec![PhaseDef {
+                    ops: vec![OpDef::Read {
+                        table: "usertable".to_string(),
+                        key: vec!["k".to_string()],
+                    }],
+                    sync_bytes: None,
+                }],
+            },
+            TemplateDef {
+                name: "Update".to_string(),
+                weight: 0.5,
+                args: vec![
+                    ArgDef::Key {
+                        name: "k".to_string(),
+                        table: "usertable".to_string(),
+                        distribution: zipf,
+                    },
+                    // `1 + gen_range(0..FIELDS)` ≡ `gen_range(1..5)`:
+                    // both consume one draw and add the same offset.
+                    ArgDef::Uniform {
+                        name: "field".to_string(),
+                        lo: 1,
+                        hi: 5,
+                    },
+                    ArgDef::Uniform {
+                        name: "value".to_string(),
+                        lo: 0,
+                        hi: 1 << 30,
+                    },
+                ],
+                phases: vec![PhaseDef {
+                    ops: vec![OpDef::Update {
+                        table: "usertable".to_string(),
+                        key: vec!["k".to_string()],
+                        field: "field".to_string(),
+                        value: "value".to_string(),
+                    }],
+                    sync_bytes: None,
+                }],
+            },
+        ],
+    }
+}
+
+/// The two-table SimpleAb transaction of paper §V-A as a spec:
+/// one uniform head key shared by a read of A and a read of B's
+/// composite `(pk_a, pk_b)`, with the hand-rolled 96-byte
+/// synchronization payload.  Bit-identical to `SimpleAb::new(rows_a)`.
+pub fn simple_ab(rows_a: i64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "simple-ab-spec".to_string(),
+        tables: vec![
+            TableDef {
+                name: "A".to_string(),
+                keys: rows_a,
+                sub_rows: 1,
+                payload_fields: 1,
+                parent: None,
+            },
+            TableDef {
+                name: "B".to_string(),
+                keys: rows_a,
+                sub_rows: 4,
+                payload_fields: 1,
+                parent: Some("A".to_string()),
+            },
+        ],
+        templates: vec![TemplateDef {
+            name: "simple-ab".to_string(),
+            weight: 1.0,
+            args: vec![
+                ArgDef::Key {
+                    name: "a".to_string(),
+                    table: "A".to_string(),
+                    distribution: KeyDistribution::Uniform,
+                },
+                ArgDef::Uniform {
+                    name: "b".to_string(),
+                    lo: 0,
+                    hi: 4,
+                },
+            ],
+            phases: vec![PhaseDef {
+                ops: vec![
+                    OpDef::Read {
+                        table: "A".to_string(),
+                        key: vec!["a".to_string()],
+                    },
+                    OpDef::Read {
+                        table: "B".to_string(),
+                        key: vec!["a".to_string(), "b".to_string()],
+                    },
+                ],
+                sync_bytes: Some(96),
+            }],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_ab::SimpleAb;
+    use crate::ycsb::{Ycsb, YcsbConfig};
+    use rand::SeedableRng;
+
+    /// FNV-1a digest of `n` transactions' debug representations — the
+    /// PR-8 spec-stream technique: any drift in class, phases, sync
+    /// bytes, keys, or drawn values changes the digest.
+    fn spec_stream_digest(w: &mut dyn Workload, seed: u64, n: usize) -> u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..n {
+            let spec = w.next_transaction(&mut rng, CoreId((i % 4) as u32));
+            for byte in format!("{spec:?}").bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    #[test]
+    fn ycsb_a_spec_digest_matches_hand_rolled() {
+        for seed in [42u64, 1337] {
+            let mut spec = ycsb_a(2_000).compile().unwrap();
+            let mut hand = Ycsb::new(YcsbConfig::workload_a(2_000));
+            assert_eq!(
+                spec_stream_digest(&mut spec, seed, 300),
+                spec_stream_digest(&mut hand, seed, 300),
+                "seed {seed}: spec-compiled YCSB-A diverged from the hand-rolled module"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_ab_spec_digest_matches_hand_rolled() {
+        for seed in [42u64, 1337] {
+            let mut spec = simple_ab(1_000).compile().unwrap();
+            let mut hand = SimpleAb::new(1_000);
+            assert_eq!(
+                spec_stream_digest(&mut spec, seed, 300),
+                spec_stream_digest(&mut hand, seed, 300),
+                "seed {seed}: spec-compiled SimpleAb diverged from the hand-rolled module"
+            );
+        }
+    }
+
+    #[test]
+    fn ycsb_a_spec_transactions_equal_hand_rolled_by_value() {
+        let mut spec = ycsb_a(2_000).compile().unwrap();
+        let mut hand = Ycsb::new(YcsbConfig::workload_a(2_000));
+        let mut rng_s = SmallRng::seed_from_u64(9);
+        let mut rng_h = SmallRng::seed_from_u64(9);
+        for _ in 0..300 {
+            assert_eq!(
+                spec.next_transaction(&mut rng_s, CoreId(0)),
+                hand.next_transaction(&mut rng_h, CoreId(0))
+            );
+        }
+    }
+
+    #[test]
+    fn generation_into_buffer_matches_by_value_generation() {
+        let mut a = ycsb_a(1_000).compile().unwrap();
+        let mut b = ycsb_a(1_000).compile().unwrap();
+        let mut rng_a = SmallRng::seed_from_u64(3);
+        let mut rng_b = SmallRng::seed_from_u64(3);
+        let mut buf = TransactionSpec::empty();
+        for _ in 0..200 {
+            let by_value = a.next_transaction(&mut rng_a, CoreId(0));
+            b.next_transaction_into(&mut rng_b, CoreId(0), &mut buf);
+            assert_eq!(by_value, buf);
+        }
+    }
+
+    #[test]
+    fn sync_bytes_override_survives_buffer_reuse() {
+        // A 96-byte one-phase transaction followed by a default-payload
+        // one must not inherit the override through the reused buffer.
+        let mut ab = simple_ab(100).compile().unwrap();
+        let mut ycsb = ycsb_a(100).compile().unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut buf = TransactionSpec::empty();
+        ab.next_transaction_into(&mut rng, CoreId(0), &mut buf);
+        assert_eq!(buf.phases[0].sync_bytes, 96);
+        ycsb.next_transaction_into(&mut rng, CoreId(0), &mut buf);
+        assert_eq!(buf.phases[0].sync_bytes, 64);
+    }
+
+    #[test]
+    fn tables_match_hand_rolled_shapes() {
+        let spec = simple_ab(500).compile().unwrap();
+        let hand = SimpleAb::new(500);
+        for (s, h) in spec.tables().iter().zip(hand.tables().iter()) {
+            assert_eq!(s.id, h.id);
+            assert_eq!(s.domain, h.domain);
+            assert_eq!(s.rows, h.rows);
+        }
+        assert!(spec.tables()[1].schema.references(TableId(0)));
+        let mut db_s = Database::new();
+        spec.populate(&mut db_s, &|_, _| true);
+        assert_eq!(db_s.table(TableId(0)).unwrap().len(), 500);
+        assert_eq!(db_s.table(TableId(1)).unwrap().len(), 2_000);
+    }
+
+    #[test]
+    fn inserts_append_monotonically_at_the_tail() {
+        let mut spec = WorkloadSpec {
+            name: "ins".to_string(),
+            tables: vec![TableDef {
+                name: "t".to_string(),
+                keys: 100,
+                sub_rows: 1,
+                payload_fields: 2,
+                parent: None,
+            }],
+            templates: vec![TemplateDef {
+                name: "Insert".to_string(),
+                weight: 1.0,
+                args: vec![],
+                phases: vec![PhaseDef {
+                    ops: vec![OpDef::Insert {
+                        table: "t".to_string(),
+                    }],
+                    sync_bytes: None,
+                }],
+            }],
+        }
+        .compile()
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut last = 99;
+        for _ in 0..20 {
+            let txn = spec.next_transaction(&mut rng, CoreId(0));
+            let head = txn.phases[0].actions[0].op.routing_key_head();
+            assert_eq!(head, last + 1, "inserts must be dense at the tail");
+            last = head;
+        }
+    }
+
+    #[test]
+    fn reconfigure_matches_hand_rolled_after_the_same_change() {
+        let mut spec = ycsb_a(2_000).compile().unwrap();
+        let mut hand = Ycsb::new(YcsbConfig::workload_a(2_000));
+        for change in [
+            WorkloadChange::SingleTransaction {
+                txn: "Update".to_string(),
+            },
+            WorkloadChange::ZipfianTheta { theta: 0.4 },
+            WorkloadChange::StandardMix,
+            WorkloadChange::Distribution {
+                distribution: KeyDistribution::Hotspot {
+                    data_fraction: 0.2,
+                    access_fraction: 0.8,
+                },
+            },
+        ] {
+            spec.reconfigure(&change).unwrap();
+            hand.reconfigure(&change).unwrap();
+            assert_eq!(
+                spec_stream_digest(&mut spec, 7, 120),
+                spec_stream_digest(&mut hand, 7, 120),
+                "diverged after {change:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reconfigure_rejects_unknown_transactions_and_unsupported_changes() {
+        let mut w = ycsb_a(500).compile().unwrap();
+        let err = w
+            .reconfigure(&WorkloadChange::SingleTransaction {
+                txn: "NewOrder".to_string(),
+            })
+            .unwrap_err();
+        match err {
+            ReconfigureError::UnknownTransaction { known, .. } => {
+                assert_eq!(known, vec!["Read", "Update"]);
+            }
+            other => panic!("expected UnknownTransaction, got {other}"),
+        }
+        assert!(matches!(
+            w.reconfigure(&WorkloadChange::MultiSitePercent { percent: 10 }),
+            Err(ReconfigureError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for spec in [ycsb_a(1_234), simple_ab(567)] {
+            let back = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Negative paths: typed rejection at load time
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn zero_weight_sum_is_rejected() {
+        let mut spec = ycsb_a(100);
+        for t in &mut spec.templates {
+            t.weight = 0.0;
+        }
+        assert_eq!(spec.validate(), Err(SpecError::ZeroWeightSum));
+    }
+
+    #[test]
+    fn unknown_op_fails_to_parse() {
+        let json = r#"{
+          "name": "bad",
+          "tables": [{ "name": "t", "keys": 10, "sub_rows": 1, "payload_fields": 1 }],
+          "templates": [{
+            "name": "x", "weight": 1.0, "args": [],
+            "phases": [{ "ops": [{ "Truncate": { "table": "t" } }] }]
+          }]
+        }"#;
+        match WorkloadSpec::from_json(json) {
+            Err(SpecError::Parse { message }) => {
+                assert!(message.contains("unknown variant"), "{message}")
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_table_is_rejected() {
+        let mut spec = ycsb_a(100);
+        spec.tables[0].keys = 0;
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::EmptyTable {
+                table: "usertable".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_key_domain_is_rejected() {
+        let mut spec = simple_ab(100);
+        spec.tables[1].keys = 200;
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::DomainExceedsParent {
+                table: "B".to_string(),
+                parent: "A".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn dangling_table_references_are_rejected() {
+        // A parent link to a table that does not exist…
+        let mut spec = simple_ab(100);
+        spec.tables[1].parent = Some("Z".to_string());
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnknownTable {
+                context: "B".to_string(),
+                table: "Z".to_string()
+            })
+        );
+        // …and an op targeting one.
+        let mut spec = ycsb_a(100);
+        spec.templates[0].phases[0].ops[0] = OpDef::Read {
+            table: "ghost".to_string(),
+            key: vec!["k".to_string()],
+        };
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnknownTable {
+                context: "Read".to_string(),
+                table: "ghost".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn arity_arg_and_range_errors_are_typed() {
+        // Composite table read through a single-column key.
+        let mut spec = simple_ab(100);
+        spec.templates[0].phases[0].ops[1] = OpDef::Read {
+            table: "B".to_string(),
+            key: vec!["a".to_string()],
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::KeyArity {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        // Unknown argument.
+        let mut spec = ycsb_a(100);
+        spec.templates[0].phases[0].ops[0] = OpDef::Read {
+            table: "usertable".to_string(),
+            key: vec!["nope".to_string()],
+        };
+        assert!(matches!(spec.validate(), Err(SpecError::UnknownArg { .. })));
+        // Empty uniform range.
+        let mut spec = ycsb_a(100);
+        spec.templates[1].args[1] = ArgDef::Uniform {
+            name: "field".to_string(),
+            lo: 5,
+            hi: 5,
+        };
+        assert!(matches!(spec.validate(), Err(SpecError::EmptyRange { .. })));
+        // Field index outside the column range.
+        let mut spec = ycsb_a(100);
+        spec.templates[1].args[1] = ArgDef::Uniform {
+            name: "field".to_string(),
+            lo: 1,
+            hi: 99,
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::FieldOutOfRange { .. })
+        ));
+        // Insert into a composite-key table.
+        let mut spec = simple_ab(100);
+        spec.templates[0].phases[0].ops[1] = OpDef::Insert {
+            table: "B".to_string(),
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::InsertIntoChild { .. })
+        ));
+    }
+
+    #[test]
+    fn compile_rejects_what_validate_rejects() {
+        let mut spec = ycsb_a(100);
+        spec.templates.clear();
+        assert_eq!(spec.compile().unwrap_err(), SpecError::NoTemplates);
+        let spec = WorkloadSpec {
+            name: "no-tables".to_string(),
+            tables: vec![],
+            templates: ycsb_a(100).templates,
+        };
+        assert_eq!(spec.compile().unwrap_err(), SpecError::NoTables);
+    }
+
+    #[test]
+    fn spec_errors_render_helpful_messages() {
+        let e = SpecError::UnknownTable {
+            context: "Pay".to_string(),
+            table: "accounts".to_string(),
+        };
+        assert_eq!(e.to_string(), "'Pay' references unknown table 'accounts'");
+        assert!(SpecError::ZeroWeightSum.to_string().contains("positive"));
+    }
+}

@@ -127,3 +127,47 @@ fn replay_experiment_is_byte_identical_across_runs() {
         "two in-process runs of the same replay experiment serialized differently"
     );
 }
+
+/// A spec-driven job (declarative workload compiled from a shipped
+/// `examples/specs` file, including its stateful insert cursor and
+/// adaptive design) twice in one process must serialize byte-identically
+/// — compiling the spec twice yields fully independent generator state.
+#[test]
+fn spec_driven_experiment_is_byte_identical_across_runs() {
+    use atrapos_bench::figures::{shipped_spec, spec_job, ycsb_designs};
+    use atrapos_bench::Scale;
+    use atrapos_engine::scenario::Scenario;
+
+    let scale = {
+        let mut s = Scale::quick();
+        s.ycsb_records = 4_000;
+        s.measure_secs = 0.004;
+        s.interval_min_secs = 0.002;
+        s.interval_max_secs = 0.008;
+        s
+    };
+    let spec = shipped_spec("scan_write.json").unwrap_or_else(|e| panic!("{e}"));
+    let run = || {
+        let (label, design) = ycsb_designs(&scale)
+            .into_iter()
+            .find(|(label, _)| *label == "ATraPos")
+            .expect("the adaptive design is in the list");
+        spec_job(
+            format!("{}/{label}", spec.name),
+            &scale,
+            spec.compile().expect("shipped spec compiles"),
+            design,
+            &Scenario::new("spec-determinism", scale.measure_secs),
+        )
+        .run()
+        .expect("spec scenario runs")
+    };
+    let first = run();
+    let second = run();
+    assert!(first.total_committed() > 0);
+    assert_eq!(
+        serde::json::to_string_pretty(&first),
+        serde::json::to_string_pretty(&second),
+        "two in-process runs of the spec-driven experiment serialized differently"
+    );
+}

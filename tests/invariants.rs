@@ -382,3 +382,280 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Random declarative-spec conservation
+// ---------------------------------------------------------------------
+
+use atrapos_workloads::spec::{ArgDef, OpDef, PhaseDef, TableDef, TemplateDef, WorkloadSpec};
+
+/// One proptest-generated declarative experiment: a random valid
+/// `WorkloadSpec` plus a reconfiguration timeline.  Specs are valid *by
+/// construction* (every compiled one would also pass `validate()`), so
+/// the family explores the compiler's whole op vocabulary — point reads,
+/// two-phase RMWs, updates, head-key scans, tail inserts, composite-key
+/// child tables with foreign keys — under the same conservation checks
+/// as the hand-rolled YCSB family.
+#[derive(Debug, Clone)]
+struct SpecCase {
+    spec: WorkloadSpec,
+    seed: u64,
+    phases: Vec<(Option<WorkloadChange>, f64)>,
+}
+
+fn spec_distribution_strategy() -> impl Strategy<Value = KeyDistribution> {
+    prop_oneof![
+        Just(KeyDistribution::Uniform),
+        (0.05f64..0.5, 0.5f64..0.95).prop_map(|(data_fraction, access_fraction)| {
+            KeyDistribution::Hotspot {
+                data_fraction,
+                access_fraction,
+            }
+        }),
+        (0.2f64..1.1).prop_map(|theta| KeyDistribution::Zipfian { theta }),
+        (0.05f64..0.3, 0.5f64..0.95, 200u64..2_000).prop_map(
+            |(data_fraction, access_fraction, period_txns)| KeyDistribution::Drift {
+                data_fraction,
+                access_fraction,
+                period_txns,
+            }
+        ),
+    ]
+}
+
+/// One or two tables: a plain base table, optionally with a
+/// composite-key child referencing it (the SimpleAb shape).
+fn spec_tables_strategy() -> impl Strategy<Value = Vec<TableDef>> {
+    (
+        200i64..1_500,
+        1usize..4,
+        prop::option::of((2i64..5, 1usize..3, 100i64..800)),
+    )
+        .prop_map(|(keys, payload_fields, child)| {
+            let mut tables = vec![TableDef {
+                name: "t0".to_string(),
+                keys,
+                sub_rows: 1,
+                payload_fields,
+                parent: None,
+            }];
+            if let Some((sub_rows, child_payload, child_keys)) = child {
+                tables.push(TableDef {
+                    name: "t1".to_string(),
+                    keys: child_keys.min(keys),
+                    sub_rows,
+                    payload_fields: child_payload,
+                    parent: Some("t0".to_string()),
+                });
+            }
+            tables
+        })
+}
+
+/// Build template `i` over `tables[t]` with one of five op shapes.
+/// Scans and inserts only target plain tables; a composite pick falls
+/// back to a point read.
+fn build_spec_template(
+    i: usize,
+    tables: &[TableDef],
+    t: usize,
+    shape: usize,
+    weight: f64,
+    distribution: KeyDistribution,
+) -> TemplateDef {
+    let table = &tables[t];
+    let name = table.name.clone();
+    let composite = table.sub_rows > 1;
+    let arity: i64 = if composite { 2 } else { 1 };
+    let args = vec![
+        ArgDef::Key {
+            name: "k".to_string(),
+            table: name.clone(),
+            distribution,
+        },
+        ArgDef::Uniform {
+            name: "s".to_string(),
+            lo: 0,
+            hi: table.sub_rows.max(1),
+        },
+        ArgDef::Uniform {
+            name: "f".to_string(),
+            lo: arity,
+            hi: arity + table.payload_fields as i64,
+        },
+        ArgDef::Uniform {
+            name: "v".to_string(),
+            lo: 0,
+            hi: 1 << 20,
+        },
+        ArgDef::Uniform {
+            name: "n".to_string(),
+            lo: 1,
+            hi: 20,
+        },
+    ];
+    let key: Vec<String> = if composite {
+        vec!["k".to_string(), "s".to_string()]
+    } else {
+        vec!["k".to_string()]
+    };
+    let read = OpDef::Read {
+        table: name.clone(),
+        key: key.clone(),
+    };
+    let update = OpDef::Update {
+        table: name.clone(),
+        key,
+        field: "f".to_string(),
+        value: "v".to_string(),
+    };
+    let phase = |ops: Vec<OpDef>| PhaseDef {
+        ops,
+        sync_bytes: None,
+    };
+    let shape = if composite && shape >= 3 { 0 } else { shape };
+    let phases = match shape {
+        0 => vec![phase(vec![read])],
+        1 => vec![phase(vec![read]), phase(vec![update])],
+        2 => vec![phase(vec![update])],
+        3 => vec![phase(vec![OpDef::Scan {
+            table: name,
+            key: "k".to_string(),
+            len: "n".to_string(),
+        }])],
+        _ => vec![phase(vec![OpDef::Insert { table: name }])],
+    };
+    TemplateDef {
+        name: format!("tpl{i}"),
+        weight,
+        args,
+        phases,
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    // Table picks are generated as free indices and folded into range
+    // with a modulo, since the shimmed proptest has no `prop_flat_map`
+    // to parameterize one strategy by another's output.
+    (
+        spec_tables_strategy(),
+        prop::collection::vec(
+            (
+                0usize..8,
+                0usize..5,
+                0.1f64..2.0,
+                spec_distribution_strategy(),
+            ),
+            1..=3,
+        ),
+    )
+        .prop_map(|(tables, raw)| WorkloadSpec {
+            name: "random-spec".to_string(),
+            templates: raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, shape, weight, dist))| {
+                    build_spec_template(i, &tables, t % tables.len(), shape, weight, dist)
+                })
+                .collect(),
+            tables,
+        })
+}
+
+/// Reconfigurations a compiled spec supports; single-template picks are
+/// resolved to a declared name after generation.
+#[derive(Debug, Clone)]
+enum RawSpecChange {
+    Theta(f64),
+    Dist(KeyDistribution),
+    Single(usize),
+    StandardMix,
+}
+
+fn spec_change_strategy() -> impl Strategy<Value = RawSpecChange> {
+    prop_oneof![
+        (0.0f64..1.2).prop_map(RawSpecChange::Theta),
+        spec_distribution_strategy().prop_map(RawSpecChange::Dist),
+        (0usize..3).prop_map(RawSpecChange::Single),
+        Just(RawSpecChange::StandardMix),
+    ]
+}
+
+fn spec_case_strategy() -> impl Strategy<Value = SpecCase> {
+    (
+        spec_strategy(),
+        0u64..1_000,
+        prop::collection::vec(
+            (prop::option::of(spec_change_strategy()), 0.001f64..0.004),
+            1..=3,
+        ),
+    )
+        .prop_map(|(spec, seed, raw_phases)| {
+            let phases = raw_phases
+                .into_iter()
+                .map(|(change, secs)| {
+                    let change = change.map(|c| match c {
+                        RawSpecChange::Theta(theta) => WorkloadChange::ZipfianTheta { theta },
+                        RawSpecChange::Dist(distribution) => {
+                            WorkloadChange::Distribution { distribution }
+                        }
+                        RawSpecChange::Single(i) => WorkloadChange::SingleTransaction {
+                            txn: format!("tpl{}", i % spec.templates.len()),
+                        },
+                        RawSpecChange::StandardMix => WorkloadChange::StandardMix,
+                    });
+                    (change, secs)
+                })
+                .collect();
+            SpecCase { spec, seed, phases }
+        })
+}
+
+fn run_spec_case(case: &SpecCase, design_spec: &DesignSpec) {
+    assert_eq!(case.spec.validate(), Ok(()), "generated spec must be valid");
+    let m = machine(2, 2);
+    let clients = m.topology.num_active_cores() as u64;
+    let generated = Arc::new(AtomicU64::new(0));
+    let workload = Counting {
+        inner: case.spec.compile().expect("generated spec compiles"),
+        generated: Arc::clone(&generated),
+    };
+    let design = design_spec.build(&m, &workload.inner);
+    let mut ex = VirtualExecutor::new(
+        m,
+        design,
+        Box::new(workload),
+        ExecutorConfig {
+            seed: case.seed,
+            default_interval_secs: 0.001,
+            time_series_bucket_secs: 0.001,
+        },
+    );
+    let mut now = 0.0f64;
+    for (i, (change, secs)) in case.phases.iter().enumerate() {
+        if let Some(change) = change {
+            ex.reconfigure_workload(change)
+                .unwrap_or_else(|e| panic!("compiled spec rejected {change}: {e}"));
+        }
+        let before = generated.load(Ordering::Relaxed);
+        let stats = ex.run_for(*secs);
+        let attempted = generated.load(Ordering::Relaxed) - before;
+        let label = format!("{} spec phase {i}", design_spec.label());
+        assert!(attempted > 0, "{label}: the executor generated nothing");
+        check_segment(&label, &stats, attempted, clients, now);
+        now += secs;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Conservation holds for every design on every randomly generated
+    /// declarative workload and reconfiguration timeline.
+    #[test]
+    fn spec_conservation_invariants_hold_across_designs(case in spec_case_strategy()) {
+        for spec in four_designs() {
+            run_spec_case(&case, &spec);
+        }
+    }
+}

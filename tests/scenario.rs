@@ -384,3 +384,69 @@ fn shipped_replay_scenario_parses() {
             .expect("design parses");
     assert_eq!(design.label(), "ATraPos");
 }
+
+// ---------------------------------------------------------------------
+// Declarative workload specs are data too
+// ---------------------------------------------------------------------
+
+/// Random valid `WorkloadSpec`s: the two shipped transcriptions with
+/// randomized sizes, weights, distributions, and sync payloads.
+fn workload_spec_strategy() -> impl Strategy<Value = atrapos_workloads::WorkloadSpec> {
+    use atrapos_workloads::spec::{simple_ab, ycsb_a, ArgDef};
+    prop_oneof![
+        (
+            100i64..100_000,
+            0.1f64..5.0,
+            0.1f64..5.0,
+            distribution_strategy()
+        )
+            .prop_map(|(records, w_read, w_update, dist)| {
+                let mut spec = ycsb_a(records);
+                spec.templates[0].weight = w_read;
+                spec.templates[1].weight = w_update;
+                if let ArgDef::Key { distribution, .. } = &mut spec.templates[0].args[0] {
+                    *distribution = dist;
+                }
+                spec
+            }),
+        (100i64..50_000, prop::option::of(1u64..4_096)).prop_map(|(rows, sync)| {
+            let mut spec = simple_ab(rows);
+            spec.templates[0].phases[0].sync_bytes = sync;
+            spec
+        }),
+    ]
+}
+
+proptest! {
+    /// Every generated `WorkloadSpec` is valid and survives both the
+    /// pretty (`to_json`/`from_json`) and the compact JSON round-trip
+    /// bit-exactly.
+    #[test]
+    fn workload_specs_round_trip(spec in workload_spec_strategy()) {
+        prop_assert!(spec.validate().is_ok());
+        let back = atrapos_workloads::WorkloadSpec::from_json(&spec.to_json()).unwrap();
+        prop_assert_eq!(&back, &spec);
+        let compact = serde::json::to_string(&spec);
+        let back: atrapos_workloads::WorkloadSpec = serde::json::from_str(&compact).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Every generated `WorkloadSpec` survives the `serde::Value`
+    /// round-trip (the path replay-style embeddings use).
+    #[test]
+    fn workload_specs_round_trip_through_values(spec in workload_spec_strategy()) {
+        use serde::de::Deserialize;
+        use serde::ser::Serialize;
+        let value = spec.to_value();
+        let back = atrapos_workloads::WorkloadSpec::from_value(&value).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+}
+
+/// Malformed spec JSON is rejected at load with a typed parse error, not
+/// a panic — the vocabulary itself is the first validation layer.
+#[test]
+fn malformed_spec_json_is_rejected_with_a_typed_error() {
+    let err = atrapos_workloads::WorkloadSpec::from_json("{\"name\": \"x\"}").unwrap_err();
+    assert!(matches!(err, atrapos_workloads::SpecError::Parse { .. }));
+}

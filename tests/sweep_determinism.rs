@@ -8,9 +8,11 @@
 //! `ScenarioOutcome` of every component (committed counts, segment stats,
 //! time series, design stats).
 
-use atrapos_bench::figures::{fig10_scenario, fig11_scenario, figure_job, ycsb02_jobs};
+use atrapos_bench::figures::{
+    fig10_scenario, fig11_scenario, figure_job, shipped_spec, spec_job, ycsb02_jobs,
+};
 use atrapos_bench::harness::{measurement_job, Scale};
-use atrapos_engine::scenario::ScenarioOutcome;
+use atrapos_engine::scenario::{Scenario, ScenarioOutcome};
 use atrapos_engine::sweep::{run_sweep, SweepJob};
 use atrapos_engine::DesignSpec;
 use atrapos_workloads::{Tatp, TatpConfig, TatpTxn};
@@ -27,7 +29,8 @@ fn tiny_scale() -> Scale {
 }
 
 /// A reduced wallclock bundle: four figure variants, a four-design TATP
-/// sweep, and the four-design ycsb02 drifting-hotspot timeline (14 jobs).
+/// sweep, the four-design ycsb02 drifting-hotspot timeline, and a
+/// four-design spec-driven declarative workload (18 jobs).
 fn bundle() -> Vec<SweepJob> {
     let scale = tiny_scale();
     let mut jobs = vec![
@@ -76,6 +79,25 @@ fn bundle() -> Vec<SweepJob> {
         ));
     }
     jobs.extend(ycsb02_jobs(&scale));
+    // Spec-driven jobs: a declarative workload compiled from a shipped
+    // spec file, including tail inserts and range scans, must hold the
+    // same thread-count contract as the hand-rolled modules.
+    let spec = shipped_spec("scan_write.json").unwrap_or_else(|e| panic!("{e}"));
+    let scenario = Scenario::new("sweep-determinism-spec", scale.measure_secs);
+    for design in [
+        DesignSpec::Centralized,
+        DesignSpec::coarse_shared_nothing(),
+        DesignSpec::Plp,
+        DesignSpec::atrapos(),
+    ] {
+        jobs.push(spec_job(
+            format!("spec/{}", design.label()),
+            &scale,
+            spec.compile().expect("shipped spec compiles"),
+            design,
+            &scenario,
+        ));
+    }
     jobs
 }
 

@@ -1,0 +1,166 @@
+//! Parity lockdown for the declarative workload engine.
+//!
+//! The `WorkloadSpec` compiler's contract is that a spec transcribing a
+//! hand-rolled workload is *bit-identical* to it.  This suite pins that
+//! contract for the two shipped transcriptions (`examples/specs/
+//! ycsb_a.json` ↔ `Ycsb::workload_a`, `examples/specs/simple_ab.json` ↔
+//! `SimpleAb`) at both ends of the stack:
+//!
+//! * **spec-stream digests** — FNV-1a over the debug form of 300
+//!   generated transactions at two seeds (the PR-8 technique): any drift
+//!   in mix selection, rng draw order, keys, classes, phase structure, or
+//!   sync payloads changes the digest;
+//! * **full-run outcomes** — the same scenario executed on all four
+//!   YCSB-family designs with the spec-compiled and the hand-rolled
+//!   workload must serialize byte-identically (committed counts
+//!   included), so the equivalence survives population, routing,
+//!   monitoring, and adaptation.
+
+use atrapos_bench::figures::{spec_job, ycsb_designs};
+use atrapos_bench::Scale;
+use atrapos_engine::scenario::Scenario;
+use atrapos_engine::Workload;
+use atrapos_numa::CoreId;
+use atrapos_workloads::spec::WorkloadSpec;
+use atrapos_workloads::{SimpleAb, Ycsb, YcsbConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn shipped(file: &str) -> WorkloadSpec {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/specs")
+        .join(file);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    WorkloadSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// FNV-1a digest of `n` transactions' debug representations.
+fn spec_stream_digest(w: &mut dyn Workload, seed: u64, n: usize) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..n {
+        let spec = w.next_transaction(&mut rng, CoreId((i % 4) as u32));
+        for byte in format!("{spec:?}").bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[test]
+fn shipped_ycsb_a_spec_digest_matches_hand_rolled() {
+    let spec = shipped("ycsb_a.json");
+    let records = spec.tables[0].keys;
+    for seed in [42u64, 1337] {
+        let mut compiled = spec.compile().unwrap();
+        let mut hand = Ycsb::new(YcsbConfig::workload_a(records));
+        assert_eq!(
+            spec_stream_digest(&mut compiled, seed, 300),
+            spec_stream_digest(&mut hand, seed, 300),
+            "seed {seed}: shipped ycsb_a.json diverged from the hand-rolled module"
+        );
+    }
+}
+
+#[test]
+fn shipped_simple_ab_spec_digest_matches_hand_rolled() {
+    let spec = shipped("simple_ab.json");
+    let rows_a = spec.tables[0].keys;
+    for seed in [42u64, 1337] {
+        let mut compiled = spec.compile().unwrap();
+        let mut hand = SimpleAb::new(rows_a);
+        assert_eq!(
+            spec_stream_digest(&mut compiled, seed, 300),
+            spec_stream_digest(&mut hand, seed, 300),
+            "seed {seed}: shipped simple_ab.json diverged from the hand-rolled module"
+        );
+    }
+}
+
+fn tiny_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.ycsb_records = 4_000;
+    s.measure_secs = 0.002;
+    s.phase_secs = 0.004;
+    s.interval_min_secs = 0.002;
+    s.interval_max_secs = 0.008;
+    s
+}
+
+/// Run `spec` and a hand-rolled reference across all four designs and
+/// assert every design's entire serialized outcome — committed counts
+/// included — is byte-identical.
+fn assert_full_run_parity(spec: &WorkloadSpec, hand: impl Fn() -> Box<dyn Workload>, what: &str) {
+    let scale = tiny_scale();
+    let scenario = Scenario::new("spec-parity", scale.measure_secs);
+    for (label, design) in ycsb_designs(&scale) {
+        let spec_outcome = spec_job(
+            format!("spec/{label}"),
+            &scale,
+            spec.compile().unwrap(),
+            design.clone(),
+            &scenario,
+        )
+        .run()
+        .unwrap_or_else(|e| panic!("{what}/{label} (spec): {e}"));
+        let mut hand_job = spec_job(
+            format!("hand/{label}"),
+            &scale,
+            spec.compile().unwrap(),
+            design,
+            &scenario,
+        );
+        hand_job.workload = hand();
+        let hand_outcome = hand_job
+            .run()
+            .unwrap_or_else(|e| panic!("{what}/{label} (hand-rolled): {e}"));
+        assert!(
+            spec_outcome.total_committed() > 0,
+            "{what}/{label}: the parity run committed nothing"
+        );
+        assert_eq!(
+            serde::json::to_string_pretty(&spec_outcome),
+            serde::json::to_string_pretty(&hand_outcome),
+            "{what}/{label}: spec-driven and hand-rolled outcomes differ"
+        );
+    }
+}
+
+#[test]
+fn ycsb_a_full_run_outcomes_match_on_all_four_designs() {
+    let spec = shipped("ycsb_a.json");
+    let records = spec.tables[0].keys;
+    assert_full_run_parity(
+        &spec,
+        || Box::new(Ycsb::new(YcsbConfig::workload_a(records))),
+        "ycsb-a",
+    );
+}
+
+#[test]
+fn simple_ab_full_run_outcomes_match_on_all_four_designs() {
+    let spec = shipped("simple_ab.json");
+    let rows_a = spec.tables[0].keys;
+    assert_full_run_parity(&spec, || Box::new(SimpleAb::new(rows_a)), "simple-ab");
+}
+
+/// Reconfiguration events keep working through the compiled engine: the
+/// same theta change applied mid-digest leaves both sides identical.
+#[test]
+fn shipped_spec_reconfigures_in_lockstep_with_hand_rolled() {
+    use atrapos_engine::workload::WorkloadChange;
+    let spec = shipped("ycsb_a.json");
+    let records = spec.tables[0].keys;
+    let mut compiled = spec.compile().unwrap();
+    let mut hand = Ycsb::new(YcsbConfig::workload_a(records));
+    let change = WorkloadChange::ZipfianTheta { theta: 0.6 };
+    compiled.reconfigure(&change).unwrap();
+    hand.reconfigure(&change).unwrap();
+    assert_eq!(
+        spec_stream_digest(&mut compiled, 11, 200),
+        spec_stream_digest(&mut hand, 11, 200),
+        "theta reconfiguration broke spec/hand-rolled lockstep"
+    );
+}
